@@ -1,0 +1,126 @@
+// Figure 11 — multi-core scalability on the Linear Road subset
+// (paper §4.7). The input stream is partitioned by x-way across cores; each
+// core runs the complete two-SP workflow serially for its partition.
+//
+// We measure each configuration's aggregate position-report capacity and
+// convert it into "x-ways supported" (an x-way offers vehicles_per_xway
+// reports per simulated second; an x-way is supported when its reports are
+// processed within the latency threshold, i.e., capacity covers its rate).
+//
+// Paper shape: ~16 x-ways on one core, roughly linear scaling with a 5-10%
+// per-core drop-off from partition-maintenance overhead.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "streaming/sstore.h"
+#include "workloads/linear_road.h"
+
+namespace {
+
+using sstore::LinearRoadApp;
+using sstore::LinearRoadConfig;
+using sstore::LinearRoadGenerator;
+using sstore::PositionReport;
+using sstore::SStore;
+
+constexpr int kXwaysPerPartition = 2;
+constexpr int kVehiclesPerXway = 40;
+constexpr int kDurationSec = 75;  // sim seconds (includes a minute boundary)
+
+void BM_LinearRoadScaling(benchmark::State& state) {
+  int cores = static_cast<int>(state.range(0));
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    // One shared-nothing partition per core, each owning its x-ways.
+    std::vector<std::unique_ptr<SStore>> stores;
+    std::vector<std::unique_ptr<LinearRoadApp>> apps;
+    for (int c = 0; c < cores; ++c) {
+      SStore::Options opts;
+      opts.partition_id = c;
+      stores.push_back(std::make_unique<SStore>(opts));
+      LinearRoadConfig config;
+      config.num_xways = kXwaysPerPartition;
+      config.vehicles_per_xway = kVehiclesPerXway;
+      config.duration_sec = kDurationSec;
+      config.seed = 1000 + static_cast<uint64_t>(c);
+      apps.push_back(std::make_unique<LinearRoadApp>(stores.back().get(), config));
+      if (!apps.back()->Setup().ok()) {
+        state.SkipWithError("setup failed");
+        return;
+      }
+      stores.back()->Start();
+    }
+    state.ResumeTiming();
+
+    // One client thread per partition replays its traffic at full speed.
+    std::vector<std::thread> clients;
+    std::vector<int64_t> processed(cores, 0);
+    auto t0 = std::chrono::steady_clock::now();
+    for (int c = 0; c < cores; ++c) {
+      clients.emplace_back([&, c] {
+        LinearRoadConfig config;
+        config.num_xways = kXwaysPerPartition;
+        config.vehicles_per_xway = kVehiclesPerXway;
+        config.seed = 1000 + static_cast<uint64_t>(c);
+        LinearRoadGenerator gen(config);
+        std::vector<sstore::TicketPtr> tickets;
+        for (int s = 0; s < kDurationSec; ++s) {
+          for (const PositionReport& r : gen.NextSecond()) {
+            tickets.push_back(apps[c]->InjectAsync(r));
+            ++processed[c];
+          }
+        }
+        for (auto& t : tickets) t->Wait();
+        while (stores[c]->partition().QueueDepth() > 0) {
+          std::this_thread::yield();
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    auto t1 = std::chrono::steady_clock::now();
+
+    state.PauseTiming();
+    double elapsed = std::chrono::duration<double>(t1 - t0).count();
+    int64_t total = 0;
+    for (int64_t p : processed) total += p;
+    double reports_per_sec = static_cast<double>(total) / elapsed;
+    // An x-way generates vehicles_per_xway reports per (real-time) second.
+    double xways_supported = reports_per_sec / kVehiclesPerXway;
+    state.counters["reports_per_sec"] = reports_per_sec;
+    state.counters["xways_supported"] = xways_supported;
+    state.counters["xways_per_core"] = xways_supported / cores;
+    for (auto& store : stores) store->Stop();
+    state.ResumeTiming();
+  }
+}
+
+void AddArgs(benchmark::internal::Benchmark* b) {
+  // The partition sweep always runs: with >= 8 hardware cores it reproduces
+  // the paper's near-linear scaling; on a CPU-quota'd host (hardware
+  // concurrency below the partition count) the partitions timeshare, and
+  // the series instead demonstrates the shared-nothing property that
+  // aggregate capacity is conserved (no cross-partition coordination cost).
+  // EXPERIMENTS.md records which regime a given run was in.
+  unsigned hw = std::thread::hardware_concurrency();
+  b->Arg(1);
+  b->Arg(2);
+  b->Arg(4);
+  if (hw >= 8) b->Arg(8);
+}
+
+}  // namespace
+
+BENCHMARK(BM_LinearRoadScaling)
+    ->ArgName("cores")
+    ->Apply(AddArgs)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

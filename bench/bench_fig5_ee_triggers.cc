@@ -1,0 +1,81 @@
+// Figure 5 — Execution Engine triggers (paper §4.1).
+//
+// A single stored procedure pushes each input tuple through N query stages.
+// S-Store runs the stages as EE triggers cascading inside the EE (one
+// serialized PE->EE entry per transaction, automatic stream GC); H-Store
+// submits insert+delete per stage as separate execution batches, paying one
+// serialized PE<->EE round trip each.
+//
+// Paper shape: S-Store >= H-Store everywhere, ratio grows with the number
+// of EE triggers, reaching ~2.5x at 10 triggers.
+
+#include <benchmark/benchmark.h>
+
+#include "streaming/injector.h"
+#include "streaming/sstore.h"
+#include "workloads/microbench.h"
+
+namespace {
+
+using sstore::EeTriggerChain;
+using sstore::SStore;
+using sstore::StreamInjector;
+using sstore::Tuple;
+using sstore::Value;
+
+void BM_EeTriggers(benchmark::State& state) {
+  int num_stages = static_cast<int>(state.range(0));
+  bool use_sstore = state.range(1) == 1;
+
+  SStore store;
+  if (use_sstore) {
+    if (!EeTriggerChain::SetupSStore(&store, num_stages).ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+  } else {
+    if (!EeTriggerChain::SetupHStore(&store, num_stages).ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+  }
+  StreamInjector injector(&store.partition(),
+                          use_sstore ? "ingest_s" : "ingest_h");
+
+  int64_t x = 0;
+  for (auto _ : state) {
+    sstore::TxnOutcome out = injector.InjectSync({Value::BigInt(x++)});
+    if (!out.committed()) {
+      state.SkipWithError("transaction aborted");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["txn_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.counters["boundary_crossings_per_txn"] =
+      static_cast<double>(store.ee().stats().boundary_crossings) /
+      static_cast<double>(std::max<int64_t>(state.iterations(), 1));
+}
+
+}  // namespace
+
+// args: (num EE triggers / stages, 1 = S-Store | 0 = H-Store)
+BENCHMARK(BM_EeTriggers)
+    ->ArgNames({"triggers", "sstore"})
+    ->Args({1, 1})
+    ->Args({1, 0})
+    ->Args({2, 1})
+    ->Args({2, 0})
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Args({6, 1})
+    ->Args({6, 0})
+    ->Args({8, 1})
+    ->Args({8, 0})
+    ->Args({10, 1})
+    ->Args({10, 0})
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+#ifndef SSTORE_BASELINES_SPARK_SIM_H_
+#define SSTORE_BASELINES_SPARK_SIM_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sstore {
+
+/// A single-node simulation of Spark Streaming's discretized-stream model
+/// (paper §4.6.1 / §5), preserving the properties that drive Figure 10:
+///
+///  - state lives in *immutable, partitioned* RDDs: every update produces a
+///    new RDD, copying each modified partition (copy-on-write) and logging a
+///    lineage record;
+///  - there are *no indexes* over state: lookups are full scans;
+///  - computation is micro-batch-at-a-time: per-batch costs amortize, so
+///    map-reduce-friendly workloads (Figure 10's no-validation variant) are
+///    fast while per-tuple stateful lookups are catastrophic.
+
+/// Immutable partitioned dataset. Partitions are shared between RDD
+/// versions until modified.
+class Rdd {
+ public:
+  using PartitionPtr = std::shared_ptr<const std::vector<Tuple>>;
+
+  static std::shared_ptr<const Rdd> Empty(size_t num_partitions);
+
+  size_t num_partitions() const { return partitions_.size(); }
+  const std::vector<Tuple>& partition(size_t i) const { return *partitions_[i]; }
+  size_t TotalRows() const;
+  int64_t id() const { return id_; }
+
+  /// Functional append: rows are routed to partitions by `Hash(row[key_col])
+  /// % num_partitions`; each touched partition is copied in full (RDD
+  /// immutability), untouched partitions are shared. Returns the new RDD and
+  /// reports how many tuples were copied.
+  std::shared_ptr<const Rdd> WithAppended(const std::vector<Tuple>& rows,
+                                          size_t key_col,
+                                          size_t* tuples_copied) const;
+
+  /// Unindexed lookup: scans every partition for a row whose `col` equals
+  /// `v`. This is what makes per-vote validation O(total state) on Spark.
+  bool Contains(size_t col, const Value& v) const;
+
+ private:
+  Rdd() = default;
+  std::vector<PartitionPtr> partitions_;
+  int64_t id_ = 0;
+};
+
+/// Records the transformation DAG, as Spark must for fault tolerance; grows
+/// with every state update (one of the paper's criticisms of RDD-based
+/// state for fine-grained updates).
+class LineageLog {
+ public:
+  void Record(const std::string& op, int64_t out_id,
+              std::vector<int64_t> parents) {
+    entries_.push_back({op, out_id, std::move(parents)});
+  }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string op;
+    int64_t out_id;
+    std::vector<int64_t> parents;
+  };
+  std::vector<Entry> entries_;
+};
+
+struct SparkVoterConfig {
+  size_t state_partitions = 8;
+  /// Leaderboard window: 10-second windows sliding every 1 second — the
+  /// simplification the paper applies for Spark (§4.6.1). One micro-batch ==
+  /// one 1-second interval.
+  int window_intervals = 10;
+  /// Per-vote phone validation (Figure 10 variant A) or not (variant B).
+  bool validate = true;
+  /// Checkpoint (serialize state) every N micro-batches.
+  int checkpoint_every = 30;
+  /// Per-micro-batch driver overhead (DAG scheduling, task serialization and
+  /// launch), microseconds. Real Spark Streaming pays several milliseconds
+  /// per interval; 0 disables the model (unit tests).
+  int64_t driver_overhead_us = 0;
+};
+
+/// The Voter-with-Leaderboard benchmark expressed the Spark Streaming way:
+/// a single logical job per micro-batch that validates+records votes and
+/// maintains a time-windowed leaderboard via per-interval count maps.
+class SparkVoterJob {
+ public:
+  explicit SparkVoterJob(const SparkVoterConfig& config);
+
+  /// Processes one micro-batch (all votes of one interval). Returns the
+  /// number of accepted votes.
+  size_t ProcessBatch(const std::vector<Tuple>& votes);
+
+  /// Top-`n` (contestant, count) over the current window.
+  std::vector<std::pair<int64_t, int64_t>> Leaderboard(size_t n = 3) const;
+
+  struct Stats {
+    uint64_t batches = 0;
+    uint64_t votes_accepted = 0;
+    uint64_t votes_rejected = 0;
+    uint64_t tuples_copied = 0;      // COW overhead of RDD updates
+    uint64_t validation_scans = 0;   // full-state scans performed
+    uint64_t checkpoints = 0;
+    uint64_t checkpoint_bytes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  size_t lineage_size() const { return lineage_.size(); }
+  size_t state_rows() const { return votes_->TotalRows(); }
+
+ private:
+  void Checkpoint();
+
+  SparkVoterConfig config_;
+  std::shared_ptr<const Rdd> votes_;
+  /// Sliding window of per-interval vote counts (contestant -> count).
+  std::deque<std::map<int64_t, int64_t>> window_;
+  LineageLog lineage_;
+  Stats stats_;
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_BASELINES_SPARK_SIM_H_

@@ -1,0 +1,229 @@
+#include "baselines/storm_sim.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace sstore {
+
+void MemcachedSim::SpendRoundTrip() const {
+  if (rtt_micros_ <= 0) return;
+  auto until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(rtt_micros_);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+bool MemcachedSim::Get(const std::string& key, std::string* value) {
+  // Model the client->server protocol: the key is serialized on the way in
+  // and the value on the way out, and the caller pays the server round trip.
+  SpendRoundTrip();
+  ByteWriter request;
+  request.PutString(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++ops_;
+  bytes_ += request.size();
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  ByteWriter response;
+  response.PutString(it->second);
+  bytes_ += response.size();
+  if (value != nullptr) *value = it->second;
+  return true;
+}
+
+bool MemcachedSim::Add(const std::string& key, const std::string& value) {
+  SpendRoundTrip();
+  ByteWriter request;
+  request.PutString(key);
+  request.PutString(value);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++ops_;
+  bytes_ += request.size();
+  return map_.emplace(key, value).second;
+}
+
+void MemcachedSim::Put(const std::string& key, const std::string& value) {
+  SpendRoundTrip();
+  ByteWriter request;
+  request.PutString(key);
+  request.PutString(value);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++ops_;
+  bytes_ += request.size();
+  map_[key] = value;
+}
+
+namespace {
+
+// Accumulates hop-framing checksums so the modeled serialization work can't
+// be dead-code eliminated.
+std::atomic<uint64_t> g_hop_checksum{0};
+
+// Materialize + checksum one framed inter-executor message (see
+// StormVoterConfig::hop_envelope_bytes).
+void HopFramingCost(size_t envelope_bytes) {
+  if (envelope_bytes == 0) return;
+  static const std::vector<uint8_t> kPad(1 << 16, 0x5A);
+  ByteWriter frame;
+  frame.PutBytes(kPad.data(), std::min(envelope_bytes, kPad.size()));
+  uint64_t checksum = 14695981039346656037ull;
+  const std::vector<uint8_t>& bytes = frame.data();
+  size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes.data() + i, 8);
+    checksum = (checksum ^ word) * 1099511628211ull;
+  }
+  g_hop_checksum.fetch_xor(checksum, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+StormVoterTopology::StormVoterTopology(const StormVoterConfig& config)
+    : config_(config) {
+  state_.SetRoundTripMicros(config_.memcached_rtt_us);
+  if (!config_.log_path.empty()) {
+    log_file_ = std::fopen(config_.log_path.c_str(), "wb");
+  }
+}
+
+StormVoterTopology::~StormVoterTopology() {
+  Drain();
+  if (log_file_ != nullptr) std::fclose(log_file_);
+}
+
+void StormVoterTopology::Start() {
+  if (started_) return;
+  started_ = true;
+  validate_thread_ = std::thread([this] { ValidateLoop(); });
+  leaderboard_thread_ = std::thread([this] { LeaderboardLoop(); });
+  acker_thread_ = std::thread([this] { AckerLoop(); });
+}
+
+void StormVoterTopology::Push(Tuple vote) {
+  Message msg;
+  msg.message_id = next_message_id_++;
+  msg.vote = std::move(vote);
+  {
+    // Upstream backup: the spout holds the tuple until the acker confirms
+    // full processing.
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.emplace(msg.message_id, msg.vote);
+  }
+  ++stats_.emitted;
+  HopFramingCost(config_.hop_envelope_bytes);  // spout -> validate bolt
+  validate_queue_.Push(std::move(msg));
+}
+
+void StormVoterTopology::Drain() {
+  if (!started_) return;
+  validate_queue_.Close();
+  if (validate_thread_.joinable()) validate_thread_.join();
+  leaderboard_queue_.Close();
+  if (leaderboard_thread_.joinable()) leaderboard_thread_.join();
+  acker_queue_.Close();
+  if (acker_thread_.joinable()) acker_thread_.join();
+  started_ = false;
+}
+
+void StormVoterTopology::ValidateLoop() {
+  Message msg;
+  while (validate_queue_.Pop(&msg)) {
+    bool ok = true;
+    if (config_.validate) {
+      // Indexed external state (memcached): O(1) lookup, per-op
+      // serialization + server round trip.
+      std::string key = "phone:" + std::to_string(msg.vote[0].as_int64());
+      ok = state_.Add(key, std::to_string(msg.vote[1].as_int64()));
+    }
+    if (ok) {
+      ++stats_.accepted;
+      HopFramingCost(config_.hop_envelope_bytes);  // validate -> leaderboard
+      leaderboard_queue_.Push(std::move(msg));
+    } else {
+      ++stats_.rejected;
+      // Failed tuples are still acked (processed-and-rejected).
+      HopFramingCost(config_.hop_envelope_bytes);  // validate -> acker
+      acker_queue_.Push(msg.message_id);
+    }
+  }
+}
+
+void StormVoterTopology::LeaderboardLoop() {
+  Message msg;
+  std::vector<uint64_t> trident_batch;
+  while (leaderboard_queue_.Pop(&msg)) {
+    int64_t contestant = msg.vote[1].as_int64();
+    {
+      // Trident has no windowing: temporal state management by hand.
+      std::lock_guard<std::mutex> lock(window_mu_);
+      window_.push_back(contestant);
+      ++window_counts_[contestant];
+      while (window_.size() > static_cast<size_t>(config_.window_size)) {
+        int64_t expired = window_.front();
+        window_.pop_front();
+        if (--window_counts_[expired] == 0) window_counts_.erase(expired);
+      }
+    }
+    // Per-contestant running total in the external store.
+    std::string key = "count:" + std::to_string(contestant);
+    std::string value;
+    int64_t count = 0;
+    if (state_.Get(key, &value)) count = std::stoll(value);
+    state_.Put(key, std::to_string(count + 1));
+
+    trident_batch.push_back(msg.message_id);
+    if (trident_batch.size() >= config_.trident_batch) {
+      CommitTridentBatch(&trident_batch);
+    }
+  }
+  if (!trident_batch.empty()) CommitTridentBatch(&trident_batch);
+}
+
+void StormVoterTopology::CommitTridentBatch(std::vector<uint64_t>* batch_ids) {
+  // Exactly-once semantics: the batch commits with a transaction id; the
+  // processed tuples are logged asynchronously and then acked.
+  ++trident_txn_id_;
+  ++stats_.state_commits;
+  if (log_file_ != nullptr) {
+    ByteWriter w;
+    w.PutI64(trident_txn_id_);
+    w.PutU32(static_cast<uint32_t>(batch_ids->size()));
+    for (uint64_t id : *batch_ids) w.PutU64(id);
+    std::fwrite(w.data().data(), 1, w.size(), log_file_);  // async: no fsync
+    stats_.log_bytes += w.size();
+  }
+  for (uint64_t id : *batch_ids) {
+    HopFramingCost(config_.hop_envelope_bytes);  // leaderboard -> acker
+    acker_queue_.Push(id);
+  }
+  batch_ids->clear();
+}
+
+void StormVoterTopology::AckerLoop() {
+  uint64_t id;
+  while (acker_queue_.Pop(&id)) {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.erase(id);  // tuple fully processed; trim upstream backup
+    ++stats_.acked;
+  }
+}
+
+std::vector<std::pair<int64_t, int64_t>> StormVoterTopology::Leaderboard(
+    size_t n) const {
+  std::lock_guard<std::mutex> lock(window_mu_);
+  std::vector<std::pair<int64_t, int64_t>> out(window_counts_.begin(),
+                                               window_counts_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+}  // namespace sstore

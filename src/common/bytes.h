@@ -1,0 +1,86 @@
+#ifndef SSTORE_COMMON_BYTES_H_
+#define SSTORE_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sstore {
+
+/// Append-only binary encoder used by the command log, snapshots, and the
+/// PE<->EE boundary channel (which deliberately serializes every crossing to
+/// model H-Store's JNI boundary).
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutRaw(s.data(), s.size());
+  }
+  void PutBytes(const uint8_t* data, size_t len) { PutRaw(data, len); }
+  void PutValue(const Value& v);
+  void PutTuple(const Tuple& t);
+  void PutTuples(const std::vector<Tuple>& ts);
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+/// Sequential binary decoder matching ByteWriter. All getters return
+/// kCorruption when the buffer is exhausted or malformed instead of reading
+/// out of bounds.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+  Result<Value> GetValue();
+  Result<Tuple> GetTuple();
+  Result<std::vector<Tuple>> GetTuples();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status Need(size_t n) {
+    if (pos_ + n > size_) {
+      return Status::Corruption("byte buffer underrun");
+    }
+    return Status::OK();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_COMMON_BYTES_H_

@@ -1,0 +1,53 @@
+#ifndef SSTORE_COMMON_CLOCK_H_
+#define SSTORE_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace sstore {
+
+/// Time source abstraction. Time-based windows and the Linear Road workload
+/// need a clock they can drive deterministically in tests and compress in
+/// benchmarks; production paths use the wall clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Microseconds since this clock's epoch.
+  virtual int64_t NowMicros() const = 0;
+};
+
+/// Monotonic wall clock (epoch = first construction of the process clock).
+class WallClock : public Clock {
+ public:
+  WallClock() : origin_(std::chrono::steady_clock::now()) {}
+  int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// Manually advanced clock for deterministic tests and compressed
+/// simulations (e.g., 30 "minutes" of Linear Road traffic in seconds).
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(int64_t start_micros = 0) : now_(start_micros) {}
+  int64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void AdvanceMicros(int64_t delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void SetMicros(int64_t t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_COMMON_CLOCK_H_

@@ -1,0 +1,54 @@
+#ifndef SSTORE_COMMON_LATENCY_H_
+#define SSTORE_COMMON_LATENCY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sstore {
+
+/// Accumulates latency samples (microseconds) and reports percentiles.
+/// Used by the Figure 8/11 harnesses to enforce the paper's latency
+/// thresholds. Not thread-safe; use one per partition/client and merge.
+class LatencyRecorder {
+ public:
+  void Record(int64_t micros) { samples_.push_back(micros); }
+
+  void Merge(const LatencyRecorder& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  /// p in [0,100]. Returns 0 for an empty recorder.
+  int64_t Percentile(double p) {
+    if (samples_.empty()) return 0;
+    std::sort(samples_.begin(), samples_.end());
+    double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    size_t idx = static_cast<size_t>(rank);
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+  int64_t Max() const {
+    if (samples_.empty()) return 0;
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  double Mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0;
+    for (int64_t s : samples_) sum += static_cast<double>(s);
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  std::vector<int64_t> samples_;
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_COMMON_LATENCY_H_

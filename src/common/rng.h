@@ -1,0 +1,52 @@
+#ifndef SSTORE_COMMON_RNG_H_
+#define SSTORE_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace sstore {
+
+/// Small, fast, seedable PRNG (xorshift128+). Workload generators use this so
+/// benchmark inputs are reproducible across runs and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bull) {
+    s0_ = seed ^ 0x9e3779b97f4a7c15ull;
+    s1_ = (seed << 1) | 1;
+    // Warm up so nearby seeds diverge.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(
+                    static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_COMMON_RNG_H_

@@ -1,0 +1,157 @@
+#ifndef SSTORE_COMMON_STATUS_H_
+#define SSTORE_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sstore {
+
+/// Error categories used across the library. Fallible operations return a
+/// Status (or Result<T>) instead of throwing; this is the RocksDB/Arrow idiom
+/// for database libraries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kPermissionDenied,   // e.g., window accessed by a foreign stored procedure
+  kAborted,            // transaction aborted (user or conflict)
+  kConstraintViolation,  // unique index / integrity violation
+  kIOError,            // log / snapshot file failures
+  kCorruption,         // malformed on-disk or in-flight data
+  kNotSupported,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value. An OK status carries no
+/// allocation; error statuses carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsConstraintViolation() const {
+    return code_ == StatusCode::kConstraintViolation;
+  }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Holds either a value of type T or an error Status. Access to the value of
+/// a non-OK result is a programming error (checked in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` works in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit so `return Status::...;` works. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  /// Returns the value, or `fallback` when this result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sstore
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define SSTORE_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::sstore::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define SSTORE_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto SSTORE_CONCAT_(_res, __LINE__) = (expr);              \
+  if (!SSTORE_CONCAT_(_res, __LINE__).ok())                  \
+    return SSTORE_CONCAT_(_res, __LINE__).status();          \
+  lhs = std::move(SSTORE_CONCAT_(_res, __LINE__)).value()
+
+#define SSTORE_CONCAT_IMPL_(a, b) a##b
+#define SSTORE_CONCAT_(a, b) SSTORE_CONCAT_IMPL_(a, b)
+
+#endif  // SSTORE_COMMON_STATUS_H_

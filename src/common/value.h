@@ -1,0 +1,115 @@
+#ifndef SSTORE_COMMON_VALUE_H_
+#define SSTORE_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sstore {
+
+/// Column/value types supported by the storage and query layers.
+/// kTimestamp is microseconds since an arbitrary epoch (the simulated or wall
+/// clock origin), stored as int64.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBigInt = 1,
+  kDouble = 2,
+  kString = 3,
+  kTimestamp = 4,
+};
+
+/// Returns a stable name ("BIGINT", "DOUBLE", ...) for a ValueType.
+const char* ValueTypeToString(ValueType type);
+
+/// A dynamically typed SQL value. Values are ordered and hashable within the
+/// same type; cross-type comparison between kBigInt/kTimestamp and kDouble is
+/// performed numerically, any other cross-type comparison orders by type tag.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : type_(ValueType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value BigInt(int64_t v) { return Value(ValueType::kBigInt, v); }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = ValueType::kDouble;
+    out.data_ = v;
+    return out;
+  }
+  static Value String(std::string v) {
+    Value out;
+    out.type_ = ValueType::kString;
+    out.data_ = std::move(v);
+    return out;
+  }
+  static Value Timestamp(int64_t micros) {
+    return Value(ValueType::kTimestamp, micros);
+  }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  /// Accessors. Calling the wrong accessor for the stored type is a
+  /// programming error; as_int64 works for both kBigInt and kTimestamp.
+  int64_t as_int64() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: kBigInt/kTimestamp widened to double, kDouble as-is.
+  /// Returns an error for strings and NULL.
+  Result<double> ToNumeric() const;
+
+  /// Three-way comparison: negative, zero, positive (NULL sorts first).
+  int Compare(const Value& other) const;
+
+  bool Equals(const Value& other) const { return Compare(other) == 0; }
+
+  /// Stable hash usable for hash indexes (same value => same hash).
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Equals(b);
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return !a.Equals(b);
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) < 0;
+  }
+
+ private:
+  Value(ValueType type, int64_t v) : type_(type), data_(v) {}
+
+  ValueType type_;
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+/// A row: a flat sequence of values. Schema interpretation lives in
+/// storage::Schema; Tuple itself is schema-agnostic.
+using Tuple = std::vector<Value>;
+
+/// Hash of a full tuple (order-sensitive combination of per-value hashes).
+size_t HashTuple(const Tuple& tuple);
+
+/// Renders "(v1, v2, ...)" for debugging and error messages.
+std::string TupleToString(const Tuple& tuple);
+
+/// Functor for using Value as a hash-map key.
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Functor for using Tuple as a hash-map key.
+struct TupleHasher {
+  size_t operator()(const Tuple& t) const { return HashTuple(t); }
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_COMMON_VALUE_H_

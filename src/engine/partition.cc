@@ -1,0 +1,377 @@
+#include "engine/partition.h"
+
+#include <chrono>
+#include <utility>
+
+namespace sstore {
+
+const char* SpKindToString(SpKind kind) {
+  switch (kind) {
+    case SpKind::kOltp:
+      return "OLTP";
+    case SpKind::kBorder:
+      return "BORDER";
+    case SpKind::kInterior:
+      return "INTERIOR";
+  }
+  return "UNKNOWN";
+}
+
+TxnOutcome TxnTicket::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return outcome_;
+}
+
+bool TxnTicket::TryGet(TxnOutcome* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!done_) return false;
+  *out = outcome_;
+  return true;
+}
+
+void TxnTicket::Fulfill(TxnOutcome outcome) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    outcome_ = std::move(outcome);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+Partition::Partition(int partition_id)
+    : partition_id_(partition_id), ee_(&catalog_) {}
+
+Partition::~Partition() { Stop(); }
+
+Status Partition::RegisterProcedure(const std::string& name, SpKind kind,
+                                    std::shared_ptr<StoredProcedure> proc) {
+  if (proc == nullptr) {
+    return Status::InvalidArgument("null stored procedure");
+  }
+  if (procs_.find(name) != procs_.end()) {
+    return Status::AlreadyExists("procedure '" + name + "' already registered");
+  }
+  procs_.emplace(name, ProcEntry{std::move(proc), kind});
+  return Status::OK();
+}
+
+Result<SpKind> Partition::ProcedureKind(const std::string& name) const {
+  auto it = procs_.find(name);
+  if (it == procs_.end()) {
+    return Status::NotFound("no procedure named '" + name + "'");
+  }
+  return it->second.kind;
+}
+
+bool Partition::HasProcedure(const std::string& name) const {
+  return procs_.find(name) != procs_.end();
+}
+
+TicketPtr Partition::SubmitAsync(Invocation inv) {
+  auto ticket = std::make_shared<TxnTicket>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Task task;
+    task.invocations.push_back(std::move(inv));
+    task.ticket = ticket;
+    queue_.push_back(std::move(task));
+    ++stats_.client_requests;
+  }
+  cv_.notify_one();
+  return ticket;
+}
+
+namespace {
+
+// Busy-spin for the modeled client-side network turnaround. A spin keeps
+// microsecond accuracy (sleep granularity is far coarser) and matches what
+// the client core would spend in its RPC stack.
+void SpendClientRoundTrip(int64_t micros) {
+  if (micros <= 0) return;
+  auto until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(micros);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+}  // namespace
+
+TxnOutcome Partition::ExecuteSync(const std::string& proc, Tuple params,
+                                  int64_t batch_id) {
+  Invocation inv{proc, std::move(params), batch_id};
+  if (!running()) {
+    // Inline mode for single-threaded tests and recovery replay: run the
+    // transaction and then drain anything PE triggers enqueued.
+    TxnOutcome outcome = RunInline(inv);
+    DrainQueueInline();
+    return outcome;
+  }
+  TxnOutcome outcome = SubmitAsync(std::move(inv))->Wait();
+  SpendClientRoundTrip(client_rtt_micros_);
+  return outcome;
+}
+
+TicketPtr Partition::SubmitNestedAsync(std::vector<Invocation> children) {
+  auto ticket = std::make_shared<TxnTicket>();
+  if (children.empty()) {
+    ticket->Fulfill(TxnOutcome{
+        Status::InvalidArgument("nested transaction needs children"), {}, 0});
+    return ticket;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Task task;
+    task.invocations = std::move(children);
+    task.ticket = ticket;
+    queue_.push_back(std::move(task));
+    ++stats_.client_requests;
+  }
+  cv_.notify_one();
+  return ticket;
+}
+
+TxnOutcome Partition::ExecuteNestedSync(std::vector<Invocation> children) {
+  if (!running()) {
+    Task task;
+    task.invocations = std::move(children);
+    task.ticket = std::make_shared<TxnTicket>();
+    RunTask(task);
+    DrainQueueInline();
+    TxnOutcome out;
+    task.ticket->TryGet(&out);
+    return out;
+  }
+  TxnOutcome outcome = SubmitNestedAsync(std::move(children))->Wait();
+  SpendClientRoundTrip(client_rtt_micros_);
+  return outcome;
+}
+
+void Partition::EnqueueFront(Invocation inv) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Task task;
+    task.invocations.push_back(std::move(inv));
+    queue_.push_front(std::move(task));
+    ++stats_.internal_requests;
+  }
+  cv_.notify_one();
+}
+
+void Partition::EnqueueBack(Invocation inv) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Task task;
+    task.invocations.push_back(std::move(inv));
+    queue_.push_back(std::move(task));
+    ++stats_.internal_requests;
+  }
+  cv_.notify_one();
+}
+
+void Partition::Start() {
+  if (running()) return;
+  stop_requested_ = false;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void Partition::Stop() {
+  if (!running()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Task task;
+    task.stop = true;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  worker_.join();
+}
+
+void Partition::WorkerLoop() {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Idle moment: group-commit boundary. Flush the log so no commit
+      // acknowledgment is delayed past the queue running dry.
+      if (queue_.empty() && log_ != nullptr && log_->pending() > 0) {
+        lock.unlock();
+        log_->Flush().ok();
+        lock.lock();
+      }
+      cv_.wait(lock, [this] { return !queue_.empty(); });
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (task.stop) {
+      if (log_ != nullptr) log_->Flush().ok();
+      return;
+    }
+    RunTask(task);
+  }
+}
+
+void Partition::RunTask(Task& task) {
+  TxnOutcome outcome;
+  if (task.invocations.size() == 1) {
+    TransactionExecution* te = nullptr;
+    outcome = ExecuteInvocation(task.invocations[0], &te,
+                                /*defer_commit_side_effects=*/false);
+  } else {
+    // Nested transaction (paper §2.3): children run back-to-back; commit is
+    // all-or-nothing. Undo logs are retained until the group outcome is
+    // known; commit-side effects (log records, PE triggers) apply in order
+    // only after every child has committed.
+    ++stats_.nested_groups;
+    std::vector<std::unique_ptr<TransactionExecution>> tes;
+    Status failure = Status::OK();
+    for (const Invocation& child : task.invocations) {
+      auto it = procs_.find(child.proc);
+      if (it == procs_.end()) {
+        failure = Status::NotFound("no procedure named '" + child.proc + "'");
+        break;
+      }
+      auto te = std::make_unique<TransactionExecution>(
+          next_txn_id_++, child.proc, child.params, child.batch_id);
+      ProcContext ctx(this, &ee_, te.get());
+      Status st = it->second.proc->Run(ctx);
+      if (!st.ok()) {
+        te->undo().Rollback().ok();
+        failure = st;
+        break;
+      }
+      tes.push_back(std::move(te));
+    }
+    if (!failure.ok()) {
+      // Roll back already-executed children, newest first.
+      for (auto it = tes.rbegin(); it != tes.rend(); ++it) {
+        (*it)->undo().Rollback().ok();
+      }
+      stats_.aborted += task.invocations.size();
+      outcome.status = failure;
+    } else {
+      for (auto& te : tes) {
+        SpKind kind = procs_.find(te->proc_name())->second.kind;
+        Status log_st = LogCommit(*te, kind);
+        if (!log_st.ok()) {
+          outcome.status = log_st;
+          break;
+        }
+      }
+      if (outcome.status.ok()) {
+        for (auto& te : tes) {
+          te->undo().Release();
+          ++stats_.committed;
+          outcome.txn_id = te->txn_id();
+          for (Tuple& row : te->output()) {
+            outcome.output.push_back(std::move(row));
+          }
+        }
+        // Hooks fire after the whole group committed, preserving the
+        // nested transaction's isolation unit.
+        for (auto& te : tes) FireCommitHooks(*te);
+      }
+    }
+  }
+
+  if (task.ticket != nullptr) task.ticket->Fulfill(std::move(outcome));
+}
+
+TxnOutcome Partition::ExecuteInvocation(const Invocation& inv,
+                                        TransactionExecution** te_out,
+                                        bool defer_commit_side_effects) {
+  TxnOutcome outcome;
+  auto it = procs_.find(inv.proc);
+  if (it == procs_.end()) {
+    outcome.status = Status::NotFound("no procedure named '" + inv.proc + "'");
+    return outcome;
+  }
+  TransactionExecution te(next_txn_id_++, inv.proc, inv.params, inv.batch_id);
+  if (te_out != nullptr) *te_out = &te;
+  ProcContext ctx(this, &ee_, &te);
+  Status st = it->second.proc->Run(ctx);
+  outcome.txn_id = te.txn_id();
+  if (!st.ok()) {
+    Status undo_st = te.undo().Rollback();
+    ++stats_.aborted;
+    outcome.status = undo_st.ok() ? st : undo_st;
+    return outcome;
+  }
+  if (!defer_commit_side_effects) {
+    Status log_st = LogCommit(te, it->second.kind);
+    if (!log_st.ok()) {
+      te.undo().Rollback().ok();
+      ++stats_.aborted;
+      outcome.status = log_st;
+      return outcome;
+    }
+    te.undo().Release();
+    ++stats_.committed;
+    outcome.output = std::move(te.output());
+    FireCommitHooks(te);
+  }
+  return outcome;
+}
+
+bool Partition::ShouldLog(SpKind kind) const {
+  if (log_ == nullptr) return false;
+  if (recovery_mode_ == RecoveryMode::kStrong) return true;
+  return kind != SpKind::kInterior;  // weak recovery: upstream backup
+}
+
+Status Partition::LogCommit(const TransactionExecution& te, SpKind kind) {
+  if (!ShouldLog(kind)) return Status::OK();
+  LogRecord record;
+  record.txn_id = te.txn_id();
+  record.proc = te.proc_name();
+  record.params = te.params();
+  record.batch_id = te.batch_id();
+  record.sp_kind = static_cast<uint8_t>(kind);
+  return log_->Append(record);
+}
+
+void Partition::FireCommitHooks(const TransactionExecution& te) {
+  for (const CommitHook& hook : commit_hooks_) hook(*this, te);
+}
+
+TxnOutcome Partition::RunInline(const Invocation& inv) {
+  TransactionExecution* te = nullptr;
+  return ExecuteInvocation(inv, &te, /*defer_commit_side_effects=*/false);
+}
+
+size_t Partition::DrainQueueInline() {
+  size_t executed = 0;
+  while (true) {
+    Task task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) break;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (task.stop) continue;
+    RunTask(task);
+    ++executed;
+  }
+  return executed;
+}
+
+void Partition::AttachCommandLog(std::unique_ptr<CommandLog> log,
+                                 RecoveryMode mode) {
+  log_ = std::move(log);
+  recovery_mode_ = mode;
+}
+
+Status Partition::DetachCommandLog() {
+  if (log_ == nullptr) return Status::OK();
+  Status st = log_->Close();
+  log_.reset();
+  return st;
+}
+
+size_t Partition::QueueDepth() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace sstore

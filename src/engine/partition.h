@@ -1,0 +1,222 @@
+#ifndef SSTORE_ENGINE_PARTITION_H_
+#define SSTORE_ENGINE_PARTITION_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/execution_engine.h"
+#include "engine/procedure.h"
+#include "engine/txn.h"
+#include "log/command_log.h"
+#include "storage/catalog.h"
+
+namespace sstore {
+
+/// Recovery mode (paper §2.4 / §3.2.5) — decides which stored-procedure
+/// kinds the command log records during normal operation.
+enum class RecoveryMode {
+  kStrong,  // log every transaction (OLTP + border + interior)
+  kWeak,    // log OLTP + border only; interior TEs regenerate via PE triggers
+};
+
+/// A request to execute one stored procedure.
+struct Invocation {
+  std::string proc;
+  Tuple params;
+  int64_t batch_id = 0;
+};
+
+/// Completion handle for an asynchronously submitted transaction. The
+/// client blocks in Wait(); the partition worker fulfills it after commit
+/// (and, when logging, after the commit record is durable). This handoff is
+/// the client<->PE round trip whose cost Figures 6 and 8 measure.
+class TxnTicket {
+ public:
+  TxnOutcome Wait();
+  bool TryGet(TxnOutcome* out);
+
+ private:
+  friend class Partition;
+  void Fulfill(TxnOutcome outcome);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  TxnOutcome outcome_;
+};
+
+using TicketPtr = std::shared_ptr<TxnTicket>;
+
+/// Fired on the worker thread after a transaction commits; the streaming
+/// layer uses this to implement PE triggers.
+using CommitHook =
+    std::function<void(Partition& partition, const TransactionExecution& te)>;
+
+/// One H-Store/S-Store partition: a catalog slice, an execution engine, a
+/// transaction request queue, and a single worker thread that executes
+/// transactions serially (paper §3.1: single-sited transactions run serially,
+/// eliminating fine-grained locks and latches).
+///
+/// The S-Store streaming scheduler (paper §3.2.4) is realized by
+/// EnqueueFront: PE-triggered transactions are fast-tracked to the front of
+/// the request queue, so a workflow's TEs run back-to-back without foreign
+/// transactions interleaving.
+class Partition {
+ public:
+  explicit Partition(int partition_id = 0);
+  ~Partition();
+
+  Partition(const Partition&) = delete;
+  Partition& operator=(const Partition&) = delete;
+
+  int partition_id() const { return partition_id_; }
+  Catalog& catalog() { return catalog_; }
+  ExecutionEngine& ee() { return ee_; }
+
+  // ---- Procedure registry ----
+
+  Status RegisterProcedure(const std::string& name, SpKind kind,
+                           std::shared_ptr<StoredProcedure> proc);
+  Result<SpKind> ProcedureKind(const std::string& name) const;
+  bool HasProcedure(const std::string& name) const;
+
+  // ---- Client API (any thread) ----
+
+  /// Enqueues at the back of the FIFO queue (ordinary client request).
+  TicketPtr SubmitAsync(Invocation inv);
+
+  /// Submit + Wait: the H-Store client pattern, paying a full round trip.
+  TxnOutcome ExecuteSync(const std::string& proc, Tuple params,
+                         int64_t batch_id = 0);
+
+  /// Submits a nested transaction (paper §2.3): the children execute
+  /// back-to-back as one isolation unit; if any child aborts, all children
+  /// roll back; commit hooks and log records apply only when all commit.
+  TicketPtr SubmitNestedAsync(std::vector<Invocation> children);
+  TxnOutcome ExecuteNestedSync(std::vector<Invocation> children);
+
+  // ---- Internal API (worker thread: PE triggers; or inline mode) ----
+
+  /// Streaming-scheduler fast-track: enqueue at the *front* of the queue.
+  void EnqueueFront(Invocation inv);
+  /// Internal enqueue preserving FIFO order.
+  void EnqueueBack(Invocation inv);
+
+  void AddCommitHook(CommitHook hook) {
+    commit_hooks_.push_back(std::move(hook));
+  }
+
+  /// Models the client<->PE round-trip cost of a real deployment (network
+  /// stack + client-side serialization). Applied on the *caller's* side of
+  /// every synchronous execution when the worker thread is running; the
+  /// engine itself is never slowed. Figures 6/8/9(b) use this: H-Store-style
+  /// clients pay it once per transaction, S-Store's PE triggers never do.
+  /// Default 0 (pure thread handoff).
+  void SetClientRoundTripMicros(int64_t micros) { client_rtt_micros_ = micros; }
+  int64_t client_round_trip_micros() const { return client_rtt_micros_; }
+
+  /// Consulted by ProcContext::table on every lookup; returning non-OK
+  /// denies the access. The streaming layer installs window scoping here.
+  using TableAccessGuard =
+      std::function<Status(const Table& table, const std::string& proc_name)>;
+  void SetTableAccessGuard(TableAccessGuard guard) {
+    access_guard_ = std::move(guard);
+  }
+  const TableAccessGuard& table_access_guard() const { return access_guard_; }
+
+  // ---- Lifecycle ----
+
+  void Start();
+  void Stop();
+  bool running() const { return worker_.joinable(); }
+
+  /// Executes an invocation synchronously on the calling thread, bypassing
+  /// the queue. Valid only when the worker is not running (recovery replay,
+  /// single-threaded tests) or from within the worker thread itself.
+  TxnOutcome RunInline(const Invocation& inv);
+
+  /// Runs queued tasks on the calling thread until the queue is empty.
+  /// Valid only when the worker is not running. Returns tasks executed.
+  size_t DrainQueueInline();
+
+  // ---- Durability ----
+
+  /// Attaches a command log. `mode` selects which SpKinds get logged.
+  void AttachCommandLog(std::unique_ptr<CommandLog> log, RecoveryMode mode);
+  CommandLog* command_log() { return log_.get(); }
+  RecoveryMode recovery_mode() const { return recovery_mode_; }
+  /// Detaches and closes the current command log (used before replay).
+  Status DetachCommandLog();
+
+  // ---- Stats ----
+
+  struct Stats {
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    uint64_t client_requests = 0;
+    uint64_t internal_requests = 0;
+    uint64_t nested_groups = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+  /// Depth of the request queue (approximate; for backpressure in clients).
+  size_t QueueDepth();
+
+ private:
+  struct Task {
+    std::vector<Invocation> invocations;  // >1 == nested transaction
+    TicketPtr ticket;                     // null for internal (PE-triggered)
+    bool stop = false;
+  };
+
+  void WorkerLoop();
+  void RunTask(Task& task);
+  /// Executes one invocation; on commit appends to the command log (by
+  /// policy) and fires commit hooks. `defer_commit_side_effects` is used by
+  /// nested execution to postpone logging/hooks until the whole group is
+  /// known to commit.
+  TxnOutcome ExecuteInvocation(const Invocation& inv,
+                               TransactionExecution** te_out,
+                               bool defer_commit_side_effects);
+  bool ShouldLog(SpKind kind) const;
+  Status LogCommit(const TransactionExecution& te, SpKind kind);
+  void FireCommitHooks(const TransactionExecution& te);
+
+  int partition_id_;
+  Catalog catalog_;
+  ExecutionEngine ee_;
+
+  struct ProcEntry {
+    std::shared_ptr<StoredProcedure> proc;
+    SpKind kind;
+  };
+  std::unordered_map<std::string, ProcEntry> procs_;
+  std::vector<CommitHook> commit_hooks_;
+  TableAccessGuard access_guard_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  std::thread worker_;
+  bool stop_requested_ = false;
+
+  std::unique_ptr<CommandLog> log_;
+  RecoveryMode recovery_mode_ = RecoveryMode::kStrong;
+
+  int64_t next_txn_id_ = 1;
+  int64_t client_rtt_micros_ = 0;
+  Stats stats_;
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_ENGINE_PARTITION_H_

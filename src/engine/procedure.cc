@@ -1,0 +1,16 @@
+#include "engine/procedure.h"
+
+#include "engine/partition.h"
+
+namespace sstore {
+
+Result<Table*> ProcContext::table(const std::string& name) {
+  SSTORE_ASSIGN_OR_RETURN(Table * t, ee_->catalog()->GetTable(name));
+  if (partition_ != nullptr && partition_->table_access_guard() != nullptr) {
+    SSTORE_RETURN_NOT_OK(
+        partition_->table_access_guard()(*t, te_->proc_name()));
+  }
+  return t;
+}
+
+}  // namespace sstore

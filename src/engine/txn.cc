@@ -1,0 +1,45 @@
+#include "engine/txn.h"
+
+namespace sstore {
+
+Status UndoLog::Rollback() {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    Record& r = *it;
+    switch (r.kind) {
+      case Kind::kInsert: {
+        Result<Tuple> removed = r.table->Delete(r.rid);
+        if (!removed.ok()) {
+          return Status::Internal("undo insert failed: " +
+                                  removed.status().ToString());
+        }
+        break;
+      }
+      case Kind::kDelete: {
+        Status st = r.table->UndoDeleteAt(r.rid, std::move(r.before), r.meta);
+        if (!st.ok()) {
+          return Status::Internal("undo delete failed: " + st.ToString());
+        }
+        break;
+      }
+      case Kind::kUpdate: {
+        Result<Tuple> prev = r.table->Update(r.rid, std::move(r.before));
+        if (!prev.ok()) {
+          return Status::Internal("undo update failed: " +
+                                  prev.status().ToString());
+        }
+        break;
+      }
+      case Kind::kActivate: {
+        Status st = r.table->SetActive(r.rid, r.meta.active);
+        if (!st.ok()) {
+          return Status::Internal("undo activate failed: " + st.ToString());
+        }
+        break;
+      }
+    }
+  }
+  records_.clear();
+  return Status::OK();
+}
+
+}  // namespace sstore

@@ -1,0 +1,116 @@
+#ifndef SSTORE_ENGINE_TXN_H_
+#define SSTORE_ENGINE_TXN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "query/mutation_log.h"
+#include "storage/table.h"
+
+namespace sstore {
+
+/// The result handed back to whoever invoked a transaction: commit/abort
+/// status plus any rows the stored procedure chose to return.
+struct TxnOutcome {
+  Status status;
+  std::vector<Tuple> output;
+  int64_t txn_id = 0;
+
+  bool committed() const { return status.ok(); }
+};
+
+/// Before-image log for one transaction execution. The Executor reports
+/// every mutation here; on abort the records are replayed in reverse. Serial
+/// per-partition execution means there is never more than one open undo log
+/// per partition (H-Store's design), but nested transactions stack several
+/// committed-but-not-released logs until the group commits.
+class UndoLog : public MutationLog {
+ public:
+  UndoLog() = default;
+  UndoLog(const UndoLog&) = delete;
+  UndoLog& operator=(const UndoLog&) = delete;
+
+  void RecordInsert(Table* table, RowId rid) override {
+    records_.push_back(Record{Kind::kInsert, table, rid, {}, {}});
+  }
+  void RecordDelete(Table* table, RowId rid, Tuple before,
+                    RowMeta meta) override {
+    records_.push_back(Record{Kind::kDelete, table, rid, std::move(before), meta});
+  }
+  void RecordUpdate(Table* table, RowId rid, Tuple before) override {
+    records_.push_back(Record{Kind::kUpdate, table, rid, std::move(before), {}});
+  }
+  void RecordActivate(Table* table, RowId rid, bool was_active) override {
+    Record r{Kind::kActivate, table, rid, {}, {}};
+    r.meta.active = was_active;
+    records_.push_back(std::move(r));
+  }
+
+  /// Rolls back all recorded mutations, newest first, and clears the log.
+  /// Undo of storage operations cannot fail unless the engine is corrupted;
+  /// any such failure is returned as kInternal.
+  Status Rollback();
+
+  /// Discards the log after a successful commit.
+  void Release() { records_.clear(); }
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+ private:
+  enum class Kind { kInsert, kDelete, kUpdate, kActivate };
+  struct Record {
+    Kind kind;
+    Table* table;
+    RowId rid;
+    Tuple before;
+    RowMeta meta;
+  };
+
+  std::vector<Record> records_;
+};
+
+/// One transaction execution (TE, paper §2.1): a specific run of a stored
+/// procedure over one atomic batch (streaming) or one client request (OLTP).
+class TransactionExecution {
+ public:
+  TransactionExecution(int64_t txn_id, std::string proc_name, Tuple params,
+                       int64_t batch_id)
+      : txn_id_(txn_id),
+        proc_name_(std::move(proc_name)),
+        params_(std::move(params)),
+        batch_id_(batch_id) {}
+
+  int64_t txn_id() const { return txn_id_; }
+  const std::string& proc_name() const { return proc_name_; }
+  const Tuple& params() const { return params_; }
+  int64_t batch_id() const { return batch_id_; }
+
+  UndoLog& undo() { return undo_; }
+
+  /// Streams this TE appended batches to (drives PE triggers at commit).
+  void NoteEmit(const std::string& stream, int64_t batch_id) {
+    emitted_.push_back({stream, batch_id});
+  }
+  const std::vector<std::pair<std::string, int64_t>>& emitted() const {
+    return emitted_;
+  }
+
+  std::vector<Tuple>& output() { return output_; }
+
+ private:
+  int64_t txn_id_;
+  std::string proc_name_;
+  Tuple params_;
+  int64_t batch_id_;
+  UndoLog undo_;
+  std::vector<std::pair<std::string, int64_t>> emitted_;
+  std::vector<Tuple> output_;
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_ENGINE_TXN_H_

@@ -1,0 +1,148 @@
+#include "log/command_log.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+namespace sstore {
+
+namespace {
+
+constexpr uint32_t kRecordMagic = 0x534c4f47;  // "SLOG"
+
+// Cheap frame checksum (FNV-1a 32-bit) over the record payload.
+uint32_t Checksum(const uint8_t* data, size_t len) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+void EncodeRecord(const LogRecord& r, ByteWriter* out) {
+  ByteWriter payload;
+  payload.PutI64(r.txn_id);
+  payload.PutString(r.proc);
+  payload.PutTuple(r.params);
+  payload.PutI64(r.batch_id);
+  payload.PutU8(r.sp_kind);
+  const std::vector<uint8_t>& bytes = payload.data();
+  out->PutU32(kRecordMagic);
+  out->PutU32(static_cast<uint32_t>(bytes.size()));
+  out->PutU32(Checksum(bytes.data(), bytes.size()));
+  for (uint8_t b : bytes) out->PutU8(b);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<CommandLog>> CommandLog::Open(Options options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("command log requires a path");
+  }
+  if (options.group_size == 0) {
+    return Status::InvalidArgument("group_size must be >= 1");
+  }
+  std::unique_ptr<CommandLog> log(new CommandLog(options));
+  log->file_ = std::fopen(options.path.c_str(), "wb");
+  if (log->file_ == nullptr) {
+    return Status::IOError("cannot open command log at " + options.path);
+  }
+  return log;
+}
+
+CommandLog::~CommandLog() { Close().ok(); }
+
+Status CommandLog::Append(const LogRecord& record, bool* flushed) {
+  if (file_ == nullptr) {
+    return Status::IOError("command log is closed");
+  }
+  EncodeRecord(record, &buffer_);
+  ++pending_;
+  ++records_appended_;
+  bool do_flush = pending_ >= options_.group_size;
+  if (flushed != nullptr) *flushed = do_flush;
+  if (do_flush) return Flush();
+  return Status::OK();
+}
+
+Status CommandLog::Flush() {
+  if (file_ == nullptr) {
+    return Status::IOError("command log is closed");
+  }
+  if (pending_ == 0) return Status::OK();
+  const std::vector<uint8_t>& bytes = buffer_.data();
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file_);
+  if (written != bytes.size()) {
+    return Status::IOError("short write to command log");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("fflush failed on command log");
+  }
+  if (options_.sync) {
+    if (fsync(fileno(file_)) != 0) {
+      return Status::IOError("fsync failed on command log");
+    }
+  }
+  bytes_written_ += bytes.size();
+  buffer_.Clear();
+  pending_ = 0;
+  ++flush_count_;
+  return Status::OK();
+}
+
+Status CommandLog::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status st = Flush();
+  std::fclose(file_);
+  file_ = nullptr;
+  return st;
+}
+
+Result<std::vector<LogRecord>> CommandLog::ReadAll(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open command log at " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (size > 0 && std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    std::fclose(f);
+    return Status::IOError("short read from command log");
+  }
+  std::fclose(f);
+
+  std::vector<LogRecord> records;
+  ByteReader reader(bytes);
+  while (!reader.AtEnd()) {
+    SSTORE_ASSIGN_OR_RETURN(uint32_t magic, reader.GetU32());
+    if (magic != kRecordMagic) {
+      return Status::Corruption("bad record magic in command log");
+    }
+    SSTORE_ASSIGN_OR_RETURN(uint32_t len, reader.GetU32());
+    SSTORE_ASSIGN_OR_RETURN(uint32_t checksum, reader.GetU32());
+    if (reader.remaining() < len) {
+      return Status::Corruption("truncated record in command log");
+    }
+    std::vector<uint8_t> payload(len);
+    for (uint32_t i = 0; i < len; ++i) {
+      SSTORE_ASSIGN_OR_RETURN(payload[i], reader.GetU8());
+    }
+    if (Checksum(payload.data(), payload.size()) != checksum) {
+      return Status::Corruption("checksum mismatch in command log");
+    }
+    ByteReader pr(payload);
+    LogRecord r;
+    SSTORE_ASSIGN_OR_RETURN(r.txn_id, pr.GetI64());
+    SSTORE_ASSIGN_OR_RETURN(r.proc, pr.GetString());
+    SSTORE_ASSIGN_OR_RETURN(r.params, pr.GetTuple());
+    SSTORE_ASSIGN_OR_RETURN(r.batch_id, pr.GetI64());
+    SSTORE_ASSIGN_OR_RETURN(r.sp_kind, pr.GetU8());
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+}  // namespace sstore

@@ -1,0 +1,127 @@
+#include "log/snapshot.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace sstore {
+
+namespace {
+
+constexpr uint64_t kSnapshotMagic = 0x53534e415053484full;  // "SSNAPSHO"
+
+std::atomic<uint64_t> g_snapshot_epoch{1};
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open snapshot at " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (size > 0 && std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    std::fclose(f);
+    return Status::IOError("short read from snapshot");
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+}  // namespace
+
+Status SnapshotManager::WriteSnapshot(const std::string& path,
+                                      const Catalog& catalog) {
+  ByteWriter out;
+  out.PutU64(kSnapshotMagic);
+  out.PutU64(g_snapshot_epoch.fetch_add(1));
+  std::vector<std::string> names = catalog.TableNames();
+  out.PutU32(static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    Result<Table*> table = catalog.GetTable(name);
+    if (!table.ok()) return table.status();
+    out.PutString(name);
+    out.PutU8(static_cast<uint8_t>((*table)->kind()));
+    (*table)->SerializeTo(&out);
+  }
+
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create snapshot at " + tmp);
+  }
+  const std::vector<uint8_t>& bytes = out.data();
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  if (written != bytes.size()) {
+    std::fclose(f);
+    return Status::IOError("short write to snapshot");
+  }
+  if (std::fflush(f) != 0 || fsync(fileno(f)) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot sync snapshot");
+  }
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("cannot rename snapshot into place");
+  }
+  return Status::OK();
+}
+
+Status SnapshotManager::RestoreSnapshot(const std::string& path,
+                                        Catalog* catalog) {
+  SSTORE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+  ByteReader in(bytes);
+  SSTORE_ASSIGN_OR_RETURN(uint64_t magic, in.GetU64());
+  if (magic != kSnapshotMagic) {
+    return Status::Corruption("bad snapshot magic");
+  }
+  SSTORE_ASSIGN_OR_RETURN(uint64_t epoch, in.GetU64());
+  (void)epoch;
+  SSTORE_ASSIGN_OR_RETURN(uint32_t n, in.GetU32());
+
+  std::vector<std::string> restored;
+  for (uint32_t i = 0; i < n; ++i) {
+    SSTORE_ASSIGN_OR_RETURN(std::string name, in.GetString());
+    SSTORE_ASSIGN_OR_RETURN(uint8_t kind, in.GetU8());
+    SSTORE_ASSIGN_OR_RETURN(Table * table, catalog->GetTable(name));
+    if (static_cast<uint8_t>(table->kind()) != kind) {
+      return Status::Corruption("snapshot table kind mismatch for '" + name +
+                                "'");
+    }
+    SSTORE_RETURN_NOT_OK(table->DeserializeContentsFrom(&in));
+    restored.push_back(name);
+  }
+  // Clear tables that existed at snapshot-restore time but were empty /
+  // absent in the snapshot.
+  for (const std::string& name : catalog->TableNames()) {
+    bool in_snapshot = false;
+    for (const std::string& r : restored) {
+      if (r == name) {
+        in_snapshot = true;
+        break;
+      }
+    }
+    if (!in_snapshot) {
+      SSTORE_ASSIGN_OR_RETURN(Table * table, catalog->GetTable(name));
+      table->Clear();
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> SnapshotManager::ReadEpoch(const std::string& path) {
+  SSTORE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+  ByteReader in(bytes);
+  SSTORE_ASSIGN_OR_RETURN(uint64_t magic, in.GetU64());
+  if (magic != kSnapshotMagic) {
+    return Status::Corruption("bad snapshot magic");
+  }
+  return in.GetU64();
+}
+
+}  // namespace sstore

@@ -1,0 +1,25 @@
+#ifndef SSTORE_QUERY_MUTATION_LOG_H_
+#define SSTORE_QUERY_MUTATION_LOG_H_
+
+#include "common/value.h"
+#include "storage/table.h"
+
+namespace sstore {
+
+/// Receives before-images of every mutation the Executor performs so the
+/// engine's transactions can roll back on abort. The engine implements this;
+/// passing nullptr to the Executor runs mutations without undo support
+/// (used by recovery replay and the baseline simulators).
+class MutationLog {
+ public:
+  virtual ~MutationLog() = default;
+  virtual void RecordInsert(Table* table, RowId rid) = 0;
+  virtual void RecordDelete(Table* table, RowId rid, Tuple before,
+                            RowMeta meta) = 0;
+  virtual void RecordUpdate(Table* table, RowId rid, Tuple before) = 0;
+  virtual void RecordActivate(Table* table, RowId rid, bool was_active) = 0;
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_QUERY_MUTATION_LOG_H_

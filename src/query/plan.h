@@ -1,0 +1,64 @@
+#ifndef SSTORE_QUERY_PLAN_H_
+#define SSTORE_QUERY_PLAN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/expr.h"
+#include "storage/table.h"
+
+namespace sstore {
+
+/// Ordering key for scan/aggregate output: column index within the *output*
+/// row (after projection / aggregate layout).
+struct OrderBySpec {
+  size_t column;
+  bool descending = false;
+};
+
+/// A relational scan: optional predicate, optional projection, optional
+/// ordering and limit. Window staging visibility is enforced here: staged
+/// rows are never visible to scans unless `include_staged` is set (used only
+/// by window-management internals).
+struct ScanSpec {
+  Table* table = nullptr;
+  ExprPtr predicate;                 // null => all rows
+  std::vector<size_t> projection;    // empty => all columns
+  std::vector<OrderBySpec> order_by;
+  std::optional<size_t> limit;
+  bool include_staged = false;
+};
+
+/// Aggregate functions supported by AggregateSpec.
+enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
+
+/// One aggregate output: func applied to `column` (ignored for COUNT(*)).
+struct AggExpr {
+  AggFunc func;
+  size_t column = 0;
+};
+
+/// GROUP BY aggregation over a table. Output rows are laid out as
+/// [group_by columns..., aggregate results...]; order_by/limit apply to that
+/// layout. With no group_by columns, exactly one row is produced (even over
+/// an empty input, SQL-style: COUNT=0, SUM/MIN/MAX/AVG=NULL).
+struct AggregateSpec {
+  Table* table = nullptr;
+  ExprPtr predicate;
+  std::vector<size_t> group_by;
+  std::vector<AggExpr> aggregates;
+  std::vector<OrderBySpec> order_by;
+  std::optional<size_t> limit;
+  bool include_staged = false;
+};
+
+/// UPDATE ... SET col = expr assignments.
+struct SetClause {
+  size_t column;
+  ExprPtr value;  // evaluated against the row's *before* image
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_QUERY_PLAN_H_

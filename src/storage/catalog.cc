@@ -1,0 +1,53 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+namespace sstore {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema,
+                                    TableKind kind) {
+  if (HasTable(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema), kind);
+  Table* raw = table.get();
+  tables_.emplace(name, std::move(table));
+  return raw;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<Table*> Catalog::TablesOfKind(TableKind kind) const {
+  std::vector<Table*> out;
+  for (const auto& [name, table] : tables_) {
+    if (table->kind() == kind) out.push_back(table.get());
+  }
+  std::sort(out.begin(), out.end(),
+            [](Table* a, Table* b) { return a->name() < b->name(); });
+  return out;
+}
+
+}  // namespace sstore

@@ -1,0 +1,46 @@
+#ifndef SSTORE_STORAGE_CATALOG_H_
+#define SSTORE_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace sstore {
+
+/// Per-partition name -> table registry. Each partition owns its own catalog
+/// (shared-nothing), mirroring H-Store's horizontal partitioning: a table name
+/// exists on every partition but holds only that partition's slice.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates a table; kAlreadyExists if the name is taken.
+  Result<Table*> CreateTable(const std::string& name, Schema schema,
+                             TableKind kind = TableKind::kBase);
+
+  Result<Table*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const {
+    return tables_.find(name) != tables_.end();
+  }
+
+  Status DropTable(const std::string& name);
+
+  /// Names of all tables, sorted (stable ordering for snapshots).
+  std::vector<std::string> TableNames() const;
+
+  /// Tables of a given kind, sorted by name.
+  std::vector<Table*> TablesOfKind(TableKind kind) const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_STORAGE_CATALOG_H_

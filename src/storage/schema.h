@@ -1,0 +1,55 @@
+#ifndef SSTORE_STORAGE_SCHEMA_H_
+#define SSTORE_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sstore {
+
+/// One column definition: a name and a declared type.
+struct Column {
+  std::string name;
+  ValueType type;
+
+  friend bool operator==(const Column& a, const Column& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+/// Ordered list of columns describing the layout of a table's tuples.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Returns the index of `name`, or kNotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Validates a tuple against this schema: correct arity and each non-null
+  /// value's type matching the declared column type (BIGINT and TIMESTAMP are
+  /// interchangeable for storage purposes).
+  Status ValidateTuple(const Tuple& tuple) const;
+
+  bool Equals(const Schema& other) const { return columns_ == other.columns_; }
+
+  void SerializeTo(ByteWriter* out) const;
+  static Result<Schema> DeserializeFrom(ByteReader* in);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_STORAGE_SCHEMA_H_

@@ -1,0 +1,318 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+namespace sstore {
+
+const char* TableKindToString(TableKind kind) {
+  switch (kind) {
+    case TableKind::kBase:
+      return "BASE";
+    case TableKind::kStream:
+      return "STREAM";
+    case TableKind::kWindow:
+      return "WINDOW";
+  }
+  return "UNKNOWN";
+}
+
+Tuple HashIndex::ExtractKey(const Tuple& row) const {
+  Tuple key;
+  key.reserve(key_columns_.size());
+  for (size_t c : key_columns_) key.push_back(row[c]);
+  return key;
+}
+
+std::vector<RowId> HashIndex::Lookup(const Tuple& key) const {
+  std::vector<RowId> out;
+  auto [lo, hi] = map_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  return out;
+}
+
+bool HashIndex::Contains(const Tuple& key) const {
+  return map_.find(key) != map_.end();
+}
+
+Status HashIndex::OnInsert(const Tuple& row, RowId rid) {
+  Tuple key = ExtractKey(row);
+  if (unique_ && map_.find(key) != map_.end()) {
+    return Status::ConstraintViolation("unique index '" + name_ +
+                                       "' rejects duplicate key " +
+                                       TupleToString(key));
+  }
+  map_.emplace(std::move(key), rid);
+  return Status::OK();
+}
+
+void HashIndex::OnDelete(const Tuple& row, RowId rid) {
+  Tuple key = ExtractKey(row);
+  auto [lo, hi] = map_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == rid) {
+      map_.erase(it);
+      return;
+    }
+  }
+}
+
+Table::Table(std::string name, Schema schema, TableKind kind)
+    : name_(std::move(name)), schema_(std::move(schema)), kind_(kind) {}
+
+Status Table::CheckUniqueForInsert(const Tuple& row) const {
+  for (const auto& idx : indexes_) {
+    if (!idx->unique()) continue;
+    if (idx->Contains(idx->ExtractKey(row))) {
+      return Status::ConstraintViolation("unique index '" + idx->name() +
+                                         "' rejects duplicate key in table '" +
+                                         name_ + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<RowId> Table::Insert(Tuple row, RowMeta meta) {
+  SSTORE_RETURN_NOT_OK(schema_.ValidateTuple(row));
+  SSTORE_RETURN_NOT_OK(CheckUniqueForInsert(row));
+
+  meta.seq = next_seq_++;
+  RowId rid;
+  if (!free_list_.empty()) {
+    rid = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    rid = slots_.size();
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[rid];
+  // Uniqueness pre-checked above, so per-index inserts cannot fail.
+  for (const auto& idx : indexes_) {
+    Status st = idx->OnInsert(row, rid);
+    (void)st;
+  }
+  slot.row = std::move(row);
+  slot.meta = meta;
+  ++live_count_;
+  if (meta.active) ++active_count_;
+  return rid;
+}
+
+Result<Tuple> Table::Delete(RowId rid) {
+  if (rid >= slots_.size() || !slots_[rid].row.has_value()) {
+    return Status::NotFound("no row " + std::to_string(rid) + " in table '" +
+                            name_ + "'");
+  }
+  Slot& slot = slots_[rid];
+  for (const auto& idx : indexes_) idx->OnDelete(*slot.row, rid);
+  Tuple out = std::move(*slot.row);
+  slot.row.reset();
+  --live_count_;
+  if (slot.meta.active) --active_count_;
+  free_list_.push_back(rid);
+  return out;
+}
+
+Result<Tuple> Table::Update(RowId rid, Tuple row) {
+  if (rid >= slots_.size() || !slots_[rid].row.has_value()) {
+    return Status::NotFound("no row " + std::to_string(rid) + " in table '" +
+                            name_ + "'");
+  }
+  SSTORE_RETURN_NOT_OK(schema_.ValidateTuple(row));
+  Slot& slot = slots_[rid];
+  // Unique check must ignore this row's own current key.
+  for (const auto& idx : indexes_) {
+    if (!idx->unique()) continue;
+    Tuple new_key = idx->ExtractKey(row);
+    Tuple old_key = idx->ExtractKey(*slot.row);
+    if (!(new_key == old_key) && idx->Contains(new_key)) {
+      return Status::ConstraintViolation("unique index '" + idx->name() +
+                                         "' rejects duplicate key in table '" +
+                                         name_ + "'");
+    }
+  }
+  for (const auto& idx : indexes_) idx->OnDelete(*slot.row, rid);
+  Tuple before = std::move(*slot.row);
+  for (const auto& idx : indexes_) {
+    Status st = idx->OnInsert(row, rid);
+    (void)st;
+  }
+  slot.row = std::move(row);
+  return before;
+}
+
+Status Table::UndoDeleteAt(RowId rid, Tuple row, RowMeta meta) {
+  if (rid >= slots_.size()) {
+    return Status::Internal("undo targets slot beyond table size");
+  }
+  if (slots_[rid].row.has_value()) {
+    return Status::Internal("undo targets an occupied slot");
+  }
+  auto it = std::find(free_list_.begin(), free_list_.end(), rid);
+  if (it == free_list_.end()) {
+    return Status::Internal("undo targets a slot missing from the free list");
+  }
+  free_list_.erase(it);
+  for (const auto& idx : indexes_) {
+    Status st = idx->OnInsert(row, rid);
+    (void)st;
+  }
+  Slot& slot = slots_[rid];
+  slot.row = std::move(row);
+  slot.meta = meta;
+  ++live_count_;
+  if (meta.active) ++active_count_;
+  return Status::OK();
+}
+
+Result<const Tuple*> Table::Get(RowId rid) const {
+  if (rid >= slots_.size() || !slots_[rid].row.has_value()) {
+    return Status::NotFound("no row " + std::to_string(rid) + " in table '" +
+                            name_ + "'");
+  }
+  return &*slots_[rid].row;
+}
+
+Result<const RowMeta*> Table::GetMeta(RowId rid) const {
+  if (rid >= slots_.size() || !slots_[rid].row.has_value()) {
+    return Status::NotFound("no row " + std::to_string(rid) + " in table '" +
+                            name_ + "'");
+  }
+  return &slots_[rid].meta;
+}
+
+Status Table::SetActive(RowId rid, bool active) {
+  if (rid >= slots_.size() || !slots_[rid].row.has_value()) {
+    return Status::NotFound("no row " + std::to_string(rid) + " in table '" +
+                            name_ + "'");
+  }
+  RowMeta& meta = slots_[rid].meta;
+  if (meta.active != active) {
+    meta.active = active;
+    active_count_ += active ? 1 : -1;
+  }
+  return Status::OK();
+}
+
+void Table::ForEach(
+    const std::function<bool(RowId, const Tuple&, const RowMeta&)>& fn,
+    bool include_staged) const {
+  for (RowId rid = 0; rid < slots_.size(); ++rid) {
+    const Slot& slot = slots_[rid];
+    if (!slot.row.has_value()) continue;
+    if (!include_staged && !slot.meta.active) continue;
+    if (!fn(rid, *slot.row, slot.meta)) return;
+  }
+}
+
+std::vector<RowId> Table::RowIdsBySeq(bool include_staged) const {
+  std::vector<RowId> out;
+  out.reserve(live_count_);
+  ForEach(
+      [&](RowId rid, const Tuple&, const RowMeta&) {
+        out.push_back(rid);
+        return true;
+      },
+      include_staged);
+  std::sort(out.begin(), out.end(), [this](RowId a, RowId b) {
+    return slots_[a].meta.seq < slots_[b].meta.seq;
+  });
+  return out;
+}
+
+size_t Table::Clear() {
+  size_t removed = live_count_;
+  slots_.clear();
+  free_list_.clear();
+  live_count_ = 0;
+  active_count_ = 0;
+  for (const auto& idx : indexes_) idx->Clear();
+  return removed;
+}
+
+Status Table::CreateIndex(const std::string& index_name,
+                          const std::vector<std::string>& column_names,
+                          bool unique) {
+  for (const auto& idx : indexes_) {
+    if (idx->name() == index_name) {
+      return Status::AlreadyExists("index '" + index_name +
+                                   "' already exists on table '" + name_ + "'");
+    }
+  }
+  std::vector<size_t> cols;
+  cols.reserve(column_names.size());
+  for (const std::string& cn : column_names) {
+    SSTORE_ASSIGN_OR_RETURN(size_t ci, schema_.ColumnIndex(cn));
+    cols.push_back(ci);
+  }
+  if (cols.empty()) {
+    return Status::InvalidArgument("index requires at least one column");
+  }
+  auto idx = std::make_unique<HashIndex>(index_name, std::move(cols), unique);
+  // Backfill; a uniqueness violation aborts creation.
+  Status backfill = Status::OK();
+  ForEach(
+      [&](RowId rid, const Tuple& row, const RowMeta&) {
+        backfill = idx->OnInsert(row, rid);
+        return backfill.ok();
+      },
+      /*include_staged=*/true);
+  SSTORE_RETURN_NOT_OK(backfill);
+  indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+Result<const HashIndex*> Table::GetIndex(const std::string& index_name) const {
+  for (const auto& idx : indexes_) {
+    if (idx->name() == index_name) return static_cast<const HashIndex*>(idx.get());
+  }
+  return Status::NotFound("no index '" + index_name + "' on table '" + name_ +
+                          "'");
+}
+
+Result<std::vector<RowId>> Table::IndexLookup(const std::string& index_name,
+                                              const Tuple& key) const {
+  SSTORE_ASSIGN_OR_RETURN(const HashIndex* idx, GetIndex(index_name));
+  return idx->Lookup(key);
+}
+
+void Table::SerializeTo(ByteWriter* out) const {
+  schema_.SerializeTo(out);
+  out->PutU64(next_seq_);
+  out->PutU32(static_cast<uint32_t>(live_count_));
+  ForEach(
+      [&](RowId, const Tuple& row, const RowMeta& meta) {
+        out->PutTuple(row);
+        out->PutI64(meta.batch_id);
+        out->PutU64(meta.seq);
+        out->PutU8(meta.active ? 1 : 0);
+        return true;
+      },
+      /*include_staged=*/true);
+}
+
+Status Table::DeserializeContentsFrom(ByteReader* in) {
+  SSTORE_ASSIGN_OR_RETURN(Schema schema, Schema::DeserializeFrom(in));
+  if (!schema.Equals(schema_)) {
+    return Status::Corruption("snapshot schema " + schema.ToString() +
+                              " does not match table '" + name_ + "' schema " +
+                              schema_.ToString());
+  }
+  SSTORE_ASSIGN_OR_RETURN(uint64_t next_seq, in->GetU64());
+  SSTORE_ASSIGN_OR_RETURN(uint32_t n, in->GetU32());
+  Clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    SSTORE_ASSIGN_OR_RETURN(Tuple row, in->GetTuple());
+    RowMeta meta;
+    SSTORE_ASSIGN_OR_RETURN(meta.batch_id, in->GetI64());
+    SSTORE_ASSIGN_OR_RETURN(meta.seq, in->GetU64());
+    SSTORE_ASSIGN_OR_RETURN(uint8_t active, in->GetU8());
+    meta.active = active != 0;
+    SSTORE_ASSIGN_OR_RETURN(RowId rid, Insert(std::move(row), meta));
+    // Insert overwrites seq; restore the snapshotted arrival order.
+    slots_[rid].meta.seq = meta.seq;
+  }
+  next_seq_ = next_seq;
+  return Status::OK();
+}
+
+}  // namespace sstore

@@ -1,0 +1,47 @@
+#ifndef SSTORE_STREAMING_INJECTOR_H_
+#define SSTORE_STREAMING_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "engine/partition.h"
+
+namespace sstore {
+
+/// The stream injection module (paper §3.2, Figure 4): prepares atomic
+/// batches from a push-based source and invokes the workflow's border stored
+/// procedure once per batch, assigning monotonically increasing batch ids.
+///
+/// The border SP receives the input tuple as its parameters — exactly what
+/// the command log records, so both recovery modes can re-ingest the batch.
+class StreamInjector {
+ public:
+  StreamInjector(Partition* partition, std::string border_proc)
+      : partition_(partition), border_proc_(std::move(border_proc)) {}
+
+  /// Non-blocking injection (the paper's asynchronous, non-blocking client).
+  TicketPtr InjectAsync(Tuple batch) {
+    int64_t batch_id = next_batch_id_.fetch_add(1);
+    return partition_->SubmitAsync(
+        Invocation{border_proc_, std::move(batch), batch_id});
+  }
+
+  /// Blocking injection: waits for the border transaction to commit.
+  TxnOutcome InjectSync(Tuple batch) {
+    int64_t batch_id = next_batch_id_.fetch_add(1);
+    return partition_->ExecuteSync(border_proc_, std::move(batch), batch_id);
+  }
+
+  int64_t batches_injected() const { return next_batch_id_.load() - 1; }
+
+ private:
+  Partition* partition_;
+  std::string border_proc_;
+  std::atomic<int64_t> next_batch_id_{1};
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_STREAMING_INJECTOR_H_

@@ -1,0 +1,64 @@
+#ifndef SSTORE_STREAMING_RECOVERY_H_
+#define SSTORE_STREAMING_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "engine/partition.h"
+#include "log/command_log.h"
+#include "log/snapshot.h"
+#include "streaming/trigger.h"
+
+namespace sstore {
+
+/// Orchestrates checkpointing and the two crash-recovery modes of paper
+/// §3.2.5 over a partition:
+///
+/// - Strong recovery: every committed transaction is in the command log.
+///   PE triggers are disabled, the snapshot is applied, the log is replayed
+///   in commit order (each interior TE re-executes from its logged record),
+///   then triggers are re-enabled and fired for residual stream state.
+///   The result is exactly the pre-crash state.
+///
+/// - Weak recovery (upstream backup): only border/OLTP transactions are in
+///   the log. The snapshot is applied, PE triggers fire for batches the
+///   snapshot left in stream tables, then the log is replayed with triggers
+///   *enabled* so interior TEs regenerate inside the engine. The result is
+///   a legal state that could have existed.
+class RecoveryManager {
+ public:
+  RecoveryManager(Partition* partition, TriggerManager* triggers)
+      : partition_(partition), triggers_(triggers) {}
+
+  /// Writes a transaction-consistent snapshot of the partition's catalog.
+  /// Must run from the worker thread or while the worker is stopped.
+  Status Checkpoint(const std::string& snapshot_path);
+
+  struct ReplayStats {
+    size_t records_replayed = 0;
+    size_t residual_triggers = 0;
+    size_t replay_failures = 0;
+  };
+
+  /// Recovers a freshly re-created partition (DDL, procedures, workflow
+  /// already deployed; no data) from `snapshot_path` + `log_path`. The mode
+  /// must match what the partition logged with before the crash.
+  Status Recover(const std::string& snapshot_path, const std::string& log_path,
+                 RecoveryMode mode);
+
+  const ReplayStats& replay_stats() const { return stats_; }
+
+ private:
+  Status ReplayLog(const std::string& log_path, bool include_interior);
+  /// Runs everything PE triggers enqueued until the partition queue is dry.
+  void DrainTriggered();
+
+  Partition* partition_;
+  TriggerManager* triggers_;
+  ReplayStats stats_;
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_STREAMING_RECOVERY_H_

@@ -1,0 +1,34 @@
+#include "streaming/sstore.h"
+
+namespace sstore {
+
+SStore::SStore(const Options& options) : partition_(options.partition_id) {
+  streams_ = std::make_unique<StreamManager>(&partition_.catalog());
+  windows_ = std::make_unique<WindowManager>(&partition_.ee());
+  triggers_ = std::make_unique<TriggerManager>(&partition_, streams_.get());
+  recovery_ = std::make_unique<RecoveryManager>(&partition_, triggers_.get());
+
+  // Window scoping (paper §3.2.2): a window table is only visible to TEs of
+  // its owning stored procedure.
+  WindowManager* wm = windows_.get();
+  partition_.SetTableAccessGuard(
+      [wm](const Table& table, const std::string& proc_name) {
+        return wm->CheckAccess(table, proc_name);
+      });
+
+  if (!options.log_path.empty()) {
+    CommandLog::Options log_opts;
+    log_opts.path = options.log_path;
+    log_opts.group_size = options.group_commit_size;
+    log_opts.sync = options.log_sync;
+    Result<std::unique_ptr<CommandLog>> log = CommandLog::Open(log_opts);
+    if (log.ok()) {
+      partition_.AttachCommandLog(std::move(log).value(),
+                                  options.recovery_mode);
+    }
+  }
+}
+
+SStore::~SStore() { Stop(); }
+
+}  // namespace sstore

@@ -1,0 +1,87 @@
+#ifndef SSTORE_STREAMING_SSTORE_H_
+#define SSTORE_STREAMING_SSTORE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "engine/partition.h"
+#include "streaming/recovery.h"
+#include "streaming/stream.h"
+#include "streaming/trigger.h"
+#include "streaming/window.h"
+#include "streaming/workflow.h"
+
+namespace sstore {
+
+/// The assembled single-partition S-Store engine (paper Figure 4): an
+/// H-Store partition engine + execution engine, extended with streams,
+/// windows, EE/PE triggers, the streaming scheduler, and the two recovery
+/// modes. This is the main entry point of the library.
+///
+/// Typical use:
+///
+///   SStore store;
+///   store.streams().DefineStream("s1", schema);
+///   store.partition().RegisterProcedure("ingest", SpKind::kBorder, proc);
+///   ... build a Workflow, store.DeployWorkflow(wf) ...
+///   store.Start();
+///   StreamInjector injector(&store.partition(), "ingest");
+///   injector.InjectSync(tuple);
+class SStore {
+ public:
+  struct Options {
+    int partition_id = 0;
+    /// When non-empty, a command log is attached at this path.
+    std::string log_path;
+    /// Records per group commit (1 = flush every transaction, §4.4).
+    size_t group_commit_size = 1;
+    bool log_sync = true;
+    RecoveryMode recovery_mode = RecoveryMode::kStrong;
+  };
+
+  SStore() : SStore(Options{}) {}
+  explicit SStore(const Options& options);
+  ~SStore();
+
+  SStore(const SStore&) = delete;
+  SStore& operator=(const SStore&) = delete;
+
+  Partition& partition() { return partition_; }
+  Catalog& catalog() { return partition_.catalog(); }
+  ExecutionEngine& ee() { return partition_.ee(); }
+  StreamManager& streams() { return *streams_; }
+  WindowManager& windows() { return *windows_; }
+  TriggerManager& triggers() { return *triggers_; }
+  RecoveryManager& recovery() { return *recovery_; }
+
+  /// Validates and wires a workflow onto the partition.
+  Status DeployWorkflow(const Workflow& workflow) {
+    return triggers_->DeployWorkflow(workflow);
+  }
+
+  void Start() { partition_.Start(); }
+  void Stop() { partition_.Stop(); }
+
+  /// Writes a checkpoint of the whole partition.
+  Status Checkpoint(const std::string& snapshot_path) {
+    return recovery_->Checkpoint(snapshot_path);
+  }
+
+  /// Recovers this (freshly constructed and DDL-initialized) instance.
+  Status Recover(const std::string& snapshot_path, const std::string& log_path,
+                 RecoveryMode mode) {
+    return recovery_->Recover(snapshot_path, log_path, mode);
+  }
+
+ private:
+  Partition partition_;
+  std::unique_ptr<StreamManager> streams_;
+  std::unique_ptr<WindowManager> windows_;
+  std::unique_ptr<TriggerManager> triggers_;
+  std::unique_ptr<RecoveryManager> recovery_;
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_STREAMING_SSTORE_H_

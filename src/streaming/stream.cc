@@ -1,0 +1,110 @@
+#include "streaming/stream.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sstore {
+
+Status StreamManager::DefineStream(const std::string& name, Schema schema) {
+  SSTORE_ASSIGN_OR_RETURN(
+      Table * table,
+      catalog_->CreateTable(name, std::move(schema), TableKind::kStream));
+  (void)table;
+  return Status::OK();
+}
+
+bool StreamManager::HasStream(const std::string& name) const {
+  Result<Table*> t = catalog_->GetTable(name);
+  return t.ok() && (*t)->kind() == TableKind::kStream;
+}
+
+Result<Table*> StreamManager::GetStream(const std::string& name) const {
+  SSTORE_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(name));
+  if (table->kind() != TableKind::kStream) {
+    return Status::InvalidArgument("table '" + name + "' is not a stream");
+  }
+  return table;
+}
+
+void StreamManager::SetConsumerCount(const std::string& stream,
+                                     size_t consumers) {
+  consumer_counts_[stream] = consumers;
+}
+
+size_t StreamManager::ConsumerCount(const std::string& stream) const {
+  auto it = consumer_counts_.find(stream);
+  return it == consumer_counts_.end() ? 0 : it->second;
+}
+
+Result<size_t> StreamManager::OnBatchConsumed(const std::string& stream,
+                                              int64_t batch_id) {
+  SSTORE_ASSIGN_OR_RETURN(Table * table, GetStream(stream));
+  size_t consumers = ConsumerCount(stream);
+  if (consumers == 0) return 0;
+
+  auto key = std::make_pair(stream, batch_id);
+  auto it = pending_consumers_.find(key);
+  if (it == pending_consumers_.end()) {
+    it = pending_consumers_.emplace(key, consumers).first;
+  }
+  if (it->second > 1) {
+    --it->second;
+    return 0;
+  }
+  pending_consumers_.erase(it);
+
+  // Last consumer committed: reclaim the batch.
+  std::vector<RowId> victims;
+  table->ForEach([&](RowId rid, const Tuple&, const RowMeta& meta) {
+    if (meta.batch_id == batch_id) victims.push_back(rid);
+    return true;
+  });
+  Executor exec(nullptr);  // GC of fully-consumed batches is not undone
+  for (RowId rid : victims) {
+    SSTORE_RETURN_NOT_OK(exec.DeleteRow(table, rid));
+  }
+  return victims.size();
+}
+
+Result<std::vector<Tuple>> StreamManager::BatchContents(
+    const std::string& stream, int64_t batch_id) const {
+  SSTORE_ASSIGN_OR_RETURN(Table * table, GetStream(stream));
+  std::vector<std::pair<uint64_t, Tuple>> rows;
+  table->ForEach([&](RowId, const Tuple& row, const RowMeta& meta) {
+    if (meta.batch_id == batch_id) rows.emplace_back(meta.seq, row);
+    return true;
+  });
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Tuple> out;
+  out.reserve(rows.size());
+  for (auto& [seq, row] : rows) out.push_back(std::move(row));
+  return out;
+}
+
+Result<std::vector<Tuple>> StreamManager::Drain(const std::string& stream) {
+  SSTORE_ASSIGN_OR_RETURN(Table * table, GetStream(stream));
+  std::vector<RowId> ids = table->RowIdsBySeq();
+  std::vector<Tuple> out;
+  out.reserve(ids.size());
+  Executor exec(nullptr);
+  for (RowId rid : ids) {
+    SSTORE_ASSIGN_OR_RETURN(const Tuple* row, table->Get(rid));
+    out.push_back(*row);
+    SSTORE_RETURN_NOT_OK(exec.DeleteRow(table, rid));
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> StreamManager::PendingBatches(
+    const std::string& stream) const {
+  SSTORE_ASSIGN_OR_RETURN(Table * table, GetStream(stream));
+  std::set<int64_t> batches;
+  table->ForEach([&](RowId, const Tuple&, const RowMeta& meta) {
+    batches.insert(meta.batch_id);
+    return true;
+  });
+  return std::vector<int64_t>(batches.begin(), batches.end());
+}
+
+}  // namespace sstore

@@ -1,0 +1,63 @@
+#ifndef SSTORE_STREAMING_STREAM_H_
+#define SSTORE_STREAMING_STREAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "query/executor.h"
+#include "storage/catalog.h"
+
+namespace sstore {
+
+/// Manages stream tables (paper §3.2.1): time-varying tables whose rows are
+/// tagged with atomic-batch ids, plus the batch-level garbage collection
+/// bookkeeping — a batch is reclaimed once every downstream consumer (PE
+/// trigger target) has committed over it.
+class StreamManager {
+ public:
+  explicit StreamManager(Catalog* catalog) : catalog_(catalog) {}
+
+  StreamManager(const StreamManager&) = delete;
+  StreamManager& operator=(const StreamManager&) = delete;
+
+  /// Creates the backing kStream table.
+  Status DefineStream(const std::string& name, Schema schema);
+  bool HasStream(const std::string& name) const;
+  Result<Table*> GetStream(const std::string& name) const;
+
+  /// Number of PE-trigger consumers attached downstream of this stream;
+  /// set by the trigger manager at deployment. A stream with zero consumers
+  /// retains batches until drained explicitly.
+  void SetConsumerCount(const std::string& stream, size_t consumers);
+  size_t ConsumerCount(const std::string& stream) const;
+
+  /// Marks one consumer as done with (stream, batch); deletes the batch's
+  /// rows once all consumers have committed (automatic GC, §3.2.3).
+  /// Returns the number of rows reclaimed (0 while consumers remain).
+  Result<size_t> OnBatchConsumed(const std::string& stream, int64_t batch_id);
+
+  /// Rows of one batch, in arrival order.
+  Result<std::vector<Tuple>> BatchContents(const std::string& stream,
+                                           int64_t batch_id) const;
+
+  /// Removes and returns all rows of a stream (terminal output streams are
+  /// drained by the application/client).
+  Result<std::vector<Tuple>> Drain(const std::string& stream);
+
+  /// Distinct batch ids currently present in the stream, ascending.
+  Result<std::vector<int64_t>> PendingBatches(const std::string& stream) const;
+
+ private:
+  Catalog* catalog_;
+  std::unordered_map<std::string, size_t> consumer_counts_;
+  /// (stream, batch) -> consumers still outstanding.
+  std::map<std::pair<std::string, int64_t>, size_t> pending_consumers_;
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_STREAMING_STREAM_H_

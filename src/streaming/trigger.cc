@@ -1,0 +1,140 @@
+#include "streaming/trigger.h"
+
+#include <algorithm>
+
+namespace sstore {
+
+TriggerManager::TriggerManager(Partition* partition, StreamManager* streams)
+    : partition_(partition), streams_(streams) {
+  partition_->AddCommitHook(
+      [this](Partition& p, const TransactionExecution& te) { OnCommit(p, te); });
+}
+
+Status TriggerManager::DeployWorkflow(const Workflow& workflow) {
+  SSTORE_RETURN_NOT_OK(workflow.Validate());
+  SSTORE_ASSIGN_OR_RETURN(auto ranks, workflow.TopologicalRanks());
+  for (const WorkflowNode& n : workflow.nodes()) {
+    if (!partition_->HasProcedure(n.proc)) {
+      return Status::NotFound("procedure '" + n.proc +
+                              "' not registered on partition");
+    }
+    for (const std::string& stream : n.input_streams) {
+      if (!streams_->HasStream(stream)) {
+        return Status::NotFound("stream '" + stream + "' not defined");
+      }
+      stream_consumers_[stream].push_back(n.proc);
+    }
+    if (!n.input_streams.empty()) {
+      ConsumerInfo info;
+      info.input_streams = n.input_streams;
+      info.rank = ranks[n.proc];
+      consumers_[n.proc] = std::move(info);
+    }
+  }
+  // Tell the stream manager how many consumers must commit over a batch
+  // before it can be garbage-collected.
+  for (const auto& [stream, procs] : stream_consumers_) {
+    streams_->SetConsumerCount(stream, procs.size());
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> TriggerManager::ConsumersOf(
+    const std::string& stream) const {
+  auto it = stream_consumers_.find(stream);
+  return it == stream_consumers_.end() ? std::vector<std::string>{}
+                                       : it->second;
+}
+
+void TriggerManager::OnCommit(Partition& partition,
+                              const TransactionExecution& te) {
+  // 1. GC handshake: a consumer TE committing over batch b releases its
+  //    claim on every input stream's batch b. This runs in both live
+  //    operation and recovery replay.
+  auto consumer = consumers_.find(te.proc_name());
+  if (consumer != consumers_.end()) {
+    for (const std::string& stream : consumer->second.input_streams) {
+      streams_->OnBatchConsumed(stream, te.batch_id()).ok();
+    }
+  }
+
+  // 2. PE-trigger firing for the batches this TE emitted.
+  if (!enabled_) return;
+  struct Ready {
+    std::string proc;
+    int64_t batch;
+    size_t rank;
+  };
+  std::vector<Ready> ready;
+  for (const auto& [stream, batch] : te.emitted()) {
+    auto sc = stream_consumers_.find(stream);
+    if (sc == stream_consumers_.end()) continue;
+    for (const std::string& proc : sc->second) {
+      ConsumerInfo& info = consumers_[proc];
+      if (info.input_streams.size() <= 1) {
+        ready.push_back(Ready{proc, batch, info.rank});
+        continue;
+      }
+      // Multi-input join: activate only when the batch is present on every
+      // input stream.
+      auto key = std::make_pair(proc, batch);
+      std::set<std::string>& arrived = arrivals_[key];
+      arrived.insert(stream);
+      if (arrived.size() == info.input_streams.size()) {
+        arrivals_.erase(key);
+        ready.push_back(Ready{proc, batch, info.rank});
+      }
+    }
+  }
+  if (ready.empty()) return;
+
+  // Streaming scheduler (paper §3.2.4): fast-track triggered TEs to the
+  // front of the queue. Push in reverse topological rank so the lowest rank
+  // ends up first, keeping each round in a valid topological order.
+  std::sort(ready.begin(), ready.end(), [](const Ready& a, const Ready& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.batch < b.batch;
+  });
+  for (auto it = ready.rbegin(); it != ready.rend(); ++it) {
+    ++firings_;
+    partition.EnqueueFront(
+        Invocation{it->proc, {Value::BigInt(it->batch)}, it->batch});
+  }
+}
+
+Result<size_t> TriggerManager::FireResidualTriggers() {
+  // For each consumer, a batch is ready when present on all of its inputs.
+  struct Ready {
+    std::string proc;
+    int64_t batch;
+    size_t rank;
+  };
+  std::vector<Ready> ready;
+  for (const auto& [proc, info] : consumers_) {
+    std::map<int64_t, size_t> batch_presence;
+    for (const std::string& stream : info.input_streams) {
+      SSTORE_ASSIGN_OR_RETURN(std::vector<int64_t> batches,
+                              streams_->PendingBatches(stream));
+      for (int64_t b : batches) ++batch_presence[b];
+    }
+    for (const auto& [batch, present] : batch_presence) {
+      if (present == info.input_streams.size()) {
+        ready.push_back(Ready{proc, batch, info.rank});
+      }
+    }
+  }
+  // Recovery replays in stream order: batches ascending, then topological
+  // rank; FIFO enqueue preserves that order.
+  std::sort(ready.begin(), ready.end(), [](const Ready& a, const Ready& b) {
+    if (a.batch != b.batch) return a.batch < b.batch;
+    return a.rank < b.rank;
+  });
+  for (const Ready& r : ready) {
+    ++firings_;
+    partition_->EnqueueBack(
+        Invocation{r.proc, {Value::BigInt(r.batch)}, r.batch});
+  }
+  return ready.size();
+}
+
+}  // namespace sstore

@@ -1,0 +1,79 @@
+#ifndef SSTORE_STREAMING_TRIGGER_H_
+#define SSTORE_STREAMING_TRIGGER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/partition.h"
+#include "streaming/stream.h"
+#include "streaming/workflow.h"
+
+namespace sstore {
+
+/// Partition-engine triggers (paper §3.2.3/§3.2.4): when a transaction that
+/// appended an atomic batch to a stream commits, the downstream stored
+/// procedures attached to that stream are activated *inside the PE* — no
+/// round trip to the client — and fast-tracked to the front of the
+/// transaction queue by the streaming scheduler, so the workflow's TEs run
+/// back-to-back in topological order.
+///
+/// The manager also performs the batch-level GC handshake: when a consumer
+/// TE commits over a batch, the StreamManager is told so fully-consumed
+/// batches are reclaimed.
+class TriggerManager {
+ public:
+  TriggerManager(Partition* partition, StreamManager* streams);
+
+  TriggerManager(const TriggerManager&) = delete;
+  TriggerManager& operator=(const TriggerManager&) = delete;
+
+  /// Wires up a validated workflow on this partition: one PE trigger per
+  /// (stream -> consumer) edge, consumer counts for GC, and topological
+  /// ranks for deterministic multi-successor scheduling. Procedures must
+  /// already be registered on the partition.
+  Status DeployWorkflow(const Workflow& workflow);
+
+  /// Disables/enables PE-trigger firing. Strong recovery replays every
+  /// logged transaction, so triggers must stay off during replay to avoid
+  /// duplicate interior executions (paper §3.2.5).
+  void SetPeTriggersEnabled(bool enabled) { enabled_ = enabled; }
+  bool pe_triggers_enabled() const { return enabled_; }
+
+  /// Enqueues downstream TEs for batches already sitting in stream tables
+  /// (restored by a snapshot, or left over at shutdown). Used by both
+  /// recovery modes before/after log replay. Returns enqueued count.
+  Result<size_t> FireResidualTriggers();
+
+  uint64_t pe_trigger_firings() const { return firings_; }
+
+  /// Consumers registered for a stream (deployment introspection).
+  std::vector<std::string> ConsumersOf(const std::string& stream) const;
+
+ private:
+  void OnCommit(Partition& partition, const TransactionExecution& te);
+
+  struct ConsumerInfo {
+    std::vector<std::string> input_streams;
+    size_t rank = 0;  // topological rank for deterministic enqueue order
+  };
+
+  Partition* partition_;
+  StreamManager* streams_;
+  bool enabled_ = true;
+  uint64_t firings_ = 0;
+
+  std::unordered_map<std::string, std::vector<std::string>> stream_consumers_;
+  std::unordered_map<std::string, ConsumerInfo> consumers_;
+  /// Join tracking for multi-input consumers: (proc, batch) -> streams that
+  /// have delivered the batch so far.
+  std::map<std::pair<std::string, int64_t>, std::set<std::string>> arrivals_;
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_STREAMING_TRIGGER_H_

@@ -1,0 +1,200 @@
+#include "streaming/window.h"
+
+#include <algorithm>
+
+namespace sstore {
+
+Status WindowManager::DefineWindow(const WindowSpec& spec) {
+  if (spec.size <= 0 || spec.slide <= 0) {
+    return Status::InvalidArgument("window size and slide must be positive");
+  }
+  if (spec.slide > spec.size) {
+    return Status::InvalidArgument("window slide must not exceed size");
+  }
+  if (spec.kind == WindowKind::kTimeBased &&
+      spec.ts_column >= spec.schema.num_columns()) {
+    return Status::OutOfRange("window timestamp column out of range");
+  }
+  if (HasWindow(spec.name)) {
+    return Status::AlreadyExists("window '" + spec.name + "' already defined");
+  }
+  SSTORE_ASSIGN_OR_RETURN(
+      Table * table,
+      ee_->catalog()->CreateTable(spec.name, spec.schema, TableKind::kWindow));
+  WindowState state;
+  state.spec = spec;
+  state.table = table;
+  windows_.emplace(spec.name, std::move(state));
+  return Status::OK();
+}
+
+Result<const WindowSpec*> WindowManager::GetSpec(const std::string& name) const {
+  auto it = windows_.find(name);
+  if (it == windows_.end()) {
+    return Status::NotFound("no window named '" + name + "'");
+  }
+  return &it->second.spec;
+}
+
+Status WindowManager::AttachSlideTrigger(const std::string& window,
+                                         const std::string& fragment_name) {
+  auto it = windows_.find(window);
+  if (it == windows_.end()) {
+    return Status::NotFound("no window named '" + window + "'");
+  }
+  if (!ee_->HasFragment(fragment_name)) {
+    return Status::NotFound("no fragment named '" + fragment_name + "'");
+  }
+  it->second.slide_triggers.push_back(fragment_name);
+  return Status::OK();
+}
+
+Status WindowManager::Insert(Executor& exec, const std::string& window,
+                             const std::vector<Tuple>& rows) {
+  auto it = windows_.find(window);
+  if (it == windows_.end()) {
+    return Status::NotFound("no window named '" + window + "'");
+  }
+  WindowState& w = it->second;
+  for (const Tuple& row : rows) {
+    int64_t ts = 0;
+    if (w.spec.kind == WindowKind::kTimeBased) {
+      const Value& tv = row[w.spec.ts_column];
+      if (tv.is_null()) {
+        return Status::InvalidArgument("null timestamp for time-based window");
+      }
+      ts = tv.as_int64();
+    }
+    // Arriving tuples are staged: invisible until the window slides.
+    SSTORE_ASSIGN_OR_RETURN(
+        RowId rid, exec.Insert(w.table, row, /*batch_id=*/0, /*active=*/false));
+    (void)rid;
+    if (w.spec.kind == WindowKind::kTupleBased) {
+      SSTORE_RETURN_NOT_OK(SlideTupleBased(exec, w));
+    } else {
+      SSTORE_RETURN_NOT_OK(SlideTimeBased(exec, w, ts));
+    }
+  }
+  return Status::OK();
+}
+
+Status WindowManager::SlideTupleBased(Executor& exec, WindowState& w) {
+  // Window statistics are tracked in table metadata (active/staged counts),
+  // so deciding whether to slide is O(1).
+  size_t staged = w.table->staged_count();
+  size_t threshold =
+      w.primed ? static_cast<size_t>(w.spec.slide)
+               : static_cast<size_t>(w.spec.size);  // first full window
+  if (staged < threshold) return Status::OK();
+
+  std::vector<RowId> by_seq = w.table->RowIdsBySeq(/*include_staged=*/true);
+  // Expire the oldest `slide` active tuples (none before the first window).
+  if (w.primed) {
+    int64_t to_expire = w.spec.slide;
+    for (RowId rid : by_seq) {
+      if (to_expire == 0) break;
+      SSTORE_ASSIGN_OR_RETURN(const RowMeta* meta, w.table->GetMeta(rid));
+      if (!meta->active) continue;
+      SSTORE_RETURN_NOT_OK(exec.DeleteRow(w.table, rid));
+      --to_expire;
+    }
+  }
+  // Activate the oldest `threshold` staged tuples in arrival order.
+  int64_t to_activate = static_cast<int64_t>(threshold);
+  for (RowId rid : by_seq) {
+    if (to_activate == 0) break;
+    Result<const RowMeta*> meta = w.table->GetMeta(rid);
+    if (!meta.ok()) continue;  // expired above
+    if ((*meta)->active) continue;
+    SSTORE_RETURN_NOT_OK(exec.SetActive(w.table, rid, true));
+    --to_activate;
+  }
+  w.primed = true;
+  ++w.slides;
+  return FireSlideTriggers(exec, w);
+}
+
+Status WindowManager::SlideTimeBased(Executor& exec, WindowState& w,
+                                     int64_t arrived_ts) {
+  if (!w.ts_initialized) {
+    w.next_slide_ts = arrived_ts + w.spec.slide;
+    w.ts_initialized = true;
+  }
+  while (arrived_ts >= w.next_slide_ts) {
+    int64_t window_end = w.next_slide_ts;        // exclusive
+    int64_t window_start = window_end - w.spec.size;  // inclusive
+    // Activate staged tuples inside the window; drop staged tuples that are
+    // already older than the window start (late arrivals past the slide).
+    std::vector<RowId> by_seq = w.table->RowIdsBySeq(/*include_staged=*/true);
+    for (RowId rid : by_seq) {
+      SSTORE_ASSIGN_OR_RETURN(const RowMeta* meta, w.table->GetMeta(rid));
+      SSTORE_ASSIGN_OR_RETURN(const Tuple* row, w.table->Get(rid));
+      int64_t ts = (*row)[w.spec.ts_column].as_int64();
+      if (ts >= window_end) continue;  // belongs to a future window
+      if (ts < window_start) {
+        SSTORE_RETURN_NOT_OK(exec.DeleteRow(w.table, rid));
+        continue;
+      }
+      if (!meta->active) {
+        SSTORE_RETURN_NOT_OK(exec.SetActive(w.table, rid, true));
+      }
+    }
+    w.next_slide_ts += w.spec.slide;
+    ++w.slides;
+    SSTORE_RETURN_NOT_OK(FireSlideTriggers(exec, w));
+  }
+  return Status::OK();
+}
+
+Status WindowManager::FireSlideTriggers(Executor& exec, WindowState& w) {
+  Tuple params = {Value::BigInt(w.slides)};
+  for (const std::string& frag : w.slide_triggers) {
+    SSTORE_ASSIGN_OR_RETURN(
+        std::vector<Tuple> ignored,
+        ee_->InvokeInEngine(frag, params, exec.mutation_log()));
+    (void)ignored;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Tuple>> WindowManager::ActiveContents(
+    const std::string& window) const {
+  auto it = windows_.find(window);
+  if (it == windows_.end()) {
+    return Status::NotFound("no window named '" + window + "'");
+  }
+  const Table* table = it->second.table;
+  std::vector<std::pair<uint64_t, Tuple>> rows;
+  table->ForEach([&](RowId, const Tuple& row, const RowMeta& meta) {
+    rows.emplace_back(meta.seq, row);
+    return true;
+  });
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Tuple> out;
+  out.reserve(rows.size());
+  for (auto& [seq, row] : rows) out.push_back(std::move(row));
+  return out;
+}
+
+Result<int64_t> WindowManager::SlideCount(const std::string& window) const {
+  auto it = windows_.find(window);
+  if (it == windows_.end()) {
+    return Status::NotFound("no window named '" + window + "'");
+  }
+  return it->second.slides;
+}
+
+Status WindowManager::CheckAccess(const Table& table,
+                                  const std::string& proc_name) const {
+  if (table.kind() != TableKind::kWindow) return Status::OK();
+  auto it = windows_.find(table.name());
+  if (it == windows_.end()) return Status::OK();
+  const std::string& owner = it->second.spec.owner_proc;
+  if (owner.empty() || owner == proc_name) return Status::OK();
+  return Status::PermissionDenied(
+      "window '" + table.name() + "' is visible only to TEs of '" + owner +
+      "' (accessed by '" + proc_name + "')");
+}
+
+}  // namespace sstore

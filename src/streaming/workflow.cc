@@ -1,0 +1,183 @@
+#include "streaming/workflow.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace sstore {
+
+Status Workflow::AddNode(WorkflowNode node) {
+  if (node.proc.empty()) {
+    return Status::InvalidArgument("workflow node requires a procedure name");
+  }
+  for (const WorkflowNode& n : nodes_) {
+    if (n.proc == node.proc) {
+      return Status::AlreadyExists("workflow already contains '" + node.proc +
+                                   "'");
+    }
+  }
+  if (node.kind == SpKind::kInterior && node.input_streams.empty()) {
+    return Status::InvalidArgument(
+        "interior node '" + node.proc +
+        "' must consume at least one stream (only border nodes ingest from "
+        "outside)");
+  }
+  if (node.kind == SpKind::kOltp) {
+    return Status::InvalidArgument(
+        "OLTP procedures are not workflow nodes; they interleave freely");
+  }
+  nodes_.push_back(std::move(node));
+  return Status::OK();
+}
+
+Result<const WorkflowNode*> Workflow::node(const std::string& proc) const {
+  for (const WorkflowNode& n : nodes_) {
+    if (n.proc == proc) return &n;
+  }
+  return Status::NotFound("workflow has no node '" + proc + "'");
+}
+
+std::vector<std::string> Workflow::ConsumersOf(const std::string& stream) const {
+  std::vector<std::string> out;
+  for (const WorkflowNode& n : nodes_) {
+    if (std::find(n.input_streams.begin(), n.input_streams.end(), stream) !=
+        n.input_streams.end()) {
+      out.push_back(n.proc);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Workflow::ProducersOf(const std::string& stream) const {
+  std::vector<std::string> out;
+  for (const WorkflowNode& n : nodes_) {
+    if (std::find(n.output_streams.begin(), n.output_streams.end(), stream) !=
+        n.output_streams.end()) {
+      out.push_back(n.proc);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> Workflow::SuccessorsOf(
+    const std::string& proc) const {
+  SSTORE_ASSIGN_OR_RETURN(const WorkflowNode* n, node(proc));
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const std::string& stream : n->output_streams) {
+    for (const std::string& consumer : ConsumersOf(stream)) {
+      if (seen.insert(consumer).second) out.push_back(consumer);
+    }
+  }
+  return out;
+}
+
+Status Workflow::Validate() const {
+  if (nodes_.empty()) {
+    return Status::InvalidArgument("workflow has no nodes");
+  }
+  bool has_border = false;
+  for (const WorkflowNode& n : nodes_) {
+    if (n.kind == SpKind::kBorder) has_border = true;
+  }
+  if (!has_border) {
+    return Status::InvalidArgument("workflow has no border node");
+  }
+  // Acyclicity falls out of the topological sort.
+  return TopologicalOrder().status();
+}
+
+Result<std::vector<std::string>> Workflow::TopologicalOrder() const {
+  std::map<std::string, size_t> in_degree;
+  std::map<std::string, std::vector<std::string>> succ;
+  for (const WorkflowNode& n : nodes_) in_degree[n.proc] = 0;
+  for (const WorkflowNode& n : nodes_) {
+    SSTORE_ASSIGN_OR_RETURN(std::vector<std::string> successors,
+                            SuccessorsOf(n.proc));
+    for (const std::string& s : successors) {
+      succ[n.proc].push_back(s);
+      ++in_degree[s];
+    }
+  }
+  // Kahn's algorithm; ties broken by insertion order for determinism.
+  std::vector<std::string> order;
+  std::deque<std::string> ready;
+  for (const WorkflowNode& n : nodes_) {
+    if (in_degree[n.proc] == 0) ready.push_back(n.proc);
+  }
+  while (!ready.empty()) {
+    std::string p = ready.front();
+    ready.pop_front();
+    order.push_back(p);
+    for (const std::string& s : succ[p]) {
+      if (--in_degree[s] == 0) ready.push_back(s);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    return Status::InvalidArgument("workflow '" + name_ + "' contains a cycle");
+  }
+  return order;
+}
+
+Result<std::unordered_map<std::string, size_t>> Workflow::TopologicalRanks()
+    const {
+  SSTORE_ASSIGN_OR_RETURN(std::vector<std::string> order, TopologicalOrder());
+  std::unordered_map<std::string, size_t> ranks;
+  for (size_t i = 0; i < order.size(); ++i) ranks[order[i]] = i;
+  return ranks;
+}
+
+Status ValidateSchedule(const Workflow& workflow,
+                        const std::vector<ScheduleEvent>& events) {
+  // Filter to workflow procedures; OLTP interleavings are always legal.
+  std::vector<ScheduleEvent> wf_events;
+  for (const ScheduleEvent& e : events) {
+    if (workflow.node(e.proc).ok()) wf_events.push_back(e);
+  }
+
+  // Stream-order constraint: per procedure, batch ids strictly increase.
+  std::map<std::string, int64_t> last_batch;
+  for (const ScheduleEvent& e : wf_events) {
+    auto it = last_batch.find(e.proc);
+    if (it != last_batch.end() && e.batch_id <= it->second) {
+      return Status::InvalidArgument(
+          "stream-order violation: '" + e.proc + "' executed batch " +
+          std::to_string(e.batch_id) + " after batch " +
+          std::to_string(it->second));
+    }
+    last_batch[e.proc] = e.batch_id;
+  }
+
+  // Workflow-order constraint: within each round (batch id), for every DAG
+  // edge A -> B, A's TE precedes B's TE.
+  std::map<int64_t, std::map<std::string, size_t>> round_positions;
+  for (size_t i = 0; i < wf_events.size(); ++i) {
+    round_positions[wf_events[i].batch_id][wf_events[i].proc] = i;
+  }
+  for (const auto& [batch, positions] : round_positions) {
+    for (const WorkflowNode& n : workflow.nodes()) {
+      Result<std::vector<std::string>> succ = workflow.SuccessorsOf(n.proc);
+      if (!succ.ok()) continue;
+      auto a_pos = positions.find(n.proc);
+      for (const std::string& s : *succ) {
+        auto b_pos = positions.find(s);
+        if (b_pos == positions.end()) continue;
+        if (a_pos == positions.end()) {
+          return Status::InvalidArgument(
+              "workflow-order violation: '" + s + "' ran for batch " +
+              std::to_string(batch) + " but its predecessor '" + n.proc +
+              "' never did");
+        }
+        if (a_pos->second >= b_pos->second) {
+          return Status::InvalidArgument(
+              "workflow-order violation: '" + s + "' ran before '" + n.proc +
+              "' in round " + std::to_string(batch));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sstore

@@ -1,0 +1,79 @@
+#ifndef SSTORE_STREAMING_WORKFLOW_H_
+#define SSTORE_STREAMING_WORKFLOW_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/procedure.h"
+
+namespace sstore {
+
+/// One streaming transaction in a workflow DAG: its stored-procedure name,
+/// whether it ingests from outside (border) or is PE-triggered (interior),
+/// and the streams it consumes/produces. Edges are implied by streams: if a
+/// stream is an output of A and an input of B, then A precedes B.
+struct WorkflowNode {
+  std::string proc;
+  SpKind kind = SpKind::kInterior;
+  std::vector<std::string> input_streams;
+  std::vector<std::string> output_streams;
+};
+
+/// A directed acyclic graph of streaming transactions (paper §2.1). The
+/// workflow is pure metadata; TriggerManager::DeployWorkflow turns it into
+/// live PE triggers on a partition.
+class Workflow {
+ public:
+  explicit Workflow(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  Status AddNode(WorkflowNode node);
+
+  const std::vector<WorkflowNode>& nodes() const { return nodes_; }
+  Result<const WorkflowNode*> node(const std::string& proc) const;
+
+  /// Procedures consuming `stream` as input.
+  std::vector<std::string> ConsumersOf(const std::string& stream) const;
+  /// Procedures producing `stream` as output.
+  std::vector<std::string> ProducersOf(const std::string& stream) const;
+
+  /// Direct successors of `proc` in the DAG.
+  Result<std::vector<std::string>> SuccessorsOf(const std::string& proc) const;
+
+  /// Checks structural validity: at least one border node, every interior
+  /// node reachable through streams, and acyclicity.
+  Status Validate() const;
+
+  /// One topological ordering of the node procedures (kInvalidArgument when
+  /// the graph has a cycle).
+  Result<std::vector<std::string>> TopologicalOrder() const;
+
+  /// Rank of each proc in TopologicalOrder() (used to order simultaneous
+  /// PE-trigger enqueues deterministically).
+  Result<std::unordered_map<std::string, size_t>> TopologicalRanks() const;
+
+ private:
+  std::string name_;
+  std::vector<WorkflowNode> nodes_;
+};
+
+/// Validates a recorded commit sequence against the paper's two correctness
+/// constraints (§2.2): the workflow-order constraint (within each round, TEs
+/// respect a topological order of the DAG) and the stream-order constraint
+/// (each procedure sees its batches in order). Events for procedures not in
+/// the workflow (OLTP transactions) are ignored — they may interleave
+/// anywhere (§2.3).
+struct ScheduleEvent {
+  std::string proc;
+  int64_t batch_id;
+};
+
+Status ValidateSchedule(const Workflow& workflow,
+                        const std::vector<ScheduleEvent>& events);
+
+}  // namespace sstore
+
+#endif  // SSTORE_STREAMING_WORKFLOW_H_

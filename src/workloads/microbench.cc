@@ -1,0 +1,385 @@
+#include "workloads/microbench.h"
+
+#include "query/expr.h"
+#include "streaming/injector.h"
+
+namespace sstore {
+
+namespace {
+
+Schema NumSchema() { return Schema({{"x", ValueType::kBigInt}}); }
+
+std::string StreamName(const std::string& prefix, int i) {
+  return prefix + std::to_string(i);
+}
+
+}  // namespace
+
+Status EeTriggerChain::SetupSStore(SStore* store, int num_stages,
+                                   const std::string& proc) {
+  if (num_stages < 1) {
+    return Status::InvalidArgument("need at least one stage");
+  }
+  if (!store->catalog().HasTable("sink")) {
+    SSTORE_RETURN_NOT_OK(store->catalog().CreateTable("sink", NumSchema()).status());
+  }
+  for (int i = 0; i < num_stages; ++i) {
+    SSTORE_RETURN_NOT_OK(store->streams().DefineStream(StreamName("s", i), NumSchema()));
+  }
+  // Forwarding fragments: stage i moves its batch from s<i> to s<i+1>
+  // (or "sink" for the last stage) entirely inside the EE.
+  for (int i = 0; i < num_stages; ++i) {
+    std::string from = StreamName("s", i);
+    bool last = i == num_stages - 1;
+    std::string to = last ? "sink" : StreamName("s", i + 1);
+    std::string frag = "fwd_" + std::to_string(i);
+    SSTORE_RETURN_NOT_OK(store->ee().RegisterFragment(
+        frag,
+        [from, to, last](ExecutionEngine& ee, Executor& exec,
+                         const Tuple& params) -> Result<std::vector<Tuple>> {
+          SSTORE_ASSIGN_OR_RETURN(Table * src, ee.catalog()->GetTable(from));
+          int64_t batch = params[0].as_int64();
+          std::vector<Tuple> rows;
+          src->ForEach([&](RowId, const Tuple& row, const RowMeta& meta) {
+            if (meta.batch_id == batch) rows.push_back(row);
+            return true;
+          });
+          if (last) {
+            SSTORE_ASSIGN_OR_RETURN(Table * sink, ee.catalog()->GetTable(to));
+            SSTORE_ASSIGN_OR_RETURN(size_t n, exec.InsertMany(sink, rows, batch));
+            (void)n;
+            return std::vector<Tuple>{};
+          }
+          // Cascades into s<i+1>'s own EE trigger.
+          SSTORE_RETURN_NOT_OK(ee.InsertBatch(to, rows, batch, exec.mutation_log()));
+          return std::vector<Tuple>{};
+        }));
+    SSTORE_RETURN_NOT_OK(store->ee().AttachInsertTrigger(from, frag));
+  }
+  // Border procedure: one EmitToStream — a single entry into the EE.
+  return store->partition().RegisterProcedure(
+      proc, SpKind::kBorder,
+      std::make_shared<LambdaProcedure>([](ProcContext& ctx) {
+        return ctx.EmitToStream("s0", {ctx.params()});
+      }));
+}
+
+Status EeTriggerChain::SetupHStore(SStore* store, int num_stages,
+                                   const std::string& proc) {
+  if (num_stages < 1) {
+    return Status::InvalidArgument("need at least one stage");
+  }
+  if (!store->catalog().HasTable("sink")) {
+    SSTORE_RETURN_NOT_OK(store->catalog().CreateTable("sink", NumSchema()).status());
+  }
+  for (int i = 0; i < num_stages; ++i) {
+    SSTORE_RETURN_NOT_OK(
+        store->streams().DefineStream(StreamName("hs", i), NumSchema()));
+  }
+  // Entry fragment: insert the input tuple into hs0.
+  SSTORE_RETURN_NOT_OK(store->ee().RegisterFragment(
+      "h_entry",
+      [](ExecutionEngine& ee, Executor& exec,
+         const Tuple& params) -> Result<std::vector<Tuple>> {
+        // params = (x, batch_id)
+        SSTORE_ASSIGN_OR_RETURN(Table * t, ee.catalog()->GetTable("hs0"));
+        SSTORE_ASSIGN_OR_RETURN(
+            RowId rid, exec.Insert(t, {params[0]}, params[1].as_int64()));
+        (void)rid;
+        return std::vector<Tuple>{};
+      }));
+  // Per-stage fragment: INSERT INTO next SELECT * FROM prev WHERE batch;
+  // DELETE FROM prev WHERE batch — one execution batch per stage, exactly
+  // the explicit move-and-delete the paper's H-Store implementation needs.
+  for (int i = 1; i <= num_stages; ++i) {
+    std::string from = StreamName("hs", i - 1);
+    std::string to = i == num_stages ? "sink" : StreamName("hs", i);
+    SSTORE_RETURN_NOT_OK(store->ee().RegisterFragment(
+        "h_stage_" + std::to_string(i),
+        [from, to](ExecutionEngine& ee, Executor& exec,
+                   const Tuple& params) -> Result<std::vector<Tuple>> {
+          int64_t batch = params[0].as_int64();
+          SSTORE_ASSIGN_OR_RETURN(Table * src, ee.catalog()->GetTable(from));
+          SSTORE_ASSIGN_OR_RETURN(Table * dst, ee.catalog()->GetTable(to));
+          std::vector<Tuple> rows;
+          std::vector<RowId> consumed;
+          src->ForEach([&](RowId rid, const Tuple& row, const RowMeta& meta) {
+            if (meta.batch_id == batch) {
+              rows.push_back(row);
+              consumed.push_back(rid);
+            }
+            return true;
+          });
+          SSTORE_ASSIGN_OR_RETURN(size_t n, exec.InsertMany(dst, rows, batch));
+          (void)n;
+          for (RowId rid : consumed) {
+            SSTORE_RETURN_NOT_OK(exec.DeleteRow(src, rid));
+          }
+          return std::vector<Tuple>{};
+        }));
+  }
+  int stages = num_stages;
+  return store->partition().RegisterProcedure(
+      proc, SpKind::kBorder,
+      std::make_shared<LambdaProcedure>([stages](ProcContext& ctx) {
+        // One PE->EE round trip per execution batch.
+        Tuple batch_param = {Value::BigInt(ctx.batch_id())};
+        SSTORE_ASSIGN_OR_RETURN(
+            std::vector<Tuple> r0,
+            ctx.CallFragment("h_entry",
+                             {ctx.params()[0], Value::BigInt(ctx.batch_id())}));
+        (void)r0;
+        for (int i = 1; i <= stages; ++i) {
+          SSTORE_ASSIGN_OR_RETURN(
+              std::vector<Tuple> ri,
+              ctx.CallFragment("h_stage_" + std::to_string(i), batch_param));
+          (void)ri;
+        }
+        return Status::OK();
+      }));
+}
+
+Status PeTriggerChain::SetupSStore(SStore* store, int num_procs) {
+  if (num_procs < 1) {
+    return Status::InvalidArgument("need at least one procedure");
+  }
+  if (!store->catalog().HasTable("done")) {
+    SSTORE_RETURN_NOT_OK(store->catalog().CreateTable("done", NumSchema()).status());
+  }
+  for (int i = 0; i + 1 < num_procs; ++i) {
+    SSTORE_RETURN_NOT_OK(store->streams().DefineStream(StreamName("q", i), NumSchema()));
+  }
+
+  Workflow wf("pe_chain");
+  for (int i = 1; i <= num_procs; ++i) {
+    bool first = i == 1;
+    bool last = i == num_procs;
+    std::string in_stream = first ? "" : StreamName("q", i - 2);
+    std::string out_stream = last ? "" : StreamName("q", i - 1);
+    std::shared_ptr<StoredProcedure> body;
+    if (first && last) {
+      body = std::make_shared<LambdaProcedure>([](ProcContext& ctx) {
+        SSTORE_ASSIGN_OR_RETURN(Table * done, ctx.table("done"));
+        SSTORE_ASSIGN_OR_RETURN(RowId rid, ctx.exec().Insert(done, {ctx.params()[0]}));
+        (void)rid;
+        return Status::OK();
+      });
+    } else if (first) {
+      body = std::make_shared<LambdaProcedure>([out_stream](ProcContext& ctx) {
+        return ctx.EmitToStream(out_stream, {{ctx.params()[0]}});
+      });
+    } else {
+      SStore* s = store;
+      body = std::make_shared<LambdaProcedure>(
+          [s, in_stream, out_stream, last](ProcContext& ctx) {
+            SSTORE_ASSIGN_OR_RETURN(
+                std::vector<Tuple> rows,
+                s->streams().BatchContents(in_stream, ctx.batch_id()));
+            if (last) {
+              SSTORE_ASSIGN_OR_RETURN(Table * done, ctx.table("done"));
+              SSTORE_ASSIGN_OR_RETURN(size_t n,
+                                      ctx.exec().InsertMany(done, rows));
+              (void)n;
+              return Status::OK();
+            }
+            return ctx.EmitToStream(out_stream, rows);
+          });
+    }
+    SSTORE_RETURN_NOT_OK(store->partition().RegisterProcedure(
+        ProcName(i), first ? SpKind::kBorder : SpKind::kInterior, body));
+
+    WorkflowNode node;
+    node.proc = ProcName(i);
+    node.kind = first ? SpKind::kBorder : SpKind::kInterior;
+    if (!first) node.input_streams = {in_stream};
+    if (!last) node.output_streams = {out_stream};
+    SSTORE_RETURN_NOT_OK(wf.AddNode(node));
+  }
+  return store->DeployWorkflow(wf);
+}
+
+Status PeTriggerChain::SetupHStore(SStore* store, int num_procs) {
+  if (num_procs < 1) {
+    return Status::InvalidArgument("need at least one procedure");
+  }
+  if (!store->catalog().HasTable("done")) {
+    SSTORE_RETURN_NOT_OK(store->catalog().CreateTable("done", NumSchema()).status());
+  }
+  for (int i = 0; i + 1 < num_procs; ++i) {
+    SSTORE_RETURN_NOT_OK(store->streams().DefineStream(StreamName("q", i), NumSchema()));
+  }
+  // Same chain logic, but with explicit consume-and-delete (no PE triggers,
+  // no automatic GC) and every step driven by the client.
+  for (int i = 1; i <= num_procs; ++i) {
+    bool first = i == 1;
+    bool last = i == num_procs;
+    std::string in_stream = first ? "" : StreamName("q", i - 2);
+    std::string out_stream = last ? "" : StreamName("q", i - 1);
+    std::shared_ptr<StoredProcedure> body;
+    if (first && last) {
+      body = std::make_shared<LambdaProcedure>([](ProcContext& ctx) {
+        SSTORE_ASSIGN_OR_RETURN(Table * done, ctx.table("done"));
+        SSTORE_ASSIGN_OR_RETURN(RowId rid, ctx.exec().Insert(done, {ctx.params()[0]}));
+        (void)rid;
+        return Status::OK();
+      });
+    } else if (first) {
+      body = std::make_shared<LambdaProcedure>([out_stream](ProcContext& ctx) {
+        SSTORE_ASSIGN_OR_RETURN(Table * out, ctx.table(out_stream));
+        SSTORE_ASSIGN_OR_RETURN(
+            RowId rid,
+            ctx.exec().Insert(out, {ctx.params()[0]}, ctx.batch_id()));
+        (void)rid;
+        return Status::OK();
+      });
+    } else {
+      body = std::make_shared<LambdaProcedure>(
+          [in_stream, out_stream, last](ProcContext& ctx) {
+            SSTORE_ASSIGN_OR_RETURN(Table * src, ctx.table(in_stream));
+            int64_t batch = ctx.batch_id();
+            std::vector<Tuple> rows;
+            std::vector<RowId> consumed;
+            src->ForEach([&](RowId rid, const Tuple& row, const RowMeta& meta) {
+              if (meta.batch_id == batch) {
+                rows.push_back(row);
+                consumed.push_back(rid);
+              }
+              return true;
+            });
+            Table* dst = nullptr;
+            if (last) {
+              SSTORE_ASSIGN_OR_RETURN(dst, ctx.table("done"));
+            } else {
+              SSTORE_ASSIGN_OR_RETURN(dst, ctx.table(out_stream));
+            }
+            SSTORE_ASSIGN_OR_RETURN(size_t n,
+                                    ctx.exec().InsertMany(dst, rows, batch));
+            (void)n;
+            for (RowId rid : consumed) {
+              SSTORE_RETURN_NOT_OK(ctx.exec().DeleteRow(src, rid));
+            }
+            return Status::OK();
+          });
+    }
+    SSTORE_RETURN_NOT_OK(store->partition().RegisterProcedure(
+        ProcName(i), first ? SpKind::kBorder : SpKind::kInterior, body));
+  }
+  return Status::OK();
+}
+
+Status PeTriggerChain::RunChainHStore(SStore* store, int num_procs,
+                                      int64_t batch_id, const Tuple& input) {
+  // The client cannot submit asynchronously: workflow order must hold, so
+  // each transaction is confirmed before the next is sent (paper §4.2).
+  for (int i = 1; i <= num_procs; ++i) {
+    TxnOutcome out = store->partition().ExecuteSync(
+        ProcName(i), i == 1 ? input : Tuple{Value::BigInt(batch_id)}, batch_id);
+    if (!out.committed()) return out.status;
+  }
+  return Status::OK();
+}
+
+Status WindowBench::SetupNative(SStore* store, int64_t size, int64_t slide,
+                                const std::string& proc) {
+  WindowSpec spec;
+  spec.name = "w_bench";
+  spec.schema = NumSchema();
+  spec.kind = WindowKind::kTupleBased;
+  spec.size = size;
+  spec.slide = slide;
+  spec.owner_proc = proc;
+  SSTORE_RETURN_NOT_OK(store->windows().DefineWindow(spec));
+  SStore* s = store;
+  return store->partition().RegisterProcedure(
+      proc, SpKind::kBorder,
+      std::make_shared<LambdaProcedure>([s](ProcContext& ctx) {
+        return s->windows().Insert(ctx.exec(), "w_bench", {{ctx.params()[0]}});
+      }));
+}
+
+Status WindowBench::SetupManual(SStore* store, int64_t size, int64_t slide,
+                                const std::string& proc) {
+  // w_manual(x, wseq, staged): explicit ordering column + staging flag.
+  SSTORE_RETURN_NOT_OK(store->catalog()
+                           .CreateTable("w_manual",
+                                        Schema({{"x", ValueType::kBigInt},
+                                                {"wseq", ValueType::kBigInt},
+                                                {"staged", ValueType::kBigInt}}))
+                           .status());
+  // w_meta(next_seq, staged_count, active_count): the explicit statistics
+  // the H-Store implementation must keep in a real table and maintain with
+  // SQL on every insert (S-Store keeps these in native table metadata).
+  SSTORE_RETURN_NOT_OK(store->catalog()
+                           .CreateTable("w_meta",
+                                        Schema({{"next_seq", ValueType::kBigInt},
+                                                {"staged_count", ValueType::kBigInt},
+                                                {"active_count", ValueType::kBigInt}}))
+                           .status());
+  SSTORE_ASSIGN_OR_RETURN(Table * meta, store->catalog().GetTable("w_meta"));
+  SSTORE_ASSIGN_OR_RETURN(
+      RowId rid,
+      meta->Insert({Value::BigInt(1), Value::BigInt(0), Value::BigInt(0)}));
+  (void)rid;
+
+  int64_t wsize = size;
+  int64_t wslide = slide;
+  return store->partition().RegisterProcedure(
+      proc, SpKind::kBorder,
+      std::make_shared<LambdaProcedure>([wsize, wslide](ProcContext& ctx) {
+        SSTORE_ASSIGN_OR_RETURN(Table * w, ctx.table("w_manual"));
+        SSTORE_ASSIGN_OR_RETURN(Table * meta, ctx.table("w_meta"));
+
+        // Stage 1: read statistics, insert the new tuple staged, write the
+        // statistics back — three SQL statements per arriving tuple.
+        ScanSpec meta_scan;
+        meta_scan.table = meta;
+        SSTORE_ASSIGN_OR_RETURN(std::vector<Tuple> mrow, ctx.exec().Scan(meta_scan));
+        int64_t seq = mrow[0][0].as_int64();
+        int64_t staged = mrow[0][1].as_int64() + 1;
+        int64_t active = mrow[0][2].as_int64();
+        SSTORE_ASSIGN_OR_RETURN(
+            RowId nrid,
+            ctx.exec().Insert(w, {ctx.params()[0], Value::BigInt(seq),
+                                  Value::BigInt(1)}));
+        (void)nrid;
+        SSTORE_ASSIGN_OR_RETURN(
+            size_t um, ctx.exec().Update(meta, nullptr,
+                                         {{0, LitInt(seq + 1)},
+                                          {1, LitInt(staged)}}));
+        (void)um;
+
+        // Stage 2: slide when conditions are met — activate staged tuples
+        // and expire everything older than the window's new start, then fix
+        // up the statistics row.
+        int64_t threshold = active > 0 ? wslide : wsize;
+        if (staged >= threshold) {
+          SSTORE_ASSIGN_OR_RETURN(
+              size_t ua,
+              ctx.exec().Update(w, Eq(Col(2), LitInt(1)), {{2, LitInt(0)}}));
+          (void)ua;
+          int64_t new_start = seq - wsize + 1;  // highest active wseq - size + 1
+          SSTORE_ASSIGN_OR_RETURN(
+              size_t del, ctx.exec().Delete(w, Lt(Col(1), LitInt(new_start))));
+          (void)del;
+          int64_t new_active = std::min(active + staged, wsize);
+          SSTORE_ASSIGN_OR_RETURN(
+              size_t uf, ctx.exec().Update(meta, nullptr,
+                                           {{1, LitInt(0)},
+                                            {2, LitInt(new_active)}}));
+          (void)uf;
+        }
+        return Status::OK();
+      }));
+}
+
+Result<size_t> WindowBench::ActiveCount(SStore* store, bool native) {
+  if (native) {
+    SSTORE_ASSIGN_OR_RETURN(Table * w, store->catalog().GetTable("w_bench"));
+    return w->active_count();
+  }
+  SSTORE_ASSIGN_OR_RETURN(Table * w, store->catalog().GetTable("w_manual"));
+  Executor exec;
+  return exec.Count(w, Eq(Col(2), LitInt(0)));
+}
+
+}  // namespace sstore

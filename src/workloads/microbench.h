@@ -1,0 +1,81 @@
+#ifndef SSTORE_WORKLOADS_MICROBENCH_H_
+#define SSTORE_WORKLOADS_MICROBENCH_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "streaming/sstore.h"
+#include "streaming/workflow.h"
+
+namespace sstore {
+
+/// Builders for the paper's micro-benchmarks (§4.1-§4.4). Each figure
+/// compares an S-Store-native implementation against the equivalent
+/// H-Store-style implementation on the same engine.
+
+/// Figure 5 — EE triggers. A single stored procedure pushes a tuple through
+/// `num_stages` query stages.
+///
+/// S-Store ("ingest_s"): the tuple is inserted into stream s0; EE triggers
+/// forward it s0 -> s1 -> ... -> s<N> entirely inside the EE (one PE->EE
+/// entry, automatic stream GC).
+///
+/// H-Store ("ingest_h"): the procedure invokes one insert fragment and one
+/// delete fragment per stage, each crossing the serialized PE<->EE boundary
+/// as a separate execution batch.
+struct EeTriggerChain {
+  /// Creates streams s0..s<num_stages> plus base table "sink", fragments,
+  /// triggers, and the border procedure named `proc`. The final stage
+  /// appends into "sink".
+  static Status SetupSStore(SStore* store, int num_stages,
+                            const std::string& proc = "ingest_s");
+  static Status SetupHStore(SStore* store, int num_stages,
+                            const std::string& proc = "ingest_h");
+};
+
+/// Figure 6 — PE triggers. A workflow of `num_procs` identical stored
+/// procedures sp1..spN that must run in exact sequence for every input
+/// tuple; each spi moves the tuple from stream q<i-1> to q<i>, and spN
+/// appends to base table "done".
+///
+/// S-Store: the chain is a deployed workflow — PE triggers activate each
+/// next SP inside the PE, fast-tracked by the streaming scheduler
+/// (num_procs - 1 PE triggers).
+///
+/// H-Store: the same procedures are registered, but nothing is wired: the
+/// client must submit sp1, wait for the commit, submit sp2, ... serializing
+/// a full client round trip per stage (use RunChainHStore).
+struct PeTriggerChain {
+  static Status SetupSStore(SStore* store, int num_procs);
+  static Status SetupHStore(SStore* store, int num_procs);
+  /// Executes one full workflow instance the H-Store way: sequential
+  /// synchronous submissions of sp1..spN for `batch_id`.
+  static Status RunChainHStore(SStore* store, int num_procs, int64_t batch_id,
+                               const Tuple& input);
+  static std::string ProcName(int i) { return "sp" + std::to_string(i); }
+};
+
+/// Figure 7 — windows. One stored procedure inserts a tuple into a
+/// tuple-based sliding window of the given size/slide and maintains it.
+///
+/// S-Store ("win_native"): declarative window; staging, slides, expiry and
+/// statistics are native EE machinery.
+///
+/// H-Store ("win_manual"): a base table carries explicit `wseq` and `staged`
+/// columns plus a one-row metadata table (next_seq, staged_count); the
+/// procedure reproduces the window semantics with SQL + procedural logic —
+/// the paper's "window and metadata table with a two-staged stored
+/// procedure".
+struct WindowBench {
+  static Status SetupNative(SStore* store, int64_t size, int64_t slide,
+                            const std::string& proc = "win_native");
+  static Status SetupManual(SStore* store, int64_t size, int64_t slide,
+                            const std::string& proc = "win_manual");
+  /// Active-row count of the benchmark window ("w_bench" native /
+  /// "w_manual" manual) for validation.
+  static Result<size_t> ActiveCount(SStore* store, bool native);
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_WORKLOADS_MICROBENCH_H_

@@ -1,0 +1,279 @@
+// Differential/property tests: random workloads executed both through the
+// library and through trivially-correct reference implementations.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/executor.h"
+#include "query/expr.h"
+#include "storage/table.h"
+#include "streaming/injector.h"
+#include "streaming/sstore.h"
+
+namespace sstore {
+namespace {
+
+Schema KvSchema() {
+  return Schema({{"k", ValueType::kBigInt}, {"v", ValueType::kBigInt}});
+}
+
+/// Reference model: a plain map with the same semantics as a table with a
+/// unique index on k.
+class ModelKv {
+ public:
+  bool Insert(int64_t k, int64_t v) { return map_.emplace(k, v).second; }
+  bool Erase(int64_t k) { return map_.erase(k) > 0; }
+  std::optional<int64_t> Get(int64_t k) const {
+    auto it = map_.find(k);
+    return it == map_.end() ? std::nullopt : std::make_optional(it->second);
+  }
+  size_t size() const { return map_.size(); }
+  const std::map<int64_t, int64_t>& map() const { return map_; }
+
+ private:
+  std::map<int64_t, int64_t> map_;
+};
+
+class RandomOpsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomOpsTest, TableMatchesModelUnderRandomInsertDeleteUpdate) {
+  Rng rng(GetParam());
+  Table table("t", KvSchema());
+  ASSERT_TRUE(table.CreateIndex("pk", {"k"}, true).ok());
+  ModelKv model;
+  Executor exec;
+
+  for (int step = 0; step < 2000; ++step) {
+    int64_t k = rng.NextRange(0, 99);
+    double dice = rng.NextDouble();
+    if (dice < 0.5) {
+      int64_t v = rng.NextRange(0, 1'000'000);
+      Result<RowId> rid = exec.Insert(&table, {Value::BigInt(k), Value::BigInt(v)});
+      bool model_ok = model.Insert(k, v);
+      EXPECT_EQ(rid.ok(), model_ok) << "insert divergence at step " << step;
+    } else if (dice < 0.75) {
+      Result<size_t> n = exec.Delete(&table, Eq(Col(0), LitInt(k)));
+      ASSERT_TRUE(n.ok());
+      bool model_ok = model.Erase(k);
+      EXPECT_EQ(*n == 1, model_ok) << "delete divergence at step " << step;
+    } else {
+      int64_t v = rng.NextRange(0, 1'000'000);
+      Result<size_t> n =
+          exec.Update(&table, Eq(Col(0), LitInt(k)), {{1, LitInt(v)}});
+      ASSERT_TRUE(n.ok());
+      if (model.Get(k).has_value()) {
+        EXPECT_EQ(*n, 1u);
+        model.Insert(k, 0);  // no-op (exists)
+        model.Erase(k);
+        model.Insert(k, v);
+      } else {
+        EXPECT_EQ(*n, 0u);
+      }
+    }
+    ASSERT_EQ(table.row_count(), model.size());
+  }
+
+  // Full-content comparison at the end.
+  for (const auto& [k, v] : model.map()) {
+    Result<std::vector<Tuple>> rows =
+        exec.IndexScan(&table, "pk", {Value::BigInt(k)});
+    ASSERT_TRUE(rows.ok());
+    ASSERT_EQ(rows->size(), 1u) << "key " << k;
+    EXPECT_EQ((*rows)[0][1], Value::BigInt(v)) << "key " << k;
+  }
+}
+
+TEST_P(RandomOpsTest, AbortedTransactionsLeaveNoTrace) {
+  // Random mutation batches run inside a transaction-like undo scope; half
+  // are rolled back, and rollback must restore the exact previous state.
+  Rng rng(GetParam() ^ 0xabcdef);
+  SStore store;
+  Table* table = *store.catalog().CreateTable("t", KvSchema());
+  ASSERT_TRUE(table->CreateIndex("pk", {"k"}, true).ok());
+
+  auto mutate = std::make_shared<LambdaProcedure>([&rng](ProcContext& ctx) {
+    SSTORE_ASSIGN_OR_RETURN(Table * t, ctx.table("t"));
+    int ops = static_cast<int>(rng.NextRange(1, 8));
+    for (int i = 0; i < ops; ++i) {
+      int64_t k = rng.NextRange(0, 30);
+      double dice = rng.NextDouble();
+      if (dice < 0.5) {
+        // Best-effort insert; duplicates are fine inside the txn body.
+        Result<RowId> rid =
+            ctx.exec().Insert(t, {Value::BigInt(k), Value::BigInt(i)});
+        (void)rid;
+      } else if (dice < 0.75) {
+        SSTORE_ASSIGN_OR_RETURN(size_t n,
+                                ctx.exec().Delete(t, Eq(Col(0), LitInt(k))));
+        (void)n;
+      } else {
+        SSTORE_ASSIGN_OR_RETURN(
+            size_t n,
+            ctx.exec().Update(t, Eq(Col(0), LitInt(k)), {{1, LitInt(7)}}));
+        (void)n;
+      }
+    }
+    if (ctx.params()[0].as_int64() == 1) {
+      return Status::Aborted("coin flip");
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(store.partition().RegisterProcedure("mutate", SpKind::kOltp, mutate).ok());
+
+  auto snapshot_state = [&] {
+    std::map<int64_t, int64_t> out;
+    table->ForEach([&](RowId, const Tuple& row, const RowMeta&) {
+      out[row[0].as_int64()] = row[1].as_int64();
+      return true;
+    });
+    return out;
+  };
+
+  for (int round = 0; round < 300; ++round) {
+    bool abort = rng.NextBool(0.5);
+    std::map<int64_t, int64_t> before = snapshot_state();
+    TxnOutcome out =
+        store.partition().ExecuteSync("mutate", {Value::BigInt(abort ? 1 : 0)});
+    if (abort) {
+      EXPECT_TRUE(out.status.IsAborted());
+      EXPECT_EQ(snapshot_state(), before) << "rollback incomplete, round "
+                                          << round;
+    }
+    // Committed rounds may or may not change state (duplicate inserts abort
+    // too); either way the table must stay consistent with its index.
+    std::map<int64_t, int64_t> now = snapshot_state();
+    for (const auto& [k, v] : now) {
+      Executor exec;
+      Result<std::vector<Tuple>> rows =
+          exec.IndexScan(table, "pk", {Value::BigInt(k)});
+      ASSERT_TRUE(rows.ok());
+      ASSERT_EQ(rows->size(), 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomOpsTest,
+                         ::testing::Values(1ull, 42ull, 1337ull, 0xdeadbeefull));
+
+class RandomAggTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomAggTest, AggregatesMatchReferenceComputation) {
+  Rng rng(GetParam());
+  Table table("t", KvSchema());
+  Executor exec;
+  std::map<int64_t, std::vector<int64_t>> reference;
+  int rows = static_cast<int>(rng.NextRange(0, 200));
+  for (int i = 0; i < rows; ++i) {
+    int64_t k = rng.NextRange(0, 8);
+    int64_t v = rng.NextRange(-50, 50);
+    ASSERT_TRUE(exec.Insert(&table, {Value::BigInt(k), Value::BigInt(v)}).ok());
+    reference[k].push_back(v);
+  }
+  AggregateSpec spec;
+  spec.table = &table;
+  spec.group_by = {0};
+  spec.aggregates = {{AggFunc::kCount, 1},
+                     {AggFunc::kSum, 1},
+                     {AggFunc::kMin, 1},
+                     {AggFunc::kMax, 1}};
+  Result<std::vector<Tuple>> groups = exec.Aggregate(spec);
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups->size(), reference.size());
+  for (const Tuple& g : *groups) {
+    const std::vector<int64_t>& vals = reference[g[0].as_int64()];
+    int64_t sum = 0, mn = vals[0], mx = vals[0];
+    for (int64_t v : vals) {
+      sum += v;
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    EXPECT_EQ(g[1], Value::BigInt(static_cast<int64_t>(vals.size())));
+    EXPECT_EQ(g[2], Value::BigInt(sum));
+    EXPECT_EQ(g[3], Value::BigInt(mn));
+    EXPECT_EQ(g[4], Value::BigInt(mx));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAggTest,
+                         ::testing::Values(3ull, 7ull, 1001ull, 424242ull));
+
+TEST(RandomWorkflowScheduleTest, RandomDagsAlwaysProduceCorrectSchedules) {
+  // Generate random 4-node DAGs, deploy them with pass-through procedures,
+  // run several rounds, and validate the recorded schedule against the
+  // paper's two ordering constraints.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 7919);
+    SStore store;
+    Schema num({{"x", ValueType::kBigInt}});
+
+    // Node 0 is the border; nodes 1..3 each pick one upstream node.
+    std::vector<int> upstream = {-1};
+    for (int n = 1; n < 4; ++n) {
+      upstream.push_back(static_cast<int>(rng.NextBounded(n)));
+    }
+    auto stream_name = [](int from, int to) {
+      return "e" + std::to_string(from) + "_" + std::to_string(to);
+    };
+    Workflow wf("random");
+    for (int n = 0; n < 4; ++n) {
+      std::vector<std::string> ins, outs;
+      if (n > 0) ins.push_back(stream_name(upstream[n], n));
+      for (int m = n + 1; m < 4; ++m) {
+        if (upstream[m] == n) outs.push_back(stream_name(n, m));
+      }
+      for (const std::string& s : outs) {
+        ASSERT_TRUE(store.streams().DefineStream(s, num).ok());
+      }
+      std::string proc = "n" + std::to_string(n);
+      SStore* sp = &store;
+      std::vector<std::string> outs_copy = outs;
+      std::string in_copy = ins.empty() ? "" : ins[0];
+      auto body = std::make_shared<LambdaProcedure>(
+          [sp, in_copy, outs_copy](ProcContext& ctx) {
+            std::vector<Tuple> rows;
+            if (in_copy.empty()) {
+              rows.push_back(ctx.params());
+            } else {
+              SSTORE_ASSIGN_OR_RETURN(
+                  rows, sp->streams().BatchContents(in_copy, ctx.batch_id()));
+            }
+            for (const std::string& out : outs_copy) {
+              SSTORE_RETURN_NOT_OK(ctx.EmitToStream(out, rows));
+            }
+            return Status::OK();
+          });
+      ASSERT_TRUE(store.partition()
+                      .RegisterProcedure(
+                          proc, n == 0 ? SpKind::kBorder : SpKind::kInterior,
+                          body)
+                      .ok());
+      WorkflowNode node;
+      node.proc = proc;
+      node.kind = n == 0 ? SpKind::kBorder : SpKind::kInterior;
+      node.input_streams = ins;
+      node.output_streams = outs;
+      ASSERT_TRUE(wf.AddNode(node).ok());
+    }
+    ASSERT_TRUE(store.DeployWorkflow(wf).ok());
+
+    std::vector<ScheduleEvent> schedule;
+    store.partition().AddCommitHook(
+        [&schedule](Partition&, const TransactionExecution& te) {
+          schedule.push_back({te.proc_name(), te.batch_id()});
+        });
+
+    StreamInjector injector(&store.partition(), "n0");
+    for (int r = 0; r < 10; ++r) {
+      ASSERT_TRUE(injector.InjectSync({Value::BigInt(r)}).committed());
+    }
+    EXPECT_EQ(schedule.size(), 40u) << "seed " << seed;
+    EXPECT_TRUE(ValidateSchedule(wf, schedule).ok()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sstore

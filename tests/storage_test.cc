@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "storage/catalog.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace sstore {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({{"id", ValueType::kBigInt}, {"name", ValueType::kString}});
+}
+
+Tuple Row(int64_t id, const std::string& name) {
+  return {Value::BigInt(id), Value::String(name)};
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  Schema s = TwoColSchema();
+  EXPECT_EQ(*s.ColumnIndex("id"), 0u);
+  EXPECT_EQ(*s.ColumnIndex("name"), 1u);
+  EXPECT_TRUE(s.ColumnIndex("missing").status().IsNotFound());
+}
+
+TEST(SchemaTest, ValidateTupleArity) {
+  Schema s = TwoColSchema();
+  EXPECT_TRUE(s.ValidateTuple(Row(1, "a")).ok());
+  EXPECT_FALSE(s.ValidateTuple({Value::BigInt(1)}).ok());
+}
+
+TEST(SchemaTest, ValidateTupleTypes) {
+  Schema s = TwoColSchema();
+  EXPECT_FALSE(s.ValidateTuple({Value::String("x"), Value::String("a")}).ok());
+  // NULLs pass; BIGINT/TIMESTAMP interchange.
+  EXPECT_TRUE(s.ValidateTuple({Value::Null(), Value::Null()}).ok());
+  EXPECT_TRUE(s.ValidateTuple({Value::Timestamp(1), Value::String("a")}).ok());
+}
+
+TEST(SchemaTest, SerializeRoundTrip) {
+  Schema s = TwoColSchema();
+  ByteWriter w;
+  s.SerializeTo(&w);
+  ByteReader r(w.data());
+  Result<Schema> got = Schema::DeserializeFrom(&r);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->Equals(s));
+}
+
+TEST(TableTest, InsertGetDelete) {
+  Table t("t", TwoColSchema());
+  Result<RowId> rid = t.Insert(Row(1, "a"));
+  ASSERT_TRUE(rid.ok());
+  EXPECT_EQ(t.row_count(), 1u);
+  Result<const Tuple*> got = t.Get(*rid);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((**got)[1], Value::String("a"));
+  Result<Tuple> removed = t.Delete(*rid);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ((*removed)[0], Value::BigInt(1));
+  EXPECT_EQ(t.row_count(), 0u);
+  EXPECT_TRUE(t.Get(*rid).status().IsNotFound());
+}
+
+TEST(TableTest, SlotReuseAfterDelete) {
+  Table t("t", TwoColSchema());
+  RowId a = *t.Insert(Row(1, "a"));
+  ASSERT_TRUE(t.Delete(a).ok());
+  RowId b = *t.Insert(Row(2, "b"));
+  EXPECT_EQ(a, b);  // free-list reuse
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableTest, SchemaRejectionOnInsert) {
+  Table t("t", TwoColSchema());
+  EXPECT_FALSE(t.Insert({Value::String("bad"), Value::String("a")}).ok());
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+TEST(TableTest, UpdateReturnsBeforeImage) {
+  Table t("t", TwoColSchema());
+  RowId rid = *t.Insert(Row(1, "a"));
+  Result<Tuple> before = t.Update(rid, Row(1, "b"));
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ((*before)[1], Value::String("a"));
+  EXPECT_EQ((**t.Get(rid))[1], Value::String("b"));
+}
+
+TEST(TableTest, SequenceMonotone) {
+  Table t("t", TwoColSchema());
+  RowId a = *t.Insert(Row(1, "a"));
+  RowId b = *t.Insert(Row(2, "b"));
+  EXPECT_LT((*t.GetMeta(a))->seq, (*t.GetMeta(b))->seq);
+}
+
+TEST(TableTest, StagingCounts) {
+  Table t("w", TwoColSchema(), TableKind::kWindow);
+  RowMeta staged;
+  staged.active = false;
+  ASSERT_TRUE(t.Insert(Row(1, "a"), staged).ok());
+  RowId active = *t.Insert(Row(2, "b"));
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.active_count(), 1u);
+  EXPECT_EQ(t.staged_count(), 1u);
+  // Flip staged -> active.
+  std::vector<RowId> all = t.RowIdsBySeq(/*include_staged=*/true);
+  ASSERT_EQ(all.size(), 2u);
+  ASSERT_TRUE(t.SetActive(all[0], true).ok());
+  EXPECT_EQ(t.active_count(), 2u);
+  (void)active;
+}
+
+TEST(TableTest, ForEachSkipsStagedByDefault) {
+  Table t("w", TwoColSchema(), TableKind::kWindow);
+  RowMeta staged;
+  staged.active = false;
+  ASSERT_TRUE(t.Insert(Row(1, "a"), staged).ok());
+  ASSERT_TRUE(t.Insert(Row(2, "b")).ok());
+  int visible = 0, total = 0;
+  t.ForEach([&](RowId, const Tuple&, const RowMeta&) {
+    ++visible;
+    return true;
+  });
+  t.ForEach(
+      [&](RowId, const Tuple&, const RowMeta&) {
+        ++total;
+        return true;
+      },
+      /*include_staged=*/true);
+  EXPECT_EQ(visible, 1);
+  EXPECT_EQ(total, 2);
+}
+
+TEST(TableTest, UniqueIndexRejectsDuplicates) {
+  Table t("t", TwoColSchema());
+  ASSERT_TRUE(t.CreateIndex("pk", {"id"}, /*unique=*/true).ok());
+  ASSERT_TRUE(t.Insert(Row(1, "a")).ok());
+  Result<RowId> dup = t.Insert(Row(1, "b"));
+  EXPECT_TRUE(dup.status().IsConstraintViolation());
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableTest, UniqueIndexAllowsReinsertAfterDelete) {
+  Table t("t", TwoColSchema());
+  ASSERT_TRUE(t.CreateIndex("pk", {"id"}, true).ok());
+  RowId rid = *t.Insert(Row(1, "a"));
+  ASSERT_TRUE(t.Delete(rid).ok());
+  EXPECT_TRUE(t.Insert(Row(1, "b")).ok());
+}
+
+TEST(TableTest, NonUniqueIndexLookup) {
+  Table t("t", TwoColSchema());
+  ASSERT_TRUE(t.CreateIndex("by_name", {"name"}, false).ok());
+  ASSERT_TRUE(t.Insert(Row(1, "x")).ok());
+  ASSERT_TRUE(t.Insert(Row(2, "x")).ok());
+  ASSERT_TRUE(t.Insert(Row(3, "y")).ok());
+  Result<std::vector<RowId>> hits =
+      t.IndexLookup("by_name", {Value::String("x")});
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+}
+
+TEST(TableTest, IndexMaintainedOnUpdate) {
+  Table t("t", TwoColSchema());
+  ASSERT_TRUE(t.CreateIndex("by_name", {"name"}, false).ok());
+  RowId rid = *t.Insert(Row(1, "x"));
+  ASSERT_TRUE(t.Update(rid, Row(1, "y")).ok());
+  EXPECT_TRUE((*t.IndexLookup("by_name", {Value::String("x")})).empty());
+  EXPECT_EQ((*t.IndexLookup("by_name", {Value::String("y")})).size(), 1u);
+}
+
+TEST(TableTest, UniqueUpdateConflict) {
+  Table t("t", TwoColSchema());
+  ASSERT_TRUE(t.CreateIndex("pk", {"id"}, true).ok());
+  ASSERT_TRUE(t.Insert(Row(1, "a")).ok());
+  RowId rid = *t.Insert(Row(2, "b"));
+  EXPECT_TRUE(t.Update(rid, Row(1, "b")).status().IsConstraintViolation());
+  // Same-key update is fine.
+  EXPECT_TRUE(t.Update(rid, Row(2, "c")).ok());
+}
+
+TEST(TableTest, BackfillIndexOnExistingData) {
+  Table t("t", TwoColSchema());
+  ASSERT_TRUE(t.Insert(Row(1, "a")).ok());
+  ASSERT_TRUE(t.Insert(Row(2, "b")).ok());
+  ASSERT_TRUE(t.CreateIndex("pk", {"id"}, true).ok());
+  EXPECT_EQ((*t.IndexLookup("pk", {Value::BigInt(2)})).size(), 1u);
+}
+
+TEST(TableTest, BackfillUniqueViolationFailsCreation) {
+  Table t("t", TwoColSchema());
+  ASSERT_TRUE(t.Insert(Row(1, "a")).ok());
+  ASSERT_TRUE(t.Insert(Row(1, "b")).ok());
+  EXPECT_TRUE(t.CreateIndex("pk", {"id"}, true).IsConstraintViolation());
+  EXPECT_TRUE(t.GetIndex("pk").status().IsNotFound());
+}
+
+TEST(TableTest, DuplicateIndexNameRejected) {
+  Table t("t", TwoColSchema());
+  ASSERT_TRUE(t.CreateIndex("i", {"id"}, false).ok());
+  EXPECT_EQ(t.CreateIndex("i", {"name"}, false).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, IndexOnUnknownColumnRejected) {
+  Table t("t", TwoColSchema());
+  EXPECT_TRUE(t.CreateIndex("i", {"nope"}, false).IsNotFound());
+}
+
+TEST(TableTest, UndoDeleteRestoresSlotAndIndexes) {
+  Table t("t", TwoColSchema());
+  ASSERT_TRUE(t.CreateIndex("pk", {"id"}, true).ok());
+  RowId rid = *t.Insert(Row(1, "a"));
+  RowMeta meta = *(*t.GetMeta(rid));
+  Tuple before = *t.Delete(rid);
+  ASSERT_TRUE(t.UndoDeleteAt(rid, before, meta).ok());
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ((*t.IndexLookup("pk", {Value::BigInt(1)})).size(), 1u);
+  EXPECT_EQ((*t.GetMeta(rid))->seq, meta.seq);
+}
+
+TEST(TableTest, SerializeRoundTripPreservesMetaAndOrder) {
+  Table t("s", TwoColSchema(), TableKind::kStream);
+  RowMeta m1;
+  m1.batch_id = 7;
+  ASSERT_TRUE(t.Insert(Row(1, "a"), m1).ok());
+  RowMeta m2;
+  m2.batch_id = 8;
+  m2.active = false;
+  ASSERT_TRUE(t.Insert(Row(2, "b"), m2).ok());
+
+  ByteWriter w;
+  t.SerializeTo(&w);
+
+  Table t2("s", TwoColSchema(), TableKind::kStream);
+  ByteReader r(w.data());
+  ASSERT_TRUE(t2.DeserializeContentsFrom(&r).ok());
+  EXPECT_EQ(t2.row_count(), 2u);
+  EXPECT_EQ(t2.active_count(), 1u);
+  EXPECT_EQ(t2.next_seq(), t.next_seq());
+  std::vector<RowId> ids = t2.RowIdsBySeq(true);
+  EXPECT_EQ((*t2.GetMeta(ids[0]))->batch_id, 7);
+  EXPECT_EQ((*t2.GetMeta(ids[1]))->batch_id, 8);
+}
+
+TEST(TableTest, DeserializeSchemaMismatchIsCorruption) {
+  Table t("t", TwoColSchema());
+  ASSERT_TRUE(t.Insert(Row(1, "a")).ok());
+  ByteWriter w;
+  t.SerializeTo(&w);
+  Table other("t", Schema({{"x", ValueType::kDouble}}));
+  ByteReader r(w.data());
+  EXPECT_EQ(other.DeserializeContentsFrom(&r).code(), StatusCode::kCorruption);
+}
+
+TEST(TableTest, ClearResetsEverything) {
+  Table t("t", TwoColSchema());
+  ASSERT_TRUE(t.CreateIndex("pk", {"id"}, true).ok());
+  ASSERT_TRUE(t.Insert(Row(1, "a")).ok());
+  EXPECT_EQ(t.Clear(), 1u);
+  EXPECT_EQ(t.row_count(), 0u);
+  EXPECT_TRUE(t.Insert(Row(1, "b")).ok());  // index cleared too
+}
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable("t", TwoColSchema()).ok());
+  EXPECT_TRUE(c.HasTable("t"));
+  EXPECT_EQ(c.CreateTable("t", TwoColSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(c.GetTable("t").ok());
+  ASSERT_TRUE(c.DropTable("t").ok());
+  EXPECT_FALSE(c.HasTable("t"));
+  EXPECT_TRUE(c.DropTable("t").IsNotFound());
+}
+
+TEST(CatalogTest, TablesOfKindSorted) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable("b_stream", TwoColSchema(), TableKind::kStream).ok());
+  ASSERT_TRUE(c.CreateTable("a_stream", TwoColSchema(), TableKind::kStream).ok());
+  ASSERT_TRUE(c.CreateTable("base", TwoColSchema()).ok());
+  std::vector<Table*> streams = c.TablesOfKind(TableKind::kStream);
+  ASSERT_EQ(streams.size(), 2u);
+  EXPECT_EQ(streams[0]->name(), "a_stream");
+  EXPECT_EQ(c.TableNames().size(), 3u);
+}
+
+}  // namespace
+}  // namespace sstore

@@ -2,6 +2,12 @@
 // (paper §4.7). The input stream is partitioned by x-way across cores; each
 // core runs the complete two-SP workflow serially for its partition.
 //
+// This bench runs on the Cluster API: one Cluster owns the shared-nothing
+// partitions, one DeploymentPlan puts the identical Linear Road workflow on
+// every partition, and a keyed ClusterInjector routes each position report
+// by its x-way column. Modulo routing gives the paper's exactly balanced
+// x-way assignment (x-way w -> partition w % cores).
+//
 // We measure each configuration's aggregate position-report capacity and
 // convert it into "x-ways supported" (an x-way offers vehicles_per_xway
 // reports per simulated second; an x-way is supported when its reports are
@@ -13,89 +19,102 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <thread>
 #include <vector>
 
-#include "streaming/sstore.h"
+#include "cluster/cluster.h"
+#include "cluster/cluster_injector.h"
 #include "workloads/linear_road.h"
 
 namespace {
 
-using sstore::LinearRoadApp;
+using sstore::Cluster;
+using sstore::ClusterInjector;
+using sstore::ClusterStats;
 using sstore::LinearRoadConfig;
 using sstore::LinearRoadGenerator;
+using sstore::PartitionMap;
 using sstore::PositionReport;
-using sstore::SStore;
 
 constexpr int kXwaysPerPartition = 2;
 constexpr int kVehiclesPerXway = 40;
 constexpr int kDurationSec = 75;  // sim seconds (includes a minute boundary)
+constexpr int kXwayColumn = 2;    // position of xway in PositionReport tuples
 
 void BM_LinearRoadScaling(benchmark::State& state) {
   int cores = static_cast<int>(state.range(0));
 
   for (auto _ : state) {
     state.PauseTiming();
-    // One shared-nothing partition per core, each owning its x-ways.
-    std::vector<std::unique_ptr<SStore>> stores;
-    std::vector<std::unique_ptr<LinearRoadApp>> apps;
-    for (int c = 0; c < cores; ++c) {
-      SStore::Options opts;
-      opts.partition_id = c;
-      stores.push_back(std::make_unique<SStore>(opts));
-      LinearRoadConfig config;
-      config.num_xways = kXwaysPerPartition;
-      config.vehicles_per_xway = kVehiclesPerXway;
-      config.duration_sec = kDurationSec;
-      config.seed = 1000 + static_cast<uint64_t>(c);
-      apps.push_back(std::make_unique<LinearRoadApp>(stores.back().get(), config));
-      if (!apps.back()->Setup().ok()) {
-        state.SkipWithError("setup failed");
-        return;
-      }
-      stores.back()->Start();
+    // One shared-nothing partition per core; x-way w lives on w % cores.
+    Cluster::Options opts;
+    opts.num_partitions = cores;
+    opts.routing = PartitionMap::Mode::kModulo;
+    Cluster cluster(opts);
+
+    LinearRoadConfig config;
+    config.num_xways = kXwaysPerPartition * cores;
+    config.vehicles_per_xway = kVehiclesPerXway;
+    config.duration_sec = kDurationSec;
+    config.seed = 1000;
+    if (!cluster.Deploy(sstore::BuildLinearRoadDeployment(config)).ok()) {
+      state.SkipWithError("deployment failed");
+      return;
     }
+    cluster.Start();
+    ClusterInjector::Options inj_opts;
+    inj_opts.key_column = kXwayColumn;
+    ClusterInjector injector(&cluster, "position_report", inj_opts);
     state.ResumeTiming();
 
-    // One client thread per partition replays its traffic at full speed.
+    // One client thread per partition replays that partition's x-ways at
+    // full speed. Each thread generates kXwaysPerPartition local x-ways and
+    // remaps them onto the global ids owned by its partition
+    // (global = local * cores + p, so global % cores == p); routing by the
+    // x-way column then lands every report on partition p.
     std::vector<std::thread> clients;
     std::vector<int64_t> processed(cores, 0);
     auto t0 = std::chrono::steady_clock::now();
     for (int c = 0; c < cores; ++c) {
       clients.emplace_back([&, c] {
-        LinearRoadConfig config;
-        config.num_xways = kXwaysPerPartition;
-        config.vehicles_per_xway = kVehiclesPerXway;
-        config.seed = 1000 + static_cast<uint64_t>(c);
-        LinearRoadGenerator gen(config);
+        LinearRoadConfig gen_config;
+        gen_config.num_xways = kXwaysPerPartition;
+        gen_config.vehicles_per_xway = kVehiclesPerXway;
+        gen_config.seed = 1000 + static_cast<uint64_t>(c);
+        LinearRoadGenerator gen(gen_config);
         std::vector<sstore::TicketPtr> tickets;
         for (int s = 0; s < kDurationSec; ++s) {
-          for (const PositionReport& r : gen.NextSecond()) {
-            tickets.push_back(apps[c]->InjectAsync(r));
+          for (PositionReport r : gen.NextSecond()) {
+            r.xway = r.xway * cores + c;
+            r.vid += static_cast<int64_t>(c) * 100'000'000;
+            tickets.push_back(injector.InjectAsync(r.ToTuple()));
             ++processed[c];
           }
         }
         for (auto& t : tickets) t->Wait();
-        while (stores[c]->partition().QueueDepth() > 0) {
-          std::this_thread::yield();
-        }
       });
     }
     for (auto& t : clients) t.join();
+    // Let the PE-triggered minute rollups of the last round drain.
+    cluster.WaitIdle();
     auto t1 = std::chrono::steady_clock::now();
 
     state.PauseTiming();
     double elapsed = std::chrono::duration<double>(t1 - t0).count();
     int64_t total = 0;
     for (int64_t p : processed) total += p;
+    ClusterStats stats = cluster.GatherStats();
     double reports_per_sec = static_cast<double>(total) / elapsed;
     // An x-way generates vehicles_per_xway reports per (real-time) second.
     double xways_supported = reports_per_sec / kVehiclesPerXway;
     state.counters["reports_per_sec"] = reports_per_sec;
     state.counters["xways_supported"] = xways_supported;
     state.counters["xways_per_core"] = xways_supported / cores;
-    for (auto& store : stores) store->Stop();
+    state.counters["committed_txns"] =
+        static_cast<double>(stats.committed());
+    cluster.Stop();
     state.ResumeTiming();
   }
 }

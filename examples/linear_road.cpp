@@ -1,14 +1,15 @@
 // Linear Road subset (paper §4.7): streaming vehicle position reports
 // through the two-SP workflow — per-report position/toll/accident handling
 // (SP1, border) and per-minute toll/statistics rollup (SP2, interior,
-// PE-triggered at minute boundaries) — partitioned by x-way across cores.
+// PE-triggered at minute boundaries) — on a single partition.
 //
-// Run: ./build/examples/linear_road [xways] [partitions] [sim_seconds]
+// For the multi-partition version of this workload (keyed routing by x-way
+// over a shared-nothing Cluster), see cluster_linear_road.cpp.
+//
+// Run: ./build/examples/linear_road [xways] [sim_seconds]
 
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
-#include <thread>
 #include <vector>
 
 #include "streaming/sstore.h"
@@ -18,66 +19,43 @@ using namespace sstore;  // NOLINT: example brevity
 
 int main(int argc, char** argv) {
   int xways = argc > 1 ? std::atoi(argv[1]) : 4;
-  int partitions = argc > 2 ? std::atoi(argv[2]) : 2;
-  int sim_seconds = argc > 3 ? std::atoi(argv[3]) : 130;
-  if (partitions > xways) partitions = xways;
+  int sim_seconds = argc > 2 ? std::atoi(argv[2]) : 130;
 
-  // Shared-nothing: each partition owns xways/partitions x-ways and runs
-  // the complete workflow serially for them.
-  std::vector<std::unique_ptr<SStore>> stores;
-  std::vector<std::unique_ptr<LinearRoadApp>> apps;
-  std::vector<LinearRoadConfig> configs;
-  for (int p = 0; p < partitions; ++p) {
-    LinearRoadConfig config;
-    config.num_xways = xways / partitions + (p < xways % partitions ? 1 : 0);
-    config.vehicles_per_xway = 40;
-    config.duration_sec = sim_seconds;
-    config.stop_probability = 0.002;
-    config.seed = 42 + static_cast<uint64_t>(p);
-    configs.push_back(config);
-    SStore::Options opts;
-    opts.partition_id = p;
-    stores.push_back(std::make_unique<SStore>(opts));
-    apps.push_back(std::make_unique<LinearRoadApp>(stores.back().get(), config));
-    if (!apps.back()->Setup().ok()) {
-      std::fprintf(stderr, "setup failed on partition %d\n", p);
-      return 1;
-    }
-    stores.back()->Start();
+  LinearRoadConfig config;
+  config.num_xways = xways;
+  config.vehicles_per_xway = 40;
+  config.duration_sec = sim_seconds;
+  config.stop_probability = 0.002;
+  config.seed = 42;
+
+  SStore store;
+  LinearRoadApp app(&store, config);
+  if (!app.Setup().ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
   }
+  store.Start();
 
-  std::vector<std::thread> feeders;
-  std::vector<int64_t> reports(partitions, 0);
-  for (int p = 0; p < partitions; ++p) {
-    feeders.emplace_back([&, p] {
-      LinearRoadGenerator gen(configs[p]);
-      std::vector<TicketPtr> tickets;
-      for (int s = 0; s < sim_seconds; ++s) {
-        for (const PositionReport& r : gen.NextSecond()) {
-          tickets.push_back(apps[p]->InjectAsync(r));
-          ++reports[p];
-        }
-      }
-      for (auto& t : tickets) t->Wait();
-      while (stores[p]->partition().QueueDepth() > 0) {
-      }
-    });
-  }
-  for (auto& f : feeders) f.join();
-
+  LinearRoadGenerator gen(config);
+  std::vector<TicketPtr> tickets;
   int64_t total_reports = 0;
-  size_t notifications = 0, archived = 0, accidents = 0;
-  double tolls = 0;
-  for (int p = 0; p < partitions; ++p) {
-    stores[p]->Stop();
-    total_reports += reports[p];
-    notifications += apps[p]->DrainNotifications().ValueOr(0);
-    archived += apps[p]->ArchivedStats().ValueOr(0);
-    accidents += apps[p]->OpenAccidents().ValueOr(0);
-    tolls += apps[p]->TotalTollsCharged().ValueOr(0.0);
+  for (int s = 0; s < sim_seconds; ++s) {
+    for (const PositionReport& r : gen.NextSecond()) {
+      tickets.push_back(app.InjectAsync(r));
+      ++total_reports;
+    }
   }
-  std::printf("x-ways: %d across %d partition(s), %d simulated seconds\n",
-              xways, partitions, sim_seconds);
+  for (auto& t : tickets) t->Wait();
+  while (store.partition().QueueDepth() > 0) {
+  }
+  store.Stop();
+
+  size_t notifications = app.DrainNotifications().ValueOr(0);
+  size_t archived = app.ArchivedStats().ValueOr(0);
+  size_t accidents = app.OpenAccidents().ValueOr(0);
+  double tolls = app.TotalTollsCharged().ValueOr(0.0);
+  std::printf("x-ways: %d on one partition, %d simulated seconds\n", xways,
+              sim_seconds);
   std::printf("position reports processed: %lld\n",
               static_cast<long long>(total_reports));
   std::printf("toll/accident notifications delivered: %zu\n", notifications);

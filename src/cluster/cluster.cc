@@ -1,0 +1,155 @@
+#include "cluster/cluster.h"
+
+#include <thread>
+#include <utility>
+
+namespace sstore {
+
+namespace {
+
+Cluster::Options WithPartitions(int num_partitions) {
+  Cluster::Options options;
+  options.num_partitions = num_partitions;
+  return options;
+}
+
+}  // namespace
+
+Cluster::Cluster(const Options& options)
+    : options_(options),
+      map_(options.num_partitions < 1 ? 1
+                                      : static_cast<size_t>(
+                                            options.num_partitions),
+           options.routing) {
+  size_t n = map_.num_partitions();
+  stores_.reserve(n);
+  for (size_t p = 0; p < n; ++p) {
+    SStore::Options store_opts;
+    store_opts.partition_id = static_cast<int>(p);
+    if (!options_.log_dir.empty()) {
+      store_opts.log_path =
+          options_.log_dir + "/partition-" + std::to_string(p) + ".log";
+      store_opts.group_commit_size = options_.group_commit_size;
+      store_opts.log_sync = options_.log_sync;
+      store_opts.recovery_mode = options_.recovery_mode;
+    }
+    stores_.push_back(std::make_unique<SStore>(store_opts));
+  }
+}
+
+Cluster::Cluster(int num_partitions) : Cluster(WithPartitions(num_partitions)) {}
+
+Cluster::~Cluster() { Stop(); }
+
+Status Cluster::Deploy(const DeploymentPlan& plan) {
+  for (size_t p = 0; p < stores_.size(); ++p) {
+    Status s = plan.ApplyTo(*stores_[p]);
+    if (!s.ok()) {
+      return Status(s.code(),
+                    "partition " + std::to_string(p) + ": " + s.message());
+    }
+  }
+  return Status::OK();
+}
+
+TicketPtr Cluster::SubmitAsync(Invocation inv, const Value& key) {
+  size_t p = map_.PartitionOf(key);
+  return stores_[p]->partition().SubmitAsync(std::move(inv));
+}
+
+TicketPtr Cluster::SubmitAsync(Invocation inv) {
+  size_t p = map_.PartitionOfId(inv.batch_id);
+  return stores_[p]->partition().SubmitAsync(std::move(inv));
+}
+
+TxnOutcome Cluster::ExecuteSync(const std::string& proc, Tuple params,
+                                const Value& key, int64_t batch_id) {
+  size_t p = map_.PartitionOf(key);
+  return stores_[p]->partition().ExecuteSync(proc, std::move(params),
+                                             batch_id);
+}
+
+TicketPtr Cluster::SubmitToPartition(size_t p, Invocation inv) {
+  return stores_[p]->partition().SubmitAsync(std::move(inv));
+}
+
+std::vector<TxnOutcome> Cluster::ExecuteOnAll(const std::string& proc,
+                                              Tuple params) {
+  // Scatter asynchronously so partitions work concurrently, then gather.
+  std::vector<TicketPtr> tickets;
+  tickets.reserve(stores_.size());
+  for (auto& store : stores_) {
+    tickets.push_back(
+        store->partition().SubmitAsync(Invocation{proc, params, 0}));
+  }
+  std::vector<TxnOutcome> outcomes;
+  outcomes.reserve(tickets.size());
+  for (auto& ticket : tickets) outcomes.push_back(ticket->Wait());
+  return outcomes;
+}
+
+void Cluster::Start() {
+  for (auto& store : stores_) store->Start();
+}
+
+void Cluster::Stop() {
+  for (auto& store : stores_) store->Stop();
+}
+
+bool Cluster::running() const {
+  for (const auto& store : stores_) {
+    if (!const_cast<SStore&>(*store).partition().running()) return false;
+  }
+  return !stores_.empty();
+}
+
+size_t Cluster::TotalQueueDepth() {
+  size_t total = 0;
+  for (auto& store : stores_) total += store->partition().QueueDepth();
+  return total;
+}
+
+void Cluster::WaitIdle() {
+  // Re-check every partition after a full pass reports empty: a PE trigger
+  // on partition p only ever re-enqueues on p (shared-nothing), so one pass
+  // with all queues empty means the cluster is quiescent.
+  for (;;) {
+    if (TotalQueueDepth() == 0) return;
+    std::this_thread::yield();
+  }
+}
+
+ClusterStats Cluster::GatherStats() const {
+  ClusterStats out;
+  out.per_partition.reserve(stores_.size());
+  out.per_partition_engine.reserve(stores_.size());
+  for (const auto& store : stores_) {
+    SStore& s = const_cast<SStore&>(*store);
+    const Partition::Stats& ps = s.partition().stats();
+    const EngineStats& es = s.ee().stats();
+    out.per_partition.push_back(ps);
+    out.per_partition_engine.push_back(es);
+
+    out.txn.committed += ps.committed;
+    out.txn.aborted += ps.aborted;
+    out.txn.client_requests += ps.client_requests;
+    out.txn.internal_requests += ps.internal_requests;
+    out.txn.nested_groups += ps.nested_groups;
+
+    out.engine.boundary_crossings += es.boundary_crossings;
+    out.engine.boundary_bytes += es.boundary_bytes;
+    out.engine.fragments_executed += es.fragments_executed;
+    out.engine.ee_trigger_firings += es.ee_trigger_firings;
+    out.engine.gc_deleted_rows += es.gc_deleted_rows;
+  }
+  return out;
+}
+
+void Cluster::ResetStats() {
+  for (auto& store : stores_) {
+    store->partition().ResetStats();
+    store->ee().ResetStats();
+  }
+}
+
+}  // namespace sstore

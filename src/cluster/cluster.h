@@ -1,0 +1,137 @@
+#ifndef SSTORE_CLUSTER_CLUSTER_H_
+#define SSTORE_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/deployment.h"
+#include "cluster/partition_map.h"
+#include "common/status.h"
+#include "engine/partition.h"
+#include "streaming/sstore.h"
+
+namespace sstore {
+
+/// Aggregate statistics snapshot over every partition of a Cluster: the
+/// partition-engine counters (Partition::Stats) and the execution-engine
+/// counters (EngineStats), both summed into cluster totals and kept
+/// per-partition for skew analysis.
+///
+/// Snapshots are consistent when taken while the cluster is idle (after
+/// WaitIdle() or Stop()); under load they are a live approximation, same as
+/// reading a single partition's counters mid-run.
+struct ClusterStats {
+  Partition::Stats txn;   // summed across partitions
+  EngineStats engine;     // summed across partitions
+  std::vector<Partition::Stats> per_partition;
+  std::vector<EngineStats> per_partition_engine;
+
+  uint64_t committed() const { return txn.committed; }
+  uint64_t aborted() const { return txn.aborted; }
+};
+
+/// A shared-nothing cluster of SStore partitions (paper §4.7 / Figure 11):
+/// N complete single-partition engines — each with its own catalog, worker
+/// thread, streams, triggers, and (optionally) command log — plus a
+/// PartitionMap that routes keyed work to its owning partition. There is no
+/// cross-partition coordination on the hot path; that absence is exactly the
+/// near-linear multi-core scaling the paper measures.
+///
+/// Typical use:
+///
+///   Cluster cluster(Cluster::Options{4});
+///   DeploymentPlan plan = BuildMyAppDeployment();
+///   cluster.Deploy(plan);            // identical DDL/SPs on every partition
+///   cluster.Start();
+///   ClusterInjector injector(&cluster, "ingest", {.key_column = 0});
+///   injector.InjectAsync(tuple);     // routed by tuple[0]
+class Cluster {
+ public:
+  struct Options {
+    int num_partitions = 1;
+    PartitionMap::Mode routing = PartitionMap::Mode::kHash;
+    /// When non-empty, partition p logs to `<log_dir>/partition-<p>.log`.
+    std::string log_dir;
+    size_t group_commit_size = 1;
+    bool log_sync = true;
+    RecoveryMode recovery_mode = RecoveryMode::kStrong;
+  };
+
+  explicit Cluster(const Options& options);
+  explicit Cluster(int num_partitions);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  size_t num_partitions() const { return stores_.size(); }
+  const PartitionMap& partition_map() const { return map_; }
+
+  /// The full single-partition engine backing partition `p`.
+  SStore& store(size_t p) { return *stores_[p]; }
+  const SStore& store(size_t p) const { return *stores_[p]; }
+  Partition& partition(size_t p) { return stores_[p]->partition(); }
+
+  /// Applies one deployment plan to every partition, in partition order.
+  /// Fails fast on the first partition that rejects a step; partitions are
+  /// either all deployed or the cluster should be discarded (deployment is
+  /// not transactional across partitions).
+  Status Deploy(const DeploymentPlan& plan);
+
+  // ---- Keyed routing (any thread) ----
+
+  size_t PartitionOf(const Value& key) const { return map_.PartitionOf(key); }
+
+  /// Routes by the designated key value: hashes `key` to the owning
+  /// partition and enqueues there.
+  TicketPtr SubmitAsync(Invocation inv, const Value& key);
+
+  /// Routes by batch id when the workload has no natural key column.
+  TicketPtr SubmitAsync(Invocation inv);
+
+  /// Keyed submit + wait (the H-Store client pattern, against one owner).
+  TxnOutcome ExecuteSync(const std::string& proc, Tuple params,
+                         const Value& key, int64_t batch_id = 0);
+
+  /// Explicit placement, for callers that already know the owner.
+  TicketPtr SubmitToPartition(size_t p, Invocation inv);
+
+  /// Runs one OLTP-style request on *every* partition and returns the
+  /// outcomes in partition order (scatter; the caller gathers). This is the
+  /// seam where cross-partition transactions will eventually live — today it
+  /// provides no atomicity across partitions.
+  std::vector<TxnOutcome> ExecuteOnAll(const std::string& proc, Tuple params);
+
+  // ---- Lifecycle ----
+
+  void Start();
+  void Stop();
+  bool running() const;
+
+  /// Sum of all partition request-queue depths (approximate).
+  size_t TotalQueueDepth();
+
+  /// Spins until every partition's queue is empty (all submitted work and
+  /// the PE-triggered interiors it cascaded into have drained).
+  void WaitIdle();
+
+  // ---- Stats ----
+
+  /// Aggregates Partition::Stats and EngineStats across partitions.
+  ClusterStats GatherStats() const;
+
+  /// Resets both the partition-engine and execution-engine counters on
+  /// every partition, so a GatherStats() after a quiesced ResetStats()
+  /// reflects only work submitted in between.
+  void ResetStats();
+
+ private:
+  Options options_;
+  PartitionMap map_;
+  std::vector<std::unique_ptr<SStore>> stores_;
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_CLUSTER_CLUSTER_H_

@@ -1,0 +1,135 @@
+#ifndef SSTORE_CLUSTER_CLUSTER_INJECTOR_H_
+#define SSTORE_CLUSTER_CLUSTER_INJECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "engine/partition.h"
+
+namespace sstore {
+
+/// Keyed generalization of StreamInjector (paper §3.2 Figure 4, scaled out
+/// per §4.7): prepares atomic batches and invokes the workflow's border
+/// stored procedure on the partition that *owns the batch's key*, so each
+/// partition sees a monotonically increasing batch-id sequence for the
+/// border SP — the stream-order constraint, preserved per partition.
+///
+/// The designated key column (`Options::key_column`) is read from each batch
+/// tuple and hashed through the cluster's PartitionMap; same key, same
+/// partition, every time. Batch ids are allocated per partition under a
+/// per-partition lane lock held across id assignment *and* enqueue, so
+/// concurrent producers cannot invert id order relative to queue order
+/// within a partition (cross-partition order is unconstrained — that is the
+/// shared-nothing bargain).
+///
+/// `Options::max_queue_depth` bounds each partition's request backlog: an
+/// inject call spins (yielding) while the owning partition's queue is at the
+/// limit. Zero disables backpressure.
+class ClusterInjector {
+ public:
+  struct Options {
+    /// Column of the batch tuple whose value routes the batch.
+    int key_column = 0;
+    /// Per-partition backpressure limit; 0 = unbounded.
+    size_t max_queue_depth = 0;
+  };
+
+  ClusterInjector(Cluster* cluster, std::string border_proc)
+      : ClusterInjector(cluster, std::move(border_proc), Options()) {}
+
+  ClusterInjector(Cluster* cluster, std::string border_proc, Options options)
+      : cluster_(cluster),
+        border_proc_(std::move(border_proc)),
+        options_(options),
+        lanes_(cluster->num_partitions()) {
+    for (auto& lane : lanes_) lane = std::make_unique<Lane>();
+  }
+
+  ClusterInjector(const ClusterInjector&) = delete;
+  ClusterInjector& operator=(const ClusterInjector&) = delete;
+
+  /// Non-blocking injection routed by the batch's key column.
+  TicketPtr InjectAsync(Tuple batch) {
+    size_t p = RouteOf(batch);
+    return EnqueueOn(p, std::move(batch));
+  }
+
+  /// Blocking injection: waits for the border transaction to commit on the
+  /// owning partition.
+  TxnOutcome InjectSync(Tuple batch) {
+    return InjectAsync(std::move(batch))->Wait();
+  }
+
+  /// Partition a batch with this key column value would be routed to.
+  size_t RouteOfKey(const Value& key) const {
+    return cluster_->PartitionOf(key);
+  }
+
+  /// Total batches injected across all partitions.
+  int64_t batches_injected() const {
+    int64_t total = 0;
+    for (const auto& lane : lanes_) {
+      std::lock_guard<std::mutex> hold(lane->mu);
+      total += lane->next_batch_id - 1;
+    }
+    return total;
+  }
+
+  /// Batches injected into one partition.
+  int64_t batches_injected(size_t p) const {
+    std::lock_guard<std::mutex> hold(lanes_[p]->mu);
+    return lanes_[p]->next_batch_id - 1;
+  }
+
+ private:
+  struct Lane {
+    mutable std::mutex mu;
+    int64_t next_batch_id = 1;
+  };
+
+  size_t RouteOf(const Tuple& batch) const {
+    size_t column = static_cast<size_t>(options_.key_column);
+    if (column >= batch.size()) {
+      // A batch without the key column routes by its arrival partition 0 —
+      // deterministic, and visible in skewed per-partition stats rather
+      // than silently dropped.
+      return 0;
+    }
+    return cluster_->PartitionOf(batch[column]);
+  }
+
+  TicketPtr EnqueueOn(size_t p, Tuple batch) {
+    Partition& partition = cluster_->partition(p);
+    // Throttle *before* taking the lane lock: a producer stuck at the limit
+    // must not block stats readers or hold the lane across a long wait.
+    // Concurrent producers racing past the check can overshoot the limit by
+    // at most the producer count — backpressure is a bound on growth, not an
+    // exact ceiling. Order among concurrently-throttled producers is
+    // unspecified either way; the lock below still guarantees that batch-id
+    // order equals queue order.
+    if (options_.max_queue_depth > 0) {
+      while (partition.QueueDepth() >= options_.max_queue_depth) {
+        std::this_thread::yield();
+      }
+    }
+    std::lock_guard<std::mutex> hold(lanes_[p]->mu);
+    int64_t batch_id = lanes_[p]->next_batch_id++;
+    return partition.SubmitAsync(
+        Invocation{border_proc_, std::move(batch), batch_id});
+  }
+
+  Cluster* cluster_;
+  std::string border_proc_;
+  Options options_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_CLUSTER_CLUSTER_INJECTOR_H_

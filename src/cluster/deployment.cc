@@ -1,0 +1,157 @@
+#include "cluster/deployment.h"
+
+#include <utility>
+
+namespace sstore {
+
+const char* DeploymentStepKindToString(DeploymentPlan::StepKind kind) {
+  switch (kind) {
+    case DeploymentPlan::StepKind::kCreateTable:
+      return "CreateTable";
+    case DeploymentPlan::StepKind::kCreateIndex:
+      return "CreateIndex";
+    case DeploymentPlan::StepKind::kInsertRow:
+      return "InsertRow";
+    case DeploymentPlan::StepKind::kDefineStream:
+      return "DefineStream";
+    case DeploymentPlan::StepKind::kDefineWindow:
+      return "DefineWindow";
+    case DeploymentPlan::StepKind::kRegisterFragment:
+      return "RegisterFragment";
+    case DeploymentPlan::StepKind::kRegisterProcedure:
+      return "RegisterProcedure";
+    case DeploymentPlan::StepKind::kDeployWorkflow:
+      return "DeployWorkflow";
+    case DeploymentPlan::StepKind::kCustom:
+      return "Custom";
+  }
+  return "Unknown";
+}
+
+DeploymentPlan& DeploymentPlan::Add(StepKind kind, std::string description,
+                                    std::function<Status(SStore&)> apply) {
+  steps_.push_back(Step{kind, std::move(description), std::move(apply)});
+  return *this;
+}
+
+DeploymentPlan& DeploymentPlan::CreateTable(std::string name, Schema schema) {
+  std::string desc = "table " + name;
+  return Add(StepKind::kCreateTable, std::move(desc),
+             [name = std::move(name), schema = std::move(schema)](
+                 SStore& store) -> Status {
+               return store.catalog().CreateTable(name, schema).status();
+             });
+}
+
+DeploymentPlan& DeploymentPlan::CreateIndex(std::string table,
+                                            std::string index,
+                                            std::vector<std::string> columns,
+                                            bool unique) {
+  std::string desc = "index " + table + "." + index;
+  return Add(StepKind::kCreateIndex, std::move(desc),
+             [table = std::move(table), index = std::move(index),
+              columns = std::move(columns), unique](SStore& store) -> Status {
+               SSTORE_ASSIGN_OR_RETURN(Table * t,
+                                       store.catalog().GetTable(table));
+               return t->CreateIndex(index, columns, unique);
+             });
+}
+
+DeploymentPlan& DeploymentPlan::InsertRow(std::string table, Tuple row) {
+  std::string desc = "seed row in " + table;
+  return Add(StepKind::kInsertRow, std::move(desc),
+             [table = std::move(table), row = std::move(row)](
+                 SStore& store) -> Status {
+               SSTORE_ASSIGN_OR_RETURN(Table * t,
+                                       store.catalog().GetTable(table));
+               return t->Insert(row).status();
+             });
+}
+
+DeploymentPlan& DeploymentPlan::DefineStream(std::string name, Schema schema) {
+  std::string desc = "stream " + name;
+  return Add(StepKind::kDefineStream, std::move(desc),
+             [name = std::move(name), schema = std::move(schema)](
+                 SStore& store) -> Status {
+               return store.streams().DefineStream(name, schema);
+             });
+}
+
+DeploymentPlan& DeploymentPlan::DefineWindow(WindowSpec spec) {
+  std::string desc = "window " + spec.name;
+  return Add(StepKind::kDefineWindow, std::move(desc),
+             [spec = std::move(spec)](SStore& store) -> Status {
+               return store.windows().DefineWindow(spec);
+             });
+}
+
+DeploymentPlan& DeploymentPlan::RegisterFragment(std::string name,
+                                                 FragmentFn fn) {
+  std::string desc = "fragment " + name;
+  return Add(StepKind::kRegisterFragment, std::move(desc),
+             [name = std::move(name), fn = std::move(fn)](
+                 SStore& store) -> Status {
+               return store.ee().RegisterFragment(name, fn);
+             });
+}
+
+DeploymentPlan& DeploymentPlan::RegisterProcedure(std::string name, SpKind kind,
+                                                  ProcedureFactory factory) {
+  std::string desc = std::string("procedure ") + name + " (" +
+                     SpKindToString(kind) + ")";
+  return Add(StepKind::kRegisterProcedure, std::move(desc),
+             [name = std::move(name), kind, factory = std::move(factory)](
+                 SStore& store) -> Status {
+               std::shared_ptr<StoredProcedure> proc = factory(store);
+               if (proc == nullptr) {
+                 return Status::InvalidArgument(
+                     "procedure factory returned null for '" + name + "'");
+               }
+               return store.partition().RegisterProcedure(name, kind,
+                                                          std::move(proc));
+             });
+}
+
+DeploymentPlan& DeploymentPlan::RegisterProcedure(
+    std::string name, SpKind kind, std::shared_ptr<StoredProcedure> proc) {
+  return RegisterProcedure(
+      std::move(name), kind,
+      [proc = std::move(proc)](SStore&) { return proc; });
+}
+
+DeploymentPlan& DeploymentPlan::DeployWorkflow(Workflow workflow) {
+  std::string desc = "workflow " + workflow.name();
+  return Add(StepKind::kDeployWorkflow, std::move(desc),
+             [workflow = std::move(workflow)](SStore& store) -> Status {
+               return store.DeployWorkflow(workflow);
+             });
+}
+
+DeploymentPlan& DeploymentPlan::Custom(std::string description,
+                                       std::function<Status(SStore&)> fn) {
+  return Add(StepKind::kCustom, std::move(description), std::move(fn));
+}
+
+Status DeploymentPlan::ApplyTo(SStore& store) const {
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const Step& step = steps_[i];
+    Status s = step.apply(store);
+    if (!s.ok()) {
+      return Status(s.code(), "deployment step " + std::to_string(i) + " (" +
+                                  step.description + "): " + s.message());
+    }
+  }
+  return Status::OK();
+}
+
+std::string DeploymentPlan::Describe() const {
+  std::string out;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    out += std::to_string(i) + ": " +
+           DeploymentStepKindToString(steps_[i].kind) + " " +
+           steps_[i].description + "\n";
+  }
+  return out;
+}
+
+}  // namespace sstore

@@ -1,0 +1,111 @@
+#ifndef SSTORE_CLUSTER_DEPLOYMENT_H_
+#define SSTORE_CLUSTER_DEPLOYMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "engine/execution_engine.h"
+#include "engine/procedure.h"
+#include "storage/schema.h"
+#include "streaming/sstore.h"
+#include "streaming/window.h"
+#include "streaming/workflow.h"
+
+namespace sstore {
+
+/// A replayable recording of everything that turns a blank SStore partition
+/// into a deployed application: DDL (tables, indexes, seed rows, streams,
+/// windows), EE fragments, stored procedures, and workflow wiring.
+///
+/// The point of recording instead of executing directly is shared-nothing
+/// scale-out: `Cluster::Deploy` applies one plan to every partition, so all
+/// replicas of the application are provably identical — the same property
+/// recovery relies on when it re-creates a partition before log replay.
+///
+/// Steps apply in the order they were added; a workflow deployment must come
+/// after the procedures and streams it references, exactly as with direct
+/// calls against an SStore. The first failing step aborts the apply and its
+/// error is decorated with the step's description.
+///
+/// Stored procedures are added through a *factory* taking the target store:
+/// procedure bodies frequently capture their partition's StreamManager or
+/// tables, and a per-store factory lets each partition bind its own instance
+/// instead of sharing state across partitions.
+class DeploymentPlan {
+ public:
+  enum class StepKind {
+    kCreateTable,
+    kCreateIndex,
+    kInsertRow,
+    kDefineStream,
+    kDefineWindow,
+    kRegisterFragment,
+    kRegisterProcedure,
+    kDeployWorkflow,
+    kCustom,
+  };
+
+  struct Step {
+    StepKind kind;
+    /// Human-readable target ("table lr_vehicles", "workflow linear_road").
+    std::string description;
+    std::function<Status(SStore&)> apply;
+  };
+
+  using ProcedureFactory =
+      std::function<std::shared_ptr<StoredProcedure>(SStore&)>;
+
+  DeploymentPlan() = default;
+
+  // ---- Builder API (each returns *this for chaining) ----
+
+  DeploymentPlan& CreateTable(std::string name, Schema schema);
+  /// Unique/non-unique hash index on an existing table.
+  DeploymentPlan& CreateIndex(std::string table, std::string index,
+                              std::vector<std::string> columns, bool unique);
+  /// Seed row inserted at deployment time (e.g. metadata singletons).
+  DeploymentPlan& InsertRow(std::string table, Tuple row);
+  DeploymentPlan& DefineStream(std::string name, Schema schema);
+  DeploymentPlan& DefineWindow(WindowSpec spec);
+  DeploymentPlan& RegisterFragment(std::string name, FragmentFn fn);
+  /// Per-store factory: called once per partition at apply time.
+  DeploymentPlan& RegisterProcedure(std::string name, SpKind kind,
+                                    ProcedureFactory factory);
+  /// Convenience for stateless procedures safe to share across partitions.
+  DeploymentPlan& RegisterProcedure(std::string name, SpKind kind,
+                                    std::shared_ptr<StoredProcedure> proc);
+  DeploymentPlan& DeployWorkflow(Workflow workflow);
+  /// Escape hatch for setup the typed steps don't cover.
+  DeploymentPlan& Custom(std::string description,
+                         std::function<Status(SStore&)> fn);
+
+  // ---- Replay ----
+
+  /// Applies every step, in order, to a freshly constructed store. Applying
+  /// the same plan twice to one store fails (kAlreadyExists from the first
+  /// DDL step), which is the correct replay semantic: one plan, one blank
+  /// partition.
+  Status ApplyTo(SStore& store) const;
+
+  const std::vector<Step>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+
+  /// One line per step, for logs and deployment diffing.
+  std::string Describe() const;
+
+ private:
+  DeploymentPlan& Add(StepKind kind, std::string description,
+                      std::function<Status(SStore&)> apply);
+
+  std::vector<Step> steps_;
+};
+
+const char* DeploymentStepKindToString(DeploymentPlan::StepKind kind);
+
+}  // namespace sstore
+
+#endif  // SSTORE_CLUSTER_DEPLOYMENT_H_

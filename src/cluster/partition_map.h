@@ -1,0 +1,77 @@
+#ifndef SSTORE_CLUSTER_PARTITION_MAP_H_
+#define SSTORE_CLUSTER_PARTITION_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/value.h"
+
+namespace sstore {
+
+/// Deterministic key -> partition routing for a shared-nothing cluster
+/// (paper §4.7: the input stream is partitioned by a key column — x-way for
+/// Linear Road — and each partition runs the complete workflow serially for
+/// its share of the key space).
+///
+/// Two modes:
+/// - kHash: the partition is a mixed hash of the key value modulo the
+///   partition count. Works for any Value type and spreads arbitrary key
+///   populations evenly in expectation.
+/// - kModulo: integer keys (BIGINT/TIMESTAMP) map to `key % n` directly.
+///   Useful when the key space is dense and small (x-way ids 0..K-1) and the
+///   workload wants an exactly balanced, humanly predictable assignment.
+///   Non-integer keys fall back to hashing.
+///
+/// Routing is a pure function of (key, partition count, mode): two maps
+/// constructed with the same parameters agree on every key, which is what
+/// makes recovery and multi-client injection deterministic.
+class PartitionMap {
+ public:
+  enum class Mode { kHash, kModulo };
+
+  explicit PartitionMap(size_t num_partitions, Mode mode = Mode::kHash)
+      : num_partitions_(num_partitions == 0 ? 1 : num_partitions),
+        mode_(mode) {}
+
+  size_t num_partitions() const { return num_partitions_; }
+  Mode mode() const { return mode_; }
+
+  /// Owning partition of a key column value.
+  size_t PartitionOf(const Value& key) const {
+    if (mode_ == Mode::kModulo && (key.type() == ValueType::kBigInt ||
+                                   key.type() == ValueType::kTimestamp)) {
+      uint64_t k = static_cast<uint64_t>(key.as_int64());
+      return static_cast<size_t>(k % num_partitions_);
+    }
+    return Spread(static_cast<uint64_t>(key.Hash()));
+  }
+
+  /// Owning partition of an integer id (e.g. a batch id when the workload
+  /// has no natural key column).
+  size_t PartitionOfId(int64_t id) const {
+    if (mode_ == Mode::kModulo) {
+      return static_cast<size_t>(static_cast<uint64_t>(id) % num_partitions_);
+    }
+    return Spread(Mix(static_cast<uint64_t>(id)));
+  }
+
+ private:
+  /// Finalizing mixer (splitmix64) so low-entropy hashes still spread.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  size_t Spread(uint64_t h) const {
+    return static_cast<size_t>(Mix(h) % num_partitions_);
+  }
+
+  size_t num_partitions_;
+  Mode mode_;
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_CLUSTER_PARTITION_MAP_H_

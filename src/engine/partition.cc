@@ -202,12 +202,18 @@ void Partition::WorkerLoop() {
       cv_.wait(lock, [this] { return !queue_.empty(); });
       task = std::move(queue_.front());
       queue_.pop_front();
+      // Marked while mu_ is still held so no reader can observe an empty
+      // queue with the popped task not yet counted as in flight.
+      if (!task.stop) inflight_.store(1, std::memory_order_release);
     }
     if (task.stop) {
       if (log_ != nullptr) log_->Flush().ok();
       return;
     }
     RunTask(task);
+    // Cleared only after RunTask's side effects (commit hooks, PE-trigger
+    // enqueues) are done, so "depth == 0" really means idle.
+    inflight_.store(0, std::memory_order_release);
   }
 }
 
@@ -371,7 +377,7 @@ Status Partition::DetachCommandLog() {
 
 size_t Partition::QueueDepth() {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return queue_.size() + inflight_.load(std::memory_order_acquire);
 }
 
 }  // namespace sstore

@@ -1,6 +1,7 @@
 #ifndef SSTORE_ENGINE_PARTITION_H_
 #define SSTORE_ENGINE_PARTITION_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -168,7 +169,9 @@ class Partition {
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
 
-  /// Depth of the request queue (approximate; for backpressure in clients).
+  /// Pending work: queued requests plus the task currently executing on the
+  /// worker (if any), so depth 0 means the partition is truly idle — what
+  /// Cluster::WaitIdle and client backpressure rely on.
   size_t QueueDepth();
 
  private:
@@ -206,6 +209,8 @@ class Partition {
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Task> queue_;
+  /// 1 while the worker is executing a dequeued task (see QueueDepth).
+  std::atomic<size_t> inflight_{0};
   std::thread worker_;
   bool stop_requested_ = false;
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <thread>
 
 #include "common/status.h"
 #include "engine/partition.h"
@@ -16,13 +17,32 @@ namespace sstore {
 ///
 /// The border SP receives the input tuple as its parameters — exactly what
 /// the command log records, so both recovery modes can re-ingest the batch.
+///
+/// With `Options::max_queue_depth` set, injection applies backpressure: a
+/// call spins (yielding the CPU) while the partition's request queue is at
+/// the limit, so an overloaded engine bounds its memory instead of growing
+/// the request deque without limit. The worker must be running, or a
+/// throttled inject would wait forever.
 class StreamInjector {
  public:
+  struct Options {
+    /// Maximum request-queue depth before InjectAsync/InjectSync throttle;
+    /// 0 disables backpressure.
+    size_t max_queue_depth = 0;
+  };
+
   StreamInjector(Partition* partition, std::string border_proc)
       : partition_(partition), border_proc_(std::move(border_proc)) {}
 
+  StreamInjector(Partition* partition, std::string border_proc,
+                 Options options)
+      : partition_(partition),
+        border_proc_(std::move(border_proc)),
+        options_(options) {}
+
   /// Non-blocking injection (the paper's asynchronous, non-blocking client).
   TicketPtr InjectAsync(Tuple batch) {
+    Throttle();
     int64_t batch_id = next_batch_id_.fetch_add(1);
     return partition_->SubmitAsync(
         Invocation{border_proc_, std::move(batch), batch_id});
@@ -30,15 +50,26 @@ class StreamInjector {
 
   /// Blocking injection: waits for the border transaction to commit.
   TxnOutcome InjectSync(Tuple batch) {
+    Throttle();
     int64_t batch_id = next_batch_id_.fetch_add(1);
     return partition_->ExecuteSync(border_proc_, std::move(batch), batch_id);
   }
 
   int64_t batches_injected() const { return next_batch_id_.load() - 1; }
 
+  size_t max_queue_depth() const { return options_.max_queue_depth; }
+
  private:
+  void Throttle() {
+    if (options_.max_queue_depth == 0) return;
+    while (partition_->QueueDepth() >= options_.max_queue_depth) {
+      std::this_thread::yield();
+    }
+  }
+
   Partition* partition_;
   std::string border_proc_;
+  Options options_;
   std::atomic<int64_t> next_batch_id_{1};
 };
 

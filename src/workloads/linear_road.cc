@@ -6,8 +6,6 @@ namespace sstore {
 
 namespace {
 
-constexpr char kMinuteStream[] = "s_minute";
-constexpr char kNotifications[] = "s_notifications";
 constexpr double kSegmentMeters = 100.0;
 
 Schema VehicleSchema() {
@@ -65,51 +63,40 @@ std::vector<PositionReport> LinearRoadGenerator::NextSecond() {
   return reports;
 }
 
-Status LinearRoadApp::Setup() {
-  Catalog& cat = store_->catalog();
+DeploymentPlan BuildLinearRoadDeployment(const LinearRoadConfig& config) {
+  DeploymentPlan plan;
 
-  SSTORE_ASSIGN_OR_RETURN(Table * vehicles,
-                          cat.CreateTable("lr_vehicles", VehicleSchema()));
-  SSTORE_RETURN_NOT_OK(vehicles->CreateIndex("pk", {"vid"}, true));
+  // ---- DDL ----
+  plan.CreateTable("lr_vehicles", VehicleSchema())
+      .CreateIndex("lr_vehicles", "pk", {"vid"}, /*unique=*/true)
+      .CreateTable("lr_segstats", Schema({{"xway", ValueType::kBigInt},
+                                          {"seg", ValueType::kBigInt},
+                                          {"minute", ValueType::kBigInt},
+                                          {"vehicle_count", ValueType::kBigInt},
+                                          {"toll", ValueType::kDouble}}))
+      .CreateTable("lr_accidents", Schema({{"xway", ValueType::kBigInt},
+                                           {"seg", ValueType::kBigInt},
+                                           {"since_sec", ValueType::kBigInt},
+                                           {"cleared", ValueType::kBigInt}}))
+      .CreateTable("lr_stopped", Schema({{"vid", ValueType::kBigInt},
+                                         {"xway", ValueType::kBigInt},
+                                         {"seg", ValueType::kBigInt},
+                                         {"since_sec", ValueType::kBigInt}}))
+      .CreateIndex("lr_stopped", "pk", {"vid"}, /*unique=*/true)
+      .CreateTable("lr_meta", Schema({{"last_minute", ValueType::kBigInt}}))
+      .InsertRow("lr_meta", {Value::BigInt(-1)})
+      .DefineStream(kLinearRoadMinuteStream,
+                    Schema({{"minute", ValueType::kBigInt}}))
+      .DefineStream(kLinearRoadNotificationsStream,
+                    Schema({{"vid", ValueType::kBigInt},
+                            {"seg", ValueType::kBigInt},
+                            {"toll", ValueType::kDouble},
+                            {"accident_ahead", ValueType::kBigInt}}));
 
-  SSTORE_RETURN_NOT_OK(cat.CreateTable("lr_segstats",
-                                       Schema({{"xway", ValueType::kBigInt},
-                                               {"seg", ValueType::kBigInt},
-                                               {"minute", ValueType::kBigInt},
-                                               {"vehicle_count", ValueType::kBigInt},
-                                               {"toll", ValueType::kDouble}}))
-                           .status());
-  SSTORE_RETURN_NOT_OK(cat.CreateTable("lr_accidents",
-                                       Schema({{"xway", ValueType::kBigInt},
-                                               {"seg", ValueType::kBigInt},
-                                               {"since_sec", ValueType::kBigInt},
-                                               {"cleared", ValueType::kBigInt}}))
-                           .status());
-  SSTORE_ASSIGN_OR_RETURN(Table * stopped,
-                          cat.CreateTable("lr_stopped",
-                                          Schema({{"vid", ValueType::kBigInt},
-                                                  {"xway", ValueType::kBigInt},
-                                                  {"seg", ValueType::kBigInt},
-                                                  {"since_sec", ValueType::kBigInt}})));
-  SSTORE_RETURN_NOT_OK(stopped->CreateIndex("pk", {"vid"}, true));
-  SSTORE_ASSIGN_OR_RETURN(
-      Table * meta,
-      cat.CreateTable("lr_meta", Schema({{"last_minute", ValueType::kBigInt}})));
-  SSTORE_ASSIGN_OR_RETURN(RowId mrid, meta->Insert({Value::BigInt(-1)}));
-  (void)mrid;
-
-  SSTORE_RETURN_NOT_OK(store_->streams().DefineStream(
-      kMinuteStream, Schema({{"minute", ValueType::kBigInt}})));
-  SSTORE_RETURN_NOT_OK(store_->streams().DefineStream(
-      kNotifications, Schema({{"vid", ValueType::kBigInt},
-                              {"seg", ValueType::kBigInt},
-                              {"toll", ValueType::kDouble},
-                              {"accident_ahead", ValueType::kBigInt}})));
-
-  LinearRoadConfig config = config_;
-
-  // SP1 — border: per position report.
-  SSTORE_RETURN_NOT_OK(store_->partition().RegisterProcedure(
+  // ---- SP1 — border: per position report. Stateless across partitions
+  // (touches only its own partition's tables through ctx), so one shared
+  // instance serves every partition. ----
+  plan.RegisterProcedure(
       "position_report", SpKind::kBorder,
       std::make_shared<LambdaProcedure>([config](ProcContext& ctx) {
         const Tuple& p = ctx.params();
@@ -149,12 +136,15 @@ Status LinearRoadApp::Setup() {
           toll_scan.table = segstats;
           toll_scan.predicate = And(Eq(Col(0), LitInt(xway)),
                                     Eq(Col(1), LitInt(prev_seg)));
-          toll_scan.projection = {4};
+          // order_by keys index the *post-projection* row, so project the
+          // minute alongside the toll and sort on it to get the latest
+          // archived minute (not the largest toll ever).
+          toll_scan.projection = {2, 4};  // (minute, toll)
           toll_scan.order_by = {{0, /*descending=*/true}};
           toll_scan.limit = 1;
           SSTORE_ASSIGN_OR_RETURN(std::vector<Tuple> toll_rows,
                                   ctx.exec().Scan(toll_scan));
-          double toll = toll_rows.empty() ? 0.0 : toll_rows[0][0].as_double();
+          double toll = toll_rows.empty() ? 0.0 : toll_rows[0][1].as_double();
           if (toll > 0.0) {
             SSTORE_ASSIGN_OR_RETURN(
                 size_t n,
@@ -172,7 +162,7 @@ Status LinearRoadApp::Setup() {
                                    And(Gt(Col(1), LitInt(seg)),
                                        Le(Col(1), LitInt(seg + 4))))));
           SSTORE_RETURN_NOT_OK(ctx.EmitToStream(
-              kNotifications,
+              kLinearRoadNotificationsStream,
               {{vid, Value::BigInt(seg), Value::Double(toll),
                 Value::BigInt(ahead > 0 ? 1 : 0)}}));
         }
@@ -228,80 +218,92 @@ Status LinearRoadApp::Setup() {
               size_t n,
               ctx.exec().Update(meta, nullptr, {{0, LitInt(minute)}}));
           (void)n;
-          SSTORE_RETURN_NOT_OK(
-              ctx.EmitToStream(kMinuteStream, {{Value::BigInt(minute)}}));
+          SSTORE_RETURN_NOT_OK(ctx.EmitToStream(kLinearRoadMinuteStream,
+                                                {{Value::BigInt(minute)}}));
         }
         return Status::OK();
-      })));
+      }));
 
-  // SP2 — interior: per-minute rollup.
-  SStore* store = store_;
-  SSTORE_RETURN_NOT_OK(store_->partition().RegisterProcedure(
+  // ---- SP2 — interior: per-minute rollup. Reads its batch through the
+  // partition's own StreamManager, so each partition gets an instance bound
+  // to its store via the factory. ----
+  plan.RegisterProcedure(
       "minute_rollup", SpKind::kInterior,
-      std::make_shared<LambdaProcedure>([config, store](ProcContext& ctx) {
-        SSTORE_ASSIGN_OR_RETURN(
-            std::vector<Tuple> batch,
-            store->streams().BatchContents(kMinuteStream, ctx.batch_id()));
-        if (batch.empty()) return Status::OK();
-        int64_t minute = batch[0][0].as_int64();
-
-        // Congestion per (xway, seg) -> archived stats + next minute's toll.
-        SSTORE_ASSIGN_OR_RETURN(Table * vehicles, ctx.table("lr_vehicles"));
-        SSTORE_ASSIGN_OR_RETURN(Table * segstats, ctx.table("lr_segstats"));
-        AggregateSpec agg;
-        agg.table = vehicles;
-        agg.group_by = {1, 3};  // xway, seg
-        agg.aggregates = {{AggFunc::kCount, 0}};
-        SSTORE_ASSIGN_OR_RETURN(std::vector<Tuple> congestion,
-                                ctx.exec().Aggregate(agg));
-        for (const Tuple& row : congestion) {
-          int64_t count = row[2].as_int64();
-          // LR-style quadratic toll above a congestion threshold (scaled to
-          // our smaller per-x-way populations).
-          int64_t threshold = 3;
-          double toll =
-              count > threshold
-                  ? 0.5 * static_cast<double>((count - threshold) *
-                                              (count - threshold))
-                  : 0.0;
+      [config](SStore& store) -> std::shared_ptr<StoredProcedure> {
+        SStore* bound = &store;
+        return std::make_shared<LambdaProcedure>([config,
+                                                  bound](ProcContext& ctx) {
           SSTORE_ASSIGN_OR_RETURN(
-              RowId rid,
-              ctx.exec().Insert(segstats,
-                                {row[0], row[1], Value::BigInt(minute),
-                                 Value::BigInt(count), Value::Double(toll)}));
-          (void)rid;
-        }
+              std::vector<Tuple> batch,
+              bound->streams().BatchContents(kLinearRoadMinuteStream,
+                                             ctx.batch_id()));
+          if (batch.empty()) return Status::OK();
+          int64_t minute = batch[0][0].as_int64();
 
-        // Clear accidents whose scene has been removed.
-        SSTORE_ASSIGN_OR_RETURN(Table * accidents, ctx.table("lr_accidents"));
-        int64_t clear_before = minute * 60 - config.stop_duration_sec;
-        SSTORE_ASSIGN_OR_RETURN(
-            size_t cleared,
-            ctx.exec().Update(accidents,
-                              And(Eq(Col(3), LitInt(0)),
-                                  Le(Col(2), LitInt(clear_before))),
-                              {{3, LitInt(1)}}));
-        (void)cleared;
-        SSTORE_ASSIGN_OR_RETURN(Table * stopped, ctx.table("lr_stopped"));
-        SSTORE_ASSIGN_OR_RETURN(
-            size_t n,
-            ctx.exec().Delete(stopped, Le(Col(3), LitInt(clear_before))));
-        (void)n;
-        return Status::OK();
-      })));
+          // Congestion per (xway, seg) -> archived stats + next minute's toll.
+          SSTORE_ASSIGN_OR_RETURN(Table * vehicles, ctx.table("lr_vehicles"));
+          SSTORE_ASSIGN_OR_RETURN(Table * segstats, ctx.table("lr_segstats"));
+          AggregateSpec agg;
+          agg.table = vehicles;
+          agg.group_by = {1, 3};  // xway, seg
+          agg.aggregates = {{AggFunc::kCount, 0}};
+          SSTORE_ASSIGN_OR_RETURN(std::vector<Tuple> congestion,
+                                  ctx.exec().Aggregate(agg));
+          for (const Tuple& row : congestion) {
+            int64_t count = row[2].as_int64();
+            // LR-style quadratic toll above a congestion threshold (scaled to
+            // our smaller per-x-way populations).
+            int64_t threshold = 3;
+            double toll =
+                count > threshold
+                    ? 0.5 * static_cast<double>((count - threshold) *
+                                                (count - threshold))
+                    : 0.0;
+            SSTORE_ASSIGN_OR_RETURN(
+                RowId rid,
+                ctx.exec().Insert(segstats,
+                                  {row[0], row[1], Value::BigInt(minute),
+                                   Value::BigInt(count), Value::Double(toll)}));
+            (void)rid;
+          }
 
+          // Clear accidents whose scene has been removed.
+          SSTORE_ASSIGN_OR_RETURN(Table * accidents, ctx.table("lr_accidents"));
+          int64_t clear_before = minute * 60 - config.stop_duration_sec;
+          SSTORE_ASSIGN_OR_RETURN(
+              size_t cleared,
+              ctx.exec().Update(accidents,
+                                And(Eq(Col(3), LitInt(0)),
+                                    Le(Col(2), LitInt(clear_before))),
+                                {{3, LitInt(1)}}));
+          (void)cleared;
+          SSTORE_ASSIGN_OR_RETURN(Table * stopped, ctx.table("lr_stopped"));
+          SSTORE_ASSIGN_OR_RETURN(
+              size_t n,
+              ctx.exec().Delete(stopped, Le(Col(3), LitInt(clear_before))));
+          (void)n;
+          return Status::OK();
+        });
+      });
+
+  // ---- Workflow wiring ----
   Workflow wf("linear_road");
   WorkflowNode n1, n2;
   n1.proc = "position_report";
   n1.kind = SpKind::kBorder;
-  n1.output_streams = {kMinuteStream, kNotifications};
+  n1.output_streams = {kLinearRoadMinuteStream, kLinearRoadNotificationsStream};
   n2.proc = "minute_rollup";
   n2.kind = SpKind::kInterior;
-  n2.input_streams = {kMinuteStream};
-  SSTORE_RETURN_NOT_OK(wf.AddNode(n1));
-  SSTORE_RETURN_NOT_OK(wf.AddNode(n2));
-  SSTORE_RETURN_NOT_OK(store_->DeployWorkflow(wf));
+  n2.input_streams = {kLinearRoadMinuteStream};
+  (void)wf.AddNode(n1);
+  (void)wf.AddNode(n2);
+  plan.DeployWorkflow(std::move(wf));
 
+  return plan;
+}
+
+Status LinearRoadApp::Setup() {
+  SSTORE_RETURN_NOT_OK(BuildLinearRoadDeployment(config_).ApplyTo(*store_));
   injector_ = std::make_unique<StreamInjector>(&store_->partition(),
                                                "position_report");
   return Status::OK();
@@ -312,8 +314,9 @@ TicketPtr LinearRoadApp::InjectAsync(const PositionReport& report) {
 }
 
 Result<size_t> LinearRoadApp::DrainNotifications() {
-  SSTORE_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
-                          store_->streams().Drain(kNotifications));
+  SSTORE_ASSIGN_OR_RETURN(
+      std::vector<Tuple> rows,
+      store_->streams().Drain(kLinearRoadNotificationsStream));
   return rows.size();
 }
 

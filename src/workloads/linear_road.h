@@ -4,12 +4,18 @@
 #include <cstdint>
 #include <vector>
 
+#include "cluster/deployment.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "streaming/injector.h"
 #include "streaming/sstore.h"
 
 namespace sstore {
+
+/// Stream names of the Linear Road workflow, public so cluster clients can
+/// drain the terminal stream per partition.
+inline constexpr char kLinearRoadMinuteStream[] = "s_minute";
+inline constexpr char kLinearRoadNotificationsStream[] = "s_notifications";
 
 /// Configuration of the Linear Road subset used in paper §4.7: streaming
 /// position reports only (no historical queries), partitioned by x-way.
@@ -81,6 +87,14 @@ class LinearRoadGenerator {
 ///
 /// Tolls/accident notifications are emitted to the terminal stream
 /// "s_notifications", drained by the client.
+///
+/// The complete deployment — tables, streams, both SPs, and the workflow —
+/// as a replayable plan. `Cluster::Deploy` applies it identically to every
+/// shared-nothing partition (paper §4.7: the stream is partitioned by x-way
+/// and each partition runs the whole workflow for its x-ways);
+/// `LinearRoadApp` applies it to its single store.
+DeploymentPlan BuildLinearRoadDeployment(const LinearRoadConfig& config);
+
 class LinearRoadApp {
  public:
   LinearRoadApp(SStore* store, const LinearRoadConfig& config)

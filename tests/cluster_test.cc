@@ -1,0 +1,453 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/cluster_injector.h"
+#include "cluster/partition_map.h"
+#include "query/expr.h"
+#include "workloads/linear_road.h"
+
+namespace sstore {
+namespace {
+
+Schema KeyValSchema() {
+  return Schema({{"key", ValueType::kBigInt}, {"seq", ValueType::kBigInt}});
+}
+
+Tuple KeyVal(int64_t key, int64_t seq) {
+  return {Value::BigInt(key), Value::BigInt(seq)};
+}
+
+/// Border "ingest" emits (key, seq) to stream "in"; interior "apply" copies
+/// the batch into table "sink". The canonical keyed chain used below.
+DeploymentPlan BuildKeyedChainPlan() {
+  DeploymentPlan plan;
+  plan.DefineStream("in", KeyValSchema())
+      .CreateTable("sink", KeyValSchema())
+      .RegisterProcedure(
+          "ingest", SpKind::kBorder,
+          std::make_shared<LambdaProcedure>([](ProcContext& ctx) {
+            return ctx.EmitToStream("in", {ctx.params()});
+          }))
+      .RegisterProcedure(
+          "apply", SpKind::kInterior,
+          [](SStore& store) -> std::shared_ptr<StoredProcedure> {
+            SStore* bound = &store;
+            return std::make_shared<LambdaProcedure>([bound](ProcContext& ctx) {
+              SSTORE_ASSIGN_OR_RETURN(
+                  std::vector<Tuple> rows,
+                  bound->streams().BatchContents("in", ctx.batch_id()));
+              SSTORE_ASSIGN_OR_RETURN(Table * sink, ctx.table("sink"));
+              for (const Tuple& row : rows) {
+                SSTORE_ASSIGN_OR_RETURN(RowId rid, ctx.exec().Insert(sink, row));
+                (void)rid;
+              }
+              return Status::OK();
+            });
+          });
+
+  Workflow wf("keyed_chain");
+  WorkflowNode n1, n2;
+  n1.proc = "ingest";
+  n1.kind = SpKind::kBorder;
+  n1.output_streams = {"in"};
+  n2.proc = "apply";
+  n2.kind = SpKind::kInterior;
+  n2.input_streams = {"in"};
+  (void)wf.AddNode(n1);
+  (void)wf.AddNode(n2);
+  plan.DeployWorkflow(std::move(wf));
+  return plan;
+}
+
+Workflow KeyedChainWorkflow() {
+  Workflow wf("keyed_chain");
+  WorkflowNode n1, n2;
+  n1.proc = "ingest";
+  n1.kind = SpKind::kBorder;
+  n1.output_streams = {"in"};
+  n2.proc = "apply";
+  n2.kind = SpKind::kInterior;
+  n2.input_streams = {"in"};
+  (void)wf.AddNode(n1);
+  (void)wf.AddNode(n2);
+  return wf;
+}
+
+std::vector<Tuple> SinkRows(SStore& store) {
+  Table* sink = *store.catalog().GetTable("sink");
+  Executor exec;
+  ScanSpec spec;
+  spec.table = sink;
+  return *exec.Scan(spec);
+}
+
+// ---- PartitionMap ----
+
+TEST(PartitionMapTest, HashRoutingIsDeterministic) {
+  PartitionMap a(4), b(4);
+  for (int64_t k = 0; k < 1000; ++k) {
+    Value key = Value::BigInt(k * 7919);
+    size_t p = a.PartitionOf(key);
+    EXPECT_LT(p, 4u);
+    // Same key, same partition — across calls and across map instances.
+    EXPECT_EQ(p, a.PartitionOf(key));
+    EXPECT_EQ(p, b.PartitionOf(key));
+  }
+  EXPECT_EQ(a.PartitionOf(Value::String("road-7")),
+            b.PartitionOf(Value::String("road-7")));
+}
+
+TEST(PartitionMapTest, HashRoutingCoversAllPartitions) {
+  PartitionMap map(4);
+  std::set<size_t> seen;
+  for (int64_t k = 0; k < 1000; ++k) seen.insert(map.PartitionOf(Value::BigInt(k)));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(PartitionMapTest, ModuloRoutingIsExactForIntegers) {
+  PartitionMap map(4, PartitionMap::Mode::kModulo);
+  for (int64_t k = 0; k < 64; ++k) {
+    EXPECT_EQ(map.PartitionOf(Value::BigInt(k)), static_cast<size_t>(k % 4));
+    EXPECT_EQ(map.PartitionOfId(k), static_cast<size_t>(k % 4));
+  }
+  // Non-integer keys fall back to hashing but stay deterministic.
+  size_t p = map.PartitionOf(Value::String("x"));
+  EXPECT_LT(p, 4u);
+  EXPECT_EQ(p, map.PartitionOf(Value::String("x")));
+}
+
+TEST(PartitionMapTest, ZeroPartitionsClampsToOne) {
+  PartitionMap map(0);
+  EXPECT_EQ(map.num_partitions(), 1u);
+  EXPECT_EQ(map.PartitionOf(Value::BigInt(123)), 0u);
+}
+
+// ---- DeploymentPlan ----
+
+TEST(DeploymentPlanTest, AppliesIdenticallyToFreshStores) {
+  DeploymentPlan plan = BuildKeyedChainPlan();
+  EXPECT_EQ(plan.steps().size(), 5u);
+  EXPECT_FALSE(plan.Describe().empty());
+
+  SStore a, b;
+  ASSERT_TRUE(plan.ApplyTo(a).ok());
+  ASSERT_TRUE(plan.ApplyTo(b).ok());
+  for (SStore* store : {&a, &b}) {
+    EXPECT_TRUE(store->streams().HasStream("in"));
+    EXPECT_TRUE(store->catalog().HasTable("sink"));
+    EXPECT_TRUE(store->partition().HasProcedure("ingest"));
+    EXPECT_TRUE(store->partition().HasProcedure("apply"));
+    EXPECT_EQ(store->triggers().ConsumersOf("in"),
+              std::vector<std::string>{"apply"});
+  }
+}
+
+TEST(DeploymentPlanTest, ReapplyToSameStoreFails) {
+  DeploymentPlan plan = BuildKeyedChainPlan();
+  SStore store;
+  ASSERT_TRUE(plan.ApplyTo(store).ok());
+  Status again = plan.ApplyTo(store);
+  EXPECT_EQ(again.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DeploymentPlanTest, FailingStepReportsItsDescription) {
+  DeploymentPlan plan;
+  plan.CreateIndex("no_such_table", "pk", {"x"}, true);
+  SStore store;
+  Status s = plan.ApplyTo(store);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("no_such_table"), std::string::npos);
+}
+
+TEST(DeploymentPlanTest, NullProcedureFactoryRejected) {
+  DeploymentPlan plan;
+  plan.RegisterProcedure("ghost", SpKind::kBorder,
+                         [](SStore&) -> std::shared_ptr<StoredProcedure> {
+                           return nullptr;
+                         });
+  SStore store;
+  EXPECT_EQ(plan.ApplyTo(store).code(), StatusCode::kInvalidArgument);
+}
+
+// ---- Cluster ----
+
+TEST(ClusterTest, DeployPutsIdenticalWorkflowOnEveryPartition) {
+  Cluster cluster(4);
+  ASSERT_EQ(cluster.num_partitions(), 4u);
+  ASSERT_TRUE(cluster.Deploy(BuildKeyedChainPlan()).ok());
+  for (size_t p = 0; p < cluster.num_partitions(); ++p) {
+    SStore& store = cluster.store(p);
+    EXPECT_EQ(store.partition().partition_id(), static_cast<int>(p));
+    EXPECT_TRUE(store.streams().HasStream("in"));
+    EXPECT_TRUE(store.catalog().HasTable("sink"));
+    EXPECT_TRUE(store.partition().HasProcedure("ingest"));
+    EXPECT_TRUE(store.partition().HasProcedure("apply"));
+    EXPECT_EQ(store.triggers().ConsumersOf("in"),
+              std::vector<std::string>{"apply"});
+  }
+}
+
+TEST(ClusterTest, DeployFailureNamesThePartition) {
+  Cluster cluster(2);
+  DeploymentPlan bad;
+  bad.CreateIndex("missing", "pk", {"x"}, true);
+  Status s = cluster.Deploy(bad);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("partition 0"), std::string::npos);
+}
+
+TEST(ClusterTest, ExecuteSyncRoutesToTheKeyOwner) {
+  Cluster cluster(4);
+  ASSERT_TRUE(cluster.Deploy(BuildKeyedChainPlan()).ok());
+  cluster.Start();
+  Value key = Value::BigInt(42);
+  size_t owner = cluster.PartitionOf(key);
+  TxnOutcome out = cluster.ExecuteSync("ingest", KeyVal(42, 0), key, 1);
+  ASSERT_TRUE(out.committed());
+  cluster.WaitIdle();
+  cluster.Stop();
+  for (size_t p = 0; p < cluster.num_partitions(); ++p) {
+    size_t expected = p == owner ? 1u : 0u;
+    EXPECT_EQ(SinkRows(cluster.store(p)).size(), expected) << "partition " << p;
+  }
+}
+
+TEST(ClusterTest, ExecuteOnAllScattersToEveryPartition) {
+  Cluster cluster(3);
+  ASSERT_TRUE(cluster.Deploy(BuildKeyedChainPlan()).ok());
+  cluster.Start();
+  std::vector<TxnOutcome> outs = cluster.ExecuteOnAll("ingest", KeyVal(0, 0));
+  ASSERT_EQ(outs.size(), 3u);
+  for (const TxnOutcome& out : outs) EXPECT_TRUE(out.committed());
+  cluster.WaitIdle();
+  cluster.Stop();
+  for (size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(SinkRows(cluster.store(p)).size(), 1u);
+  }
+}
+
+/// The acceptance scenario: a 4-partition cluster processes a keyed
+/// workload; per-key ordering is preserved, every partition's commit
+/// schedule satisfies the workflow/stream-order constraints, and the
+/// aggregate committed count matches the injected batch count.
+TEST(ClusterTest, KeyedWorkloadPreservesPerKeyOrdering) {
+  constexpr int kKeys = 8;
+  constexpr int kSeqsPerKey = 50;
+
+  Cluster cluster(4);
+  ASSERT_TRUE(cluster.Deploy(BuildKeyedChainPlan()).ok());
+
+  // Record each partition's commit schedule (hooks run on that partition's
+  // single worker thread; read only after Stop()).
+  std::vector<std::vector<ScheduleEvent>> schedules(cluster.num_partitions());
+  for (size_t p = 0; p < cluster.num_partitions(); ++p) {
+    cluster.partition(p).AddCommitHook(
+        [&schedules, p](Partition&, const TransactionExecution& te) {
+          schedules[p].push_back({te.proc_name(), te.batch_id()});
+        });
+  }
+
+  cluster.Start();
+  ClusterInjector::Options opts;
+  opts.key_column = 0;
+  ClusterInjector injector(&cluster, "ingest", opts);
+  std::vector<TicketPtr> tickets;
+  for (int seq = 0; seq < kSeqsPerKey; ++seq) {
+    for (int key = 0; key < kKeys; ++key) {
+      tickets.push_back(injector.InjectAsync(KeyVal(key, seq)));
+    }
+  }
+  for (auto& t : tickets) ASSERT_TRUE(t->Wait().committed());
+  cluster.WaitIdle();
+  cluster.Stop();
+
+  // Aggregate committed == injected batches: every batch runs the border TE
+  // plus exactly one PE-triggered interior TE.
+  constexpr uint64_t kBatches = kKeys * kSeqsPerKey;
+  EXPECT_EQ(injector.batches_injected(), static_cast<int64_t>(kBatches));
+  ClusterStats stats = cluster.GatherStats();
+  EXPECT_EQ(stats.committed(), 2 * kBatches);
+  EXPECT_EQ(stats.txn.client_requests, kBatches);
+  EXPECT_EQ(stats.txn.internal_requests, kBatches);
+  EXPECT_EQ(stats.aborted(), 0u);
+
+  // Each partition's schedule respects the workflow; a key's rows live on
+  // exactly its owning partition, in injection order.
+  Workflow wf = KeyedChainWorkflow();
+  std::map<int64_t, std::vector<int64_t>> seqs_by_key;
+  std::map<int64_t, std::set<size_t>> partitions_by_key;
+  uint64_t total_rows = 0;
+  for (size_t p = 0; p < cluster.num_partitions(); ++p) {
+    EXPECT_TRUE(ValidateSchedule(wf, schedules[p]).ok()) << "partition " << p;
+    for (const Tuple& row : SinkRows(cluster.store(p))) {
+      int64_t key = row[0].as_int64();
+      seqs_by_key[key].push_back(row[1].as_int64());
+      partitions_by_key[key].insert(p);
+      ++total_rows;
+    }
+  }
+  EXPECT_EQ(total_rows, kBatches);
+  ASSERT_EQ(seqs_by_key.size(), static_cast<size_t>(kKeys));
+  for (const auto& [key, seqs] : seqs_by_key) {
+    EXPECT_EQ(partitions_by_key[key].size(), 1u) << "key " << key;
+    EXPECT_EQ(*partitions_by_key[key].begin(),
+              cluster.PartitionOf(Value::BigInt(key)))
+        << "key " << key;
+    ASSERT_EQ(seqs.size(), static_cast<size_t>(kSeqsPerKey)) << "key " << key;
+    for (int i = 0; i < kSeqsPerKey; ++i) {
+      EXPECT_EQ(seqs[i], i) << "key " << key;
+    }
+  }
+}
+
+TEST(ClusterInjectorTest, ConcurrentProducersKeepPerPartitionBatchIdsInOrder) {
+  constexpr int kThreads = 4;
+  constexpr int kKeysPerThread = 8;
+  constexpr int kSeqsPerKey = 25;
+
+  Cluster cluster(4);
+  ASSERT_TRUE(cluster.Deploy(BuildKeyedChainPlan()).ok());
+  std::vector<std::vector<int64_t>> border_batch_ids(cluster.num_partitions());
+  for (size_t p = 0; p < cluster.num_partitions(); ++p) {
+    cluster.partition(p).AddCommitHook(
+        [&border_batch_ids, p](Partition&, const TransactionExecution& te) {
+          if (te.proc_name() == "ingest") {
+            border_batch_ids[p].push_back(te.batch_id());
+          }
+        });
+  }
+  cluster.Start();
+
+  ClusterInjector::Options opts;
+  opts.key_column = 0;
+  opts.max_queue_depth = 64;
+  ClusterInjector injector(&cluster, "ingest", opts);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&injector, t] {
+      // Disjoint key ranges per thread; keys from different threads still
+      // collide on partitions, which is what exercises the lane locking.
+      for (int seq = 0; seq < kSeqsPerKey; ++seq) {
+        for (int k = 0; k < kKeysPerThread; ++k) {
+          int64_t key = t * kKeysPerThread + k;
+          injector.InjectAsync(KeyVal(key, seq));
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  cluster.WaitIdle();
+  cluster.Stop();
+
+  // Within every partition the border TEs committed with batch ids
+  // 1, 2, ..., N — allocation order and queue order agree even under
+  // producer concurrency (the stream-order constraint per partition).
+  int64_t total = 0;
+  for (size_t p = 0; p < cluster.num_partitions(); ++p) {
+    const std::vector<int64_t>& ids = border_batch_ids[p];
+    for (size_t i = 0; i < ids.size(); ++i) {
+      ASSERT_EQ(ids[i], static_cast<int64_t>(i + 1)) << "partition " << p;
+    }
+    EXPECT_EQ(injector.batches_injected(p), static_cast<int64_t>(ids.size()));
+    total += static_cast<int64_t>(ids.size());
+  }
+  EXPECT_EQ(total, kThreads * kKeysPerThread * kSeqsPerKey);
+  EXPECT_EQ(injector.batches_injected(), total);
+}
+
+TEST(ClusterStatsTest, AggregationSumsPerPartitionAndResetClears) {
+  Cluster cluster(4);
+  ASSERT_TRUE(cluster.Deploy(BuildKeyedChainPlan()).ok());
+  cluster.Start();
+  ClusterInjector::Options opts;
+  opts.key_column = 0;
+  ClusterInjector injector(&cluster, "ingest", opts);
+  std::vector<TicketPtr> tickets;
+  for (int i = 0; i < 100; ++i) tickets.push_back(injector.InjectAsync(KeyVal(i, i)));
+  for (auto& t : tickets) ASSERT_TRUE(t->Wait().committed());
+  cluster.WaitIdle();
+
+  ClusterStats stats = cluster.GatherStats();
+  ASSERT_EQ(stats.per_partition.size(), 4u);
+  ASSERT_EQ(stats.per_partition_engine.size(), 4u);
+  uint64_t committed_sum = 0, gc_sum = 0;
+  for (size_t p = 0; p < 4; ++p) {
+    committed_sum += stats.per_partition[p].committed;
+    gc_sum += stats.per_partition_engine[p].gc_deleted_rows;
+  }
+  EXPECT_EQ(stats.committed(), committed_sum);
+  EXPECT_EQ(stats.committed(), 200u);  // 100 border + 100 interior
+  EXPECT_EQ(stats.engine.gc_deleted_rows, gc_sum);
+
+  // Consistent reset: partition-engine and execution-engine counters clear
+  // together, on every partition.
+  cluster.ResetStats();
+  ClusterStats after = cluster.GatherStats();
+  EXPECT_EQ(after.committed(), 0u);
+  EXPECT_EQ(after.txn.client_requests, 0u);
+  EXPECT_EQ(after.txn.internal_requests, 0u);
+  EXPECT_EQ(after.engine.fragments_executed, 0u);
+  EXPECT_EQ(after.engine.gc_deleted_rows, 0u);
+  for (size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(after.per_partition[p].committed, 0u);
+    EXPECT_EQ(after.per_partition_engine[p].gc_deleted_rows, 0u);
+  }
+  cluster.Stop();
+}
+
+TEST(ClusterTest, LinearRoadDeploymentRoutesByXway) {
+  // The paper's partitioning scheme end to end: the Linear Road plan on a
+  // 2-partition cluster, reports routed by the x-way column.
+  Cluster::Options opts;
+  opts.num_partitions = 2;
+  opts.routing = PartitionMap::Mode::kModulo;
+  Cluster cluster(opts);
+  LinearRoadConfig config;
+  config.num_xways = 4;
+  config.vehicles_per_xway = 10;
+  config.duration_sec = 5;
+  ASSERT_TRUE(cluster.Deploy(BuildLinearRoadDeployment(config)).ok());
+  cluster.Start();
+
+  ClusterInjector::Options inj_opts;
+  inj_opts.key_column = 2;  // xway
+  ClusterInjector injector(&cluster, "position_report", inj_opts);
+  LinearRoadGenerator gen(config);
+  std::vector<TicketPtr> tickets;
+  int64_t reports = 0;
+  for (int s = 0; s < config.duration_sec; ++s) {
+    for (const PositionReport& r : gen.NextSecond()) {
+      tickets.push_back(injector.InjectAsync(r.ToTuple()));
+      ++reports;
+    }
+  }
+  for (auto& t : tickets) ASSERT_TRUE(t->Wait().committed());
+  cluster.WaitIdle();
+  cluster.Stop();
+
+  // Every partition holds exactly the vehicles of its own x-ways.
+  Executor exec;
+  uint64_t vehicles_total = 0;
+  for (size_t p = 0; p < 2; ++p) {
+    Table* vehicles = *cluster.store(p).catalog().GetTable("lr_vehicles");
+    ScanSpec spec;
+    spec.table = vehicles;
+    std::vector<Tuple> rows = *exec.Scan(spec);
+    for (const Tuple& row : rows) {
+      EXPECT_EQ(static_cast<size_t>(row[1].as_int64() % 2), p);
+      ++vehicles_total;
+    }
+  }
+  EXPECT_EQ(vehicles_total,
+            static_cast<uint64_t>(config.num_xways * config.vehicles_per_xway));
+  EXPECT_GE(cluster.GatherStats().committed(), static_cast<uint64_t>(reports));
+}
+
+}  // namespace
+}  // namespace sstore

@@ -110,6 +110,11 @@ TEST_F(ConservationFixture, OltpAuditsNeverSeePartialWorkflows) {
   std::vector<TicketPtr> tickets;
   for (int i = 1; i <= 500; ++i) tickets.push_back(injector.InjectAsync(Num(i)));
   for (auto& t : tickets) ASSERT_TRUE(t->Wait().committed());
+  // On a loaded machine the auditor thread may not have been scheduled yet;
+  // let at least one audit commit before stopping it.
+  while (audits.load() == 0) {
+    std::this_thread::yield();
+  }
   // Stop the auditor before draining — it keeps the queue non-empty.
   stop.store(true);
   auditor.join();
@@ -192,20 +197,23 @@ TEST(ClientRttTest, RoundTripCostAppliesOnlyToSyncClients) {
       [](ProcContext&) { return Status::OK(); });
   ASSERT_TRUE(store.partition().RegisterProcedure("noop", SpKind::kOltp, noop).ok());
   store.Start();
-  store.partition().SetClientRoundTripMicros(2000);
+  // Large enough that scheduler noise on a loaded machine (`ctest -j`)
+  // cannot push an async submit past the threshold.
+  constexpr int64_t kRttMicros = 50000;
+  store.partition().SetClientRoundTripMicros(kRttMicros);
   auto t0 = std::chrono::steady_clock::now();
   ASSERT_TRUE(store.partition().ExecuteSync("noop", {}).committed());
   auto sync_us = std::chrono::duration_cast<std::chrono::microseconds>(
                      std::chrono::steady_clock::now() - t0)
                      .count();
-  EXPECT_GE(sync_us, 2000);
+  EXPECT_GE(sync_us, kRttMicros);
   // Async submission does not pay the modeled round trip at submit time.
   t0 = std::chrono::steady_clock::now();
   TicketPtr ticket = store.partition().SubmitAsync(Invocation{"noop", {}, 0});
   auto submit_us = std::chrono::duration_cast<std::chrono::microseconds>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
-  EXPECT_LT(submit_us, 2000);
+  EXPECT_LT(submit_us, kRttMicros);
   ticket->Wait();
   store.Stop();
 }

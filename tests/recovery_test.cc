@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <memory>
 
 #include "query/expr.h"
@@ -13,7 +15,11 @@ Schema NumSchema() { return Schema({{"x", ValueType::kBigInt}}); }
 Tuple Num(int64_t x) { return {Value::BigInt(x)}; }
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  // Parameterized tests (Strong/Weak) reuse the same logical names but run
+  // as separate processes under `ctest -j`; a pid suffix keeps their log and
+  // snapshot files from colliding.
+  static const std::string pid = std::to_string(::getpid());
+  return ::testing::TempDir() + "/sstore_" + pid + "_" + name;
 }
 
 /// Deterministic 2-stage chain used for recovery equivalence: border "ingest"

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "query/expr.h"
 #include "streaming/injector.h"
 #include "streaming/sstore.h"
@@ -544,6 +547,35 @@ TEST(InjectorTest, AssignsMonotoneBatchIds) {
   for (int i = 0; i < 3; ++i) ASSERT_TRUE(injector.InjectSync(Num(i)).committed());
   EXPECT_EQ(batches, (std::vector<int64_t>{1, 2, 3}));
   EXPECT_EQ(injector.batches_injected(), 3);
+}
+
+TEST(InjectorTest, BackpressureBoundsQueueDepth) {
+  constexpr size_t kMaxDepth = 4;
+  SStore store;
+  // A border SP slow enough that an unthrottled producer would outrun the
+  // worker and grow the queue. No interior SPs, so queue depth is driven by
+  // client injections alone.
+  auto slow = std::make_shared<LambdaProcedure>([](ProcContext&) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return Status::OK();
+  });
+  ASSERT_TRUE(store.partition().RegisterProcedure("slow", SpKind::kBorder, slow).ok());
+  store.Start();
+
+  StreamInjector::Options opts;
+  opts.max_queue_depth = kMaxDepth;
+  StreamInjector injector(&store.partition(), "slow", opts);
+  std::vector<TicketPtr> tickets;
+  for (int i = 0; i < 100; ++i) {
+    tickets.push_back(injector.InjectAsync(Num(i)));
+    // InjectAsync only enqueues once the depth has dropped below the limit,
+    // so right after it returns the queue holds at most kMaxDepth requests
+    // (the worker can only have shrunk it since).
+    EXPECT_LE(store.partition().QueueDepth(), kMaxDepth);
+  }
+  for (auto& t : tickets) ASSERT_TRUE(t->Wait().committed());
+  store.Stop();
+  EXPECT_EQ(injector.batches_injected(), 100);
 }
 
 TEST(NestedWorkflowTest, NestedTxnIsolatesWorkflowRound) {

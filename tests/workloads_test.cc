@@ -348,6 +348,50 @@ TEST(LinearRoadAppTest, ProcessesTrafficAndRollsUpMinutes) {
   EXPECT_GE(*app.TotalTollsCharged(), 0.0);
 }
 
+TEST(LinearRoadAppTest, SegmentCrossingChargesLatestMinuteToll) {
+  SStore store;
+  LinearRoadConfig config;
+  config.num_xways = 1;
+  LinearRoadApp app(&store, config);
+  ASSERT_TRUE(app.Setup().ok());
+
+  // Archived stats for segment 0: congestion peaked at minute 1 (toll 8.0)
+  // but had eased by minute 2 (toll 2.0). A crossing must charge the
+  // *latest* minute's toll, not the historic maximum.
+  Table* segstats = *store.catalog().GetTable("lr_segstats");
+  ASSERT_TRUE(segstats
+                  ->Insert({Value::BigInt(0), Value::BigInt(0),
+                            Value::BigInt(1), Value::BigInt(7),
+                            Value::Double(8.0)})
+                  .ok());
+  ASSERT_TRUE(segstats
+                  ->Insert({Value::BigInt(0), Value::BigInt(0),
+                            Value::BigInt(2), Value::BigInt(5),
+                            Value::Double(2.0)})
+                  .ok());
+
+  auto report = [](int64_t ts, int64_t seg) {
+    PositionReport r;
+    r.time_sec = ts;
+    r.vid = 1;
+    r.xway = 0;
+    r.lane = 0;
+    r.seg = seg;
+    r.speed = 30;
+    return r;
+  };
+  // First report registers the vehicle in segment 0; the second crosses
+  // into segment 1, charging segment 0's toll.
+  store.Start();
+  ASSERT_TRUE(app.InjectAsync(report(0, 0))->Wait().committed());
+  ASSERT_TRUE(app.InjectAsync(report(1, 1))->Wait().committed());
+  while (store.partition().QueueDepth() > 0) {
+    std::this_thread::yield();
+  }
+  store.Stop();
+  EXPECT_DOUBLE_EQ(*app.TotalTollsCharged(), 2.0);
+}
+
 TEST(LinearRoadAppTest, StoppedVehiclesCreateAndClearAccidents) {
   SStore store;
   LinearRoadConfig config;

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds and runs the submission hot-path benchmark and writes the results
+# to BENCH_pr2.json (google-benchmark JSON, including machine context).
+#
+# Usage:
+#   bench/run_bench.sh                  # full run -> BENCH_pr2.json
+#   bench/run_bench.sh --benchmark_min_time=0.1s   # quick smoke (CI)
+#
+# Env:
+#   BUILD_DIR  build directory (default: build-bench)
+#   OUT        output JSON path (default: BENCH_pr2.json)
+#
+# Acceptance gate (checked by eye / by the driver): items_per_second of
+# BM_SubmitBatch must be >= 2x BM_SubmitPerInvocation at the same batch arg,
+# and BM_BackpressureCpu/blocking:1 must report producer_cpu_frac near 0.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-bench}"
+OUT="${OUT:-BENCH_pr2.json}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DSSTORE_BUILD_BENCHMARKS=ON \
+  -DSSTORE_BUILD_TESTS=OFF \
+  -DSSTORE_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$BUILD_DIR" -j --target bench_ingest_hotpath >/dev/null
+
+"$BUILD_DIR/bench/bench_ingest_hotpath" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote $OUT"

@@ -26,6 +26,7 @@ Cluster::Cluster(const Options& options)
   for (size_t p = 0; p < n; ++p) {
     SStore::Options store_opts;
     store_opts.partition_id = static_cast<int>(p);
+    store_opts.queue_capacity = options_.queue_capacity;
     if (!options_.log_dir.empty()) {
       store_opts.log_path =
           options_.log_dir + "/partition-" + std::to_string(p) + ".log";
@@ -73,6 +74,26 @@ TicketPtr Cluster::SubmitToPartition(size_t p, Invocation inv) {
   return stores_[p]->partition().SubmitAsync(std::move(inv));
 }
 
+std::vector<BatchTicketPtr> Cluster::SubmitBatchAsync(
+    std::vector<Invocation> invs) {
+  std::vector<std::vector<Invocation>> per_partition(stores_.size());
+  for (Invocation& inv : invs) {
+    per_partition[map_.PartitionOfId(inv.batch_id)].push_back(std::move(inv));
+  }
+  std::vector<BatchTicketPtr> tickets;
+  for (size_t p = 0; p < per_partition.size(); ++p) {
+    if (per_partition[p].empty()) continue;
+    tickets.push_back(
+        stores_[p]->partition().SubmitBatchAsync(std::move(per_partition[p])));
+  }
+  return tickets;
+}
+
+BatchTicketPtr Cluster::SubmitBatchToPartition(size_t p,
+                                               std::vector<Invocation> invs) {
+  return stores_[p]->partition().SubmitBatchAsync(std::move(invs));
+}
+
 std::vector<TxnOutcome> Cluster::ExecuteOnAll(const std::string& proc,
                                               Tuple params) {
   // Scatter asynchronously so partitions work concurrently, then gather.
@@ -110,13 +131,10 @@ size_t Cluster::TotalQueueDepth() {
 }
 
 void Cluster::WaitIdle() {
-  // Re-check every partition after a full pass reports empty: a PE trigger
-  // on partition p only ever re-enqueues on p (shared-nothing), so one pass
-  // with all queues empty means the cluster is quiescent.
-  for (;;) {
-    if (TotalQueueDepth() == 0) return;
-    std::this_thread::yield();
-  }
+  // One pass suffices: a PE trigger on partition p only ever re-enqueues on
+  // p (shared-nothing), so once each partition has been seen idle the
+  // cluster is quiescent. Each wait sleeps on that partition's idle cv.
+  for (auto& store : stores_) store->partition().WaitIdle();
 }
 
 ClusterStats Cluster::GatherStats() const {
@@ -125,7 +143,7 @@ ClusterStats Cluster::GatherStats() const {
   out.per_partition_engine.reserve(stores_.size());
   for (const auto& store : stores_) {
     SStore& s = const_cast<SStore&>(*store);
-    const Partition::Stats& ps = s.partition().stats();
+    const Partition::Stats ps = s.partition().stats();
     const EngineStats& es = s.ee().stats();
     out.per_partition.push_back(ps);
     out.per_partition_engine.push_back(es);
@@ -135,6 +153,10 @@ ClusterStats Cluster::GatherStats() const {
     out.txn.client_requests += ps.client_requests;
     out.txn.internal_requests += ps.internal_requests;
     out.txn.nested_groups += ps.nested_groups;
+    out.txn.producer_blocks += ps.producer_blocks;
+    if (ps.queue_high_watermark > out.txn.queue_high_watermark) {
+      out.txn.queue_high_watermark = ps.queue_high_watermark;
+    }
 
     out.engine.boundary_crossings += es.boundary_crossings;
     out.engine.boundary_bytes += es.boundary_bytes;

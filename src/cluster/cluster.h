@@ -22,13 +22,22 @@ namespace sstore {
 /// WaitIdle() or Stop()); under load they are a live approximation, same as
 /// reading a single partition's counters mid-run.
 struct ClusterStats {
-  Partition::Stats txn;   // summed across partitions
+  /// Summed across partitions — except queue_high_watermark, which is the
+  /// *max* across partitions (a sum of per-partition high-water marks has no
+  /// admission-control meaning; the worst single backlog does).
+  Partition::Stats txn;
   EngineStats engine;     // summed across partitions
   std::vector<Partition::Stats> per_partition;
   std::vector<EngineStats> per_partition_engine;
 
   uint64_t committed() const { return txn.committed; }
   uint64_t aborted() const { return txn.aborted; }
+  /// Deepest request backlog any partition saw since the last reset.
+  uint64_t max_queue_high_watermark() const {
+    return txn.queue_high_watermark;
+  }
+  /// Total producer blocking events (full ring or injector depth limit).
+  uint64_t producer_blocks() const { return txn.producer_blocks; }
 };
 
 /// A shared-nothing cluster of SStore partitions (paper §4.7 / Figure 11):
@@ -56,6 +65,8 @@ class Cluster {
     size_t group_commit_size = 1;
     bool log_sync = true;
     RecoveryMode recovery_mode = RecoveryMode::kStrong;
+    /// Per-partition request-ring capacity; 0 = Partition default.
+    size_t queue_capacity = 0;
   };
 
   explicit Cluster(const Options& options);
@@ -97,6 +108,18 @@ class Cluster {
   /// Explicit placement, for callers that already know the owner.
   TicketPtr SubmitToPartition(size_t p, Invocation inv);
 
+  // ---- Batched submission (any thread) ----
+
+  /// Routes each invocation by its batch id (the unkeyed SubmitAsync rule),
+  /// groups per owning partition, and submits one batch per partition — one
+  /// completion ticket per touched partition instead of per invocation.
+  /// Tickets come back in partition order of first touch.
+  std::vector<BatchTicketPtr> SubmitBatchAsync(std::vector<Invocation> invs);
+
+  /// Explicit placement of a whole batch on one partition.
+  BatchTicketPtr SubmitBatchToPartition(size_t p,
+                                        std::vector<Invocation> invs);
+
   /// Runs one OLTP-style request on *every* partition and returns the
   /// outcomes in partition order (scatter; the caller gathers). This is the
   /// seam where cross-partition transactions will eventually live — today it
@@ -112,8 +135,9 @@ class Cluster {
   /// Sum of all partition request-queue depths (approximate).
   size_t TotalQueueDepth();
 
-  /// Spins until every partition's queue is empty (all submitted work and
-  /// the PE-triggered interiors it cascaded into have drained).
+  /// Blocks until every partition's queue is empty (all submitted work and
+  /// the PE-triggered interiors it cascaded into have drained). Sleeps on
+  /// each partition's idle condition variable — no spinning.
   void WaitIdle();
 
   // ---- Stats ----

@@ -6,13 +6,55 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "common/status.h"
 #include "engine/partition.h"
+#include "streaming/injector.h"
 
 namespace sstore {
+
+/// Completion handle for one keyed batch injection: the batch was split by
+/// key across partitions, so completion is the conjunction of one
+/// BatchTicket per touched partition (still O(partitions) waits, not
+/// O(tuples)).
+class ClusterBatchTicket {
+ public:
+  void Wait() {
+    for (auto& t : tickets_) t->Wait();
+  }
+  bool TryWait() {
+    for (auto& t : tickets_) {
+      if (!t->TryWait()) return false;
+    }
+    return true;
+  }
+  size_t size() const {
+    size_t n = 0;
+    for (auto& t : tickets_) n += t->size();
+    return n;
+  }
+  size_t committed() const {
+    size_t n = 0;
+    for (auto& t : tickets_) n += t->committed();
+    return n;
+  }
+  size_t aborted() const {
+    size_t n = 0;
+    for (auto& t : tickets_) n += t->aborted();
+    return n;
+  }
+  bool all_committed() const { return committed() == size(); }
+
+  /// Per-partition tickets, in partition order of first touch.
+  const std::vector<BatchTicketPtr>& per_partition() const { return tickets_; }
+
+ private:
+  friend class ClusterInjector;
+  std::vector<BatchTicketPtr> tickets_;
+};
 
 /// Keyed generalization of StreamInjector (paper §3.2 Figure 4, scaled out
 /// per §4.7): prepares atomic batches and invokes the workflow's border
@@ -28,9 +70,10 @@ namespace sstore {
 /// within a partition (cross-partition order is unconstrained — that is the
 /// shared-nothing bargain).
 ///
-/// `Options::max_queue_depth` bounds each partition's request backlog: an
-/// inject call spins (yielding) while the owning partition's queue is at the
-/// limit. Zero disables backpressure.
+/// `Options::max_queue_depth` bounds each partition's request backlog; in
+/// the default kBlock mode a throttled producer sleeps on the owning
+/// partition's condition variable instead of spinning. Zero disables
+/// backpressure.
 class ClusterInjector {
  public:
   struct Options {
@@ -38,6 +81,7 @@ class ClusterInjector {
     int key_column = 0;
     /// Per-partition backpressure limit; 0 = unbounded.
     size_t max_queue_depth = 0;
+    BackpressureMode backpressure = BackpressureMode::kBlock;
   };
 
   ClusterInjector(Cluster* cluster, std::string border_proc)
@@ -58,6 +102,35 @@ class ClusterInjector {
   TicketPtr InjectAsync(Tuple batch) {
     size_t p = RouteOf(batch);
     return EnqueueOn(p, std::move(batch));
+  }
+
+  /// Batch-at-a-time injection: splits the batch by key, then submits one
+  /// invocation group per touched partition under its lane lock — one
+  /// allocation and one completion signal per partition instead of per
+  /// tuple. Per-partition batch ids remain consecutive and ordered.
+  ClusterBatchTicket InjectBatchAsync(std::vector<Tuple> batches) {
+    std::vector<std::vector<Invocation>> per_partition(lanes_.size());
+    for (Tuple& batch : batches) {
+      size_t p = RouteOf(batch);
+      per_partition[p].push_back(
+          Invocation{border_proc_, std::move(batch), /*batch_id=*/0});
+    }
+    ClusterBatchTicket ticket;
+    for (size_t p = 0; p < per_partition.size(); ++p) {
+      if (per_partition[p].empty()) continue;
+      Partition& partition = cluster_->partition(p);
+      Throttle(partition);
+      std::lock_guard<std::mutex> hold(lanes_[p]->mu);
+      for (Invocation& inv : per_partition[p]) {
+        inv.batch_id = lanes_[p]->next_batch_id++;
+      }
+      // kSpillWhenFull: never block on a full ring while holding the lane —
+      // other producers for this partition would stall behind the mutex.
+      // Backpressure for injectors is the Throttle() depth limit above.
+      ticket.tickets_.push_back(partition.SubmitBatchAsync(
+          std::move(per_partition[p]), EnqueuePolicy::kSpillWhenFull));
+    }
+    return ticket;
   }
 
   /// Blocking injection: waits for the border transaction to commit on the
@@ -104,24 +177,33 @@ class ClusterInjector {
     return cluster_->PartitionOf(batch[column]);
   }
 
+  // Throttle *before* taking the lane lock: a producer stuck at the limit
+  // must not block stats readers or hold the lane across a long wait.
+  // Concurrent producers racing past the check can overshoot the limit by
+  // at most the producer count — backpressure is a bound on growth, not an
+  // exact ceiling. Order among concurrently-throttled producers is
+  // unspecified either way; the lane lock still guarantees that batch-id
+  // order equals queue order.
+  void Throttle(Partition& partition) {
+    if (options_.max_queue_depth == 0) return;
+    if (options_.backpressure == BackpressureMode::kBlock) {
+      partition.WaitForQueueBelow(options_.max_queue_depth);
+      return;
+    }
+    while (partition.QueueDepth() >= options_.max_queue_depth) {
+      std::this_thread::yield();
+    }
+  }
+
   TicketPtr EnqueueOn(size_t p, Tuple batch) {
     Partition& partition = cluster_->partition(p);
-    // Throttle *before* taking the lane lock: a producer stuck at the limit
-    // must not block stats readers or hold the lane across a long wait.
-    // Concurrent producers racing past the check can overshoot the limit by
-    // at most the producer count — backpressure is a bound on growth, not an
-    // exact ceiling. Order among concurrently-throttled producers is
-    // unspecified either way; the lock below still guarantees that batch-id
-    // order equals queue order.
-    if (options_.max_queue_depth > 0) {
-      while (partition.QueueDepth() >= options_.max_queue_depth) {
-        std::this_thread::yield();
-      }
-    }
+    Throttle(partition);
     std::lock_guard<std::mutex> hold(lanes_[p]->mu);
     int64_t batch_id = lanes_[p]->next_batch_id++;
+    // kSpillWhenFull: see InjectBatchAsync — no blocking under the lane.
     return partition.SubmitAsync(
-        Invocation{border_proc_, std::move(batch), batch_id});
+        Invocation{border_proc_, std::move(batch), batch_id},
+        EnqueuePolicy::kSpillWhenFull);
   }
 
   Cluster* cluster_;

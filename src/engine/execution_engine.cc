@@ -126,8 +126,26 @@ Status ExecutionEngine::InsertBatch(const std::string& table_name,
   Executor exec(mlog);
   SSTORE_ASSIGN_OR_RETURN(size_t n, exec.InsertMany(table, rows, batch_id));
   (void)n;
-
   if (!fire_triggers) return Status::OK();
+  return FireTriggersAndGc(table_name, table, batch_id, mlog);
+}
+
+Status ExecutionEngine::InsertBatch(const std::string& table_name,
+                                    std::vector<Tuple>&& rows,
+                                    int64_t batch_id, MutationLog* mlog,
+                                    bool fire_triggers) {
+  SSTORE_ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(table_name));
+  Executor exec(mlog);
+  SSTORE_ASSIGN_OR_RETURN(size_t n,
+                          exec.InsertMany(table, std::move(rows), batch_id));
+  (void)n;
+  if (!fire_triggers) return Status::OK();
+  return FireTriggersAndGc(table_name, table, batch_id, mlog);
+}
+
+Status ExecutionEngine::FireTriggersAndGc(const std::string& table_name,
+                                          Table* table, int64_t batch_id,
+                                          MutationLog* mlog) {
   auto it = insert_triggers_.find(table_name);
   if (it == insert_triggers_.end() || it->second.empty()) return Status::OK();
 
@@ -144,6 +162,7 @@ Status ExecutionEngine::InsertBatch(const std::string& table_name,
   auto gc = auto_gc_.find(table_name);
   if (gc != auto_gc_.end() && gc->second) {
     // Delete exactly the rows of this batch.
+    Executor exec(mlog);
     std::vector<RowId> victims;
     table->ForEach([&](RowId rid, const Tuple&, const RowMeta& meta) {
       if (meta.batch_id == batch_id) victims.push_back(rid);

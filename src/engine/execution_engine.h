@@ -97,10 +97,20 @@ class ExecutionEngine {
                      int64_t batch_id, MutationLog* mlog,
                      bool fire_triggers = true);
 
+  /// Move form: the batch's rows are moved into storage (no per-row copy);
+  /// triggers see the batch through the table, never the source vector.
+  Status InsertBatch(const std::string& table_name, std::vector<Tuple>&& rows,
+                     int64_t batch_id, MutationLog* mlog,
+                     bool fire_triggers = true);
+
   const EngineStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EngineStats{}; }
 
  private:
+  /// Shared tail of both InsertBatch forms: EE-trigger cascade + auto-GC.
+  Status FireTriggersAndGc(const std::string& table_name, Table* table,
+                           int64_t batch_id, MutationLog* mlog);
+
   Catalog* catalog_;
   /// Accumulates boundary-envelope checksums so the modeled JNI framing
   /// work is observable and cannot be dead-code eliminated.

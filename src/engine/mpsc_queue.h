@@ -1,0 +1,109 @@
+#ifndef SSTORE_ENGINE_MPSC_QUEUE_H_
+#define SSTORE_ENGINE_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace sstore {
+
+/// Bounded multi-producer/single-consumer ring buffer (Vyukov's bounded
+/// queue, restricted to one consumer). Every slot carries a sequence number:
+/// producers claim a slot with one CAS on `tail_` and publish it by storing
+/// `pos + 1` into the slot's sequence; the consumer reclaims it by storing
+/// `pos + capacity`. The common-case enqueue is one CAS plus one release
+/// store — no mutex, no allocation — which is what lets many client threads
+/// feed a partition without serializing on a lock (the paper's "no
+/// fine-grained locking on the hot path" claim, applied to submission).
+///
+/// TryPush/TryPop never block; callers layer blocking/backpressure policy on
+/// top (see Partition). Capacity is rounded up to a power of two.
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(size_t capacity)
+      : capacity_(RoundUpPow2(capacity < 2 ? 2 : capacity)),
+        mask_(capacity_ - 1),
+        cells_(new Cell[capacity_]) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  /// Any thread. Returns false when the ring is full.
+  bool TryPush(T&& item) {
+    uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.item = std::move(item);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded `pos`; retry with the new value.
+      } else if (dif < 0) {
+        return false;  // the slot a capacity behind is still occupied: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Consumer thread only. Returns false when the ring is empty (a producer
+  /// mid-publish counts as empty until its release store lands).
+  bool TryPop(T* out) {
+    uint64_t pos = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1) < 0) {
+      return false;
+    }
+    *out = std::move(cell.item);
+    cell.seq.store(pos + capacity_, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy; exact when producers and the consumer are quiet.
+  size_t SizeApprox() const {
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+  bool Empty() const { return SizeApprox() == 0; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> seq;
+    T item;
+  };
+
+  static size_t RoundUpPow2(size_t v) {
+    size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  const size_t capacity_;
+  const size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  /// Producer and consumer cursors on separate cache lines so enqueue CAS
+  /// traffic does not invalidate the consumer's line.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  alignas(64) std::atomic<uint64_t> head_{0};
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_ENGINE_MPSC_QUEUE_H_

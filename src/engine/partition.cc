@@ -39,8 +39,33 @@ void TxnTicket::Fulfill(TxnOutcome outcome) {
   cv_.notify_all();
 }
 
-Partition::Partition(int partition_id)
-    : partition_id_(partition_id), ee_(&catalog_) {}
+void BatchTicket::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+}
+
+bool BatchTicket::TryWait() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void BatchTicket::Fulfill(size_t index, TxnOutcome outcome) {
+  bool ok = outcome.committed();
+  outcomes_[index] = std::move(outcome);
+  (ok ? committed_ : aborted_).fetch_add(1, std::memory_order_release);
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+}
+
+Partition::Partition(int partition_id, size_t queue_capacity)
+    : partition_id_(partition_id),
+      ee_(&catalog_),
+      ring_(queue_capacity == 0 ? kDefaultQueueCapacity : queue_capacity) {}
 
 Partition::~Partition() { Stop(); }
 
@@ -68,17 +93,189 @@ bool Partition::HasProcedure(const std::string& name) const {
   return procs_.find(name) != procs_.end();
 }
 
-TicketPtr Partition::SubmitAsync(Invocation inv) {
-  auto ticket = std::make_shared<TxnTicket>();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    Task task;
-    task.invocations.push_back(std::move(inv));
-    task.ticket = ticket;
-    queue_.push_back(std::move(task));
-    ++stats_.client_requests;
+// ---- Queue plumbing --------------------------------------------------------
+
+void Partition::WakeConsumer() {
+  // Full fence so this load cannot be ordered before the task publish: the
+  // parking worker stores parked_ (seq_cst) and then re-checks the queue, so
+  // either we observe parked_ == true here, or the worker's re-check
+  // observes our publish — never both misses. The timed park below is a
+  // second line of defense, not the correctness argument.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (parked_.load(std::memory_order_seq_cst)) {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    park_cv_.notify_one();
   }
-  cv_.notify_one();
+}
+
+void Partition::NotifyBackpressure() {
+  if (bp_waiters_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lock(bp_mu_);
+    bp_cv_.notify_all();
+  }
+}
+
+void Partition::NoteWatermark() {
+  uint64_t depth = QueueDepth();
+  uint64_t cur = queue_hwm_.load(std::memory_order_relaxed);
+  while (depth > cur &&
+         !queue_hwm_.compare_exchange_weak(cur, depth,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+void Partition::PushTaskBack(Task&& task, EnqueuePolicy policy) {
+  // Once items have spilled to the overflow lane, later enqueues must follow
+  // them there or FIFO order would invert (ring items are consumed first).
+  if (overflow_size_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(lanes_mu_);
+    if (!overflow_.empty()) {
+      overflow_.push_back(std::move(task));
+      overflow_size_.store(overflow_.size(), std::memory_order_release);
+      NoteWatermark();
+      WakeConsumer();
+      return;
+    }
+  }
+  // While blocked on a full ring, the producer stays registered in
+  // bp_waiters_ until its task is safely enqueued (ring or spill) — Stop()
+  // waits for the count to drain before placing the stop sentinel, so a
+  // pre-Stop task can never be ordered after the sentinel and stranded.
+  bool registered = false;
+  while (!ring_.TryPush(std::move(task))) {
+    if (policy == EnqueuePolicy::kSpillWhenFull ||
+        !accepting_.load(std::memory_order_seq_cst)) {
+      // Spill instead of waiting: the caller must not block here (it holds
+      // its own lock), or the worker is stopped/stopping/inline and blocking
+      // would deadlock. The overflow is the queue's logical tail — order
+      // holds.
+      {
+        std::lock_guard<std::mutex> lock(lanes_mu_);
+        overflow_.push_back(std::move(task));
+        overflow_size_.store(overflow_.size(), std::memory_order_release);
+      }
+      if (registered) bp_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+      NoteWatermark();
+      WakeConsumer();
+      return;
+    }
+    // Ring full while the worker runs: block until it frees a slot. This is
+    // the bounded-memory backpressure mode — the producer sleeps instead of
+    // spinning.
+    producer_blocks_.fetch_add(1, std::memory_order_relaxed);
+    auto has_space = [this] {
+      return ring_.SizeApprox() < ring_.capacity() ||
+             !accepting_.load(std::memory_order_seq_cst);
+    };
+    std::unique_lock<std::mutex> lock(bp_mu_);
+    if (!registered) {
+      bp_waiters_.fetch_add(1, std::memory_order_seq_cst);
+      registered = true;
+    }
+    // The timeout is a backstop only; the worker notifies as it frees slots.
+    while (!has_space()) {
+      bp_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+  }
+  if (registered) bp_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  NoteWatermark();
+  WakeConsumer();
+}
+
+bool Partition::PopTask(Task* out) {
+  // Front lane first: PE-triggered TEs preempt all queued client work.
+  if (front_size_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(lanes_mu_);
+    if (!front_lane_.empty()) {
+      *out = std::move(front_lane_.front());
+      front_lane_.pop_front();
+      front_size_.store(front_lane_.size(), std::memory_order_release);
+      return true;
+    }
+  }
+  if (ring_.TryPop(out)) {
+    // A ring slot was freed; blocked producers can make progress.
+    NotifyBackpressure();
+    return true;
+  }
+  if (overflow_size_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard<std::mutex> lock(lanes_mu_);
+    if (!overflow_.empty()) {
+      *out = std::move(overflow_.front());
+      overflow_.pop_front();
+      overflow_size_.store(overflow_.size(), std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Partition::QueueEmpty() const {
+  return front_size_.load(std::memory_order_acquire) == 0 && ring_.Empty() &&
+         overflow_size_.load(std::memory_order_acquire) == 0;
+}
+
+size_t Partition::QueueDepth() const {
+  return front_size_.load(std::memory_order_acquire) + ring_.SizeApprox() +
+         overflow_size_.load(std::memory_order_acquire) +
+         inflight_.load(std::memory_order_acquire);
+}
+
+void Partition::WaitForQueueBelow(size_t limit) {
+  if (limit == 0) return;
+  if (QueueDepth() < limit) return;
+  producer_blocks_.fetch_add(1, std::memory_order_relaxed);
+  auto below = [this, limit] {
+    return QueueDepth() < limit ||
+           !accepting_.load(std::memory_order_seq_cst);
+  };
+  std::unique_lock<std::mutex> lock(bp_mu_);
+  bp_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  while (!below()) {
+    bp_cv_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+  bp_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void Partition::WaitIdle() {
+  if (!running()) return;
+  if (QueueDepth() == 0) return;
+  auto idle = [this] {
+    return QueueDepth() == 0 || !accepting_.load(std::memory_order_seq_cst);
+  };
+  std::unique_lock<std::mutex> lock(bp_mu_);
+  bp_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  while (!idle()) {
+    bp_cv_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+  bp_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+// ---- Client API ------------------------------------------------------------
+
+TicketPtr Partition::SubmitAsync(Invocation inv, EnqueuePolicy policy) {
+  auto ticket = std::make_shared<TxnTicket>();
+  Task task;
+  task.inv = std::move(inv);
+  task.ticket = ticket;
+  client_requests_.fetch_add(1, std::memory_order_relaxed);
+  PushTaskBack(std::move(task), policy);
+  return ticket;
+}
+
+BatchTicketPtr Partition::SubmitBatchAsync(std::vector<Invocation> batch,
+                                           EnqueuePolicy policy) {
+  auto ticket = std::make_shared<BatchTicket>(batch.size());
+  if (batch.empty()) return ticket;
+  client_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+  uint32_t index = 0;
+  for (Invocation& inv : batch) {
+    Task task;
+    task.inv = std::move(inv);
+    task.batch = ticket;
+    task.batch_index = index++;
+    PushTaskBack(std::move(task), policy);
+  }
   return ticket;
 }
 
@@ -103,7 +300,7 @@ TxnOutcome Partition::ExecuteSync(const std::string& proc, Tuple params,
   if (!running()) {
     // Inline mode for single-threaded tests and recovery replay: run the
     // transaction and then drain anything PE triggers enqueued.
-    TxnOutcome outcome = RunInline(inv);
+    TxnOutcome outcome = RunInline(std::move(inv));
     DrainQueueInline();
     return outcome;
   }
@@ -119,22 +316,18 @@ TicketPtr Partition::SubmitNestedAsync(std::vector<Invocation> children) {
         Status::InvalidArgument("nested transaction needs children"), {}, 0});
     return ticket;
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    Task task;
-    task.invocations = std::move(children);
-    task.ticket = ticket;
-    queue_.push_back(std::move(task));
-    ++stats_.client_requests;
-  }
-  cv_.notify_one();
+  Task task;
+  task.children = std::move(children);
+  task.ticket = ticket;
+  client_requests_.fetch_add(1, std::memory_order_relaxed);
+  PushTaskBack(std::move(task));
   return ticket;
 }
 
 TxnOutcome Partition::ExecuteNestedSync(std::vector<Invocation> children) {
   if (!running()) {
     Task task;
-    task.invocations = std::move(children);
+    task.children = std::move(children);
     task.ticket = std::make_shared<TxnTicket>();
     RunTask(task);
     DrainQueueInline();
@@ -149,96 +342,125 @@ TxnOutcome Partition::ExecuteNestedSync(std::vector<Invocation> children) {
 
 void Partition::EnqueueFront(Invocation inv) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(lanes_mu_);
     Task task;
-    task.invocations.push_back(std::move(inv));
-    queue_.push_front(std::move(task));
-    ++stats_.internal_requests;
+    task.inv = std::move(inv);
+    front_lane_.push_front(std::move(task));
+    front_size_.store(front_lane_.size(), std::memory_order_release);
   }
-  cv_.notify_one();
+  internal_requests_.fetch_add(1, std::memory_order_relaxed);
+  NoteWatermark();
+  WakeConsumer();
 }
 
 void Partition::EnqueueBack(Invocation inv) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    Task task;
-    task.invocations.push_back(std::move(inv));
-    queue_.push_back(std::move(task));
-    ++stats_.internal_requests;
-  }
-  cv_.notify_one();
+  Task task;
+  task.inv = std::move(inv);
+  internal_requests_.fetch_add(1, std::memory_order_relaxed);
+  PushTaskBack(std::move(task));
 }
 
 void Partition::Start() {
   if (running()) return;
-  stop_requested_ = false;
+  accepting_.store(true, std::memory_order_seq_cst);
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
 void Partition::Stop() {
   if (!running()) return;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    Task task;
-    task.stop = true;
-    queue_.push_back(std::move(task));
+  // Stop accepting first so producers blocked on a full ring wake and spill
+  // to the overflow lane instead of waiting on a worker that is exiting.
+  accepting_.store(false, std::memory_order_seq_cst);
+  // Wait for every already-blocked producer to deregister before enqueueing
+  // the stop sentinel: their tasks predate this Stop() and must land ahead
+  // of the sentinel (a blocked producer that spilled *after* the sentinel
+  // would leave its ticket unfulfilled forever). Waiters exit promptly once
+  // woken — this loop is bounded by their wakeup latency.
+  while (bp_waiters_.load(std::memory_order_seq_cst) > 0) {
+    {
+      std::lock_guard<std::mutex> lock(bp_mu_);
+      bp_cv_.notify_all();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  cv_.notify_one();
+  Task stop_task;
+  stop_task.stop = true;
+  PushTaskBack(std::move(stop_task));
   worker_.join();
 }
 
 void Partition::WorkerLoop() {
   while (true) {
     Task task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      // Idle moment: group-commit boundary. Flush the log so no commit
-      // acknowledgment is delayed past the queue running dry.
-      if (queue_.empty() && log_ != nullptr && log_->pending() > 0) {
-        lock.unlock();
+    // Marked in flight *before* popping so no observer can see the queue
+    // shrink without the popped task counted — "depth == 0" means idle.
+    inflight_.store(1, std::memory_order_seq_cst);
+    if (!PopTask(&task)) {
+      inflight_.store(0, std::memory_order_seq_cst);
+      NotifyBackpressure();
+      // Idle moment: group-commit boundary. Flush the log so no durable
+      // record is delayed past the queue running dry. Fall through to park
+      // either way: a *failing* flush (disk full, fsync error) must not
+      // become a busy retry loop — the timed park retries it at a low rate
+      // until new work or shutdown.
+      if (log_ != nullptr && log_->pending() > 0) {
         log_->Flush().ok();
-        lock.lock();
       }
-      cv_.wait(lock, [this] { return !queue_.empty(); });
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      // Marked while mu_ is still held so no reader can observe an empty
-      // queue with the popped task not yet counted as in flight.
-      if (!task.stop) inflight_.store(1, std::memory_order_release);
+      // Park until a producer publishes work: we store parked_ (seq_cst) and
+      // re-check the queue; WakeConsumer's fence-then-load guarantees a
+      // publisher either sees parked_ or is seen by the re-check.
+      parked_.store(true, std::memory_order_seq_cst);
+      if (!QueueEmpty()) {
+        parked_.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      {
+        std::unique_lock<std::mutex> lock(park_mu_);
+        // Timeout is a backstop; producers notify after publishing.
+        while (QueueEmpty()) {
+          park_cv_.wait_for(lock, std::chrono::milliseconds(10));
+        }
+      }
+      parked_.store(false, std::memory_order_relaxed);
+      continue;
     }
     if (task.stop) {
+      inflight_.store(0, std::memory_order_seq_cst);
+      NotifyBackpressure();
       if (log_ != nullptr) log_->Flush().ok();
       return;
     }
     RunTask(task);
     // Cleared only after RunTask's side effects (commit hooks, PE-trigger
     // enqueues) are done, so "depth == 0" really means idle.
-    inflight_.store(0, std::memory_order_release);
+    inflight_.store(0, std::memory_order_seq_cst);
+    NotifyBackpressure();
   }
 }
 
 void Partition::RunTask(Task& task) {
   TxnOutcome outcome;
-  if (task.invocations.size() == 1) {
+  if (task.children.empty()) {
     TransactionExecution* te = nullptr;
-    outcome = ExecuteInvocation(task.invocations[0], &te,
+    outcome = ExecuteInvocation(std::move(task.inv), &te,
                                 /*defer_commit_side_effects=*/false);
   } else {
     // Nested transaction (paper §2.3): children run back-to-back; commit is
     // all-or-nothing. Undo logs are retained until the group outcome is
     // known; commit-side effects (log records, PE triggers) apply in order
     // only after every child has committed.
-    ++stats_.nested_groups;
+    nested_groups_.fetch_add(1, std::memory_order_relaxed);
     std::vector<std::unique_ptr<TransactionExecution>> tes;
     Status failure = Status::OK();
-    for (const Invocation& child : task.invocations) {
+    for (Invocation& child : task.children) {
       auto it = procs_.find(child.proc);
       if (it == procs_.end()) {
         failure = Status::NotFound("no procedure named '" + child.proc + "'");
         break;
       }
       auto te = std::make_unique<TransactionExecution>(
-          next_txn_id_++, child.proc, child.params, child.batch_id);
+          next_txn_id_++, std::move(child.proc), std::move(child.params),
+          child.batch_id);
       ProcContext ctx(this, &ee_, te.get());
       Status st = it->second.proc->Run(ctx);
       if (!st.ok()) {
@@ -253,7 +475,7 @@ void Partition::RunTask(Task& task) {
       for (auto it = tes.rbegin(); it != tes.rend(); ++it) {
         (*it)->undo().Rollback().ok();
       }
-      stats_.aborted += task.invocations.size();
+      aborted_.fetch_add(task.children.size(), std::memory_order_relaxed);
       outcome.status = failure;
     } else {
       for (auto& te : tes) {
@@ -267,7 +489,7 @@ void Partition::RunTask(Task& task) {
       if (outcome.status.ok()) {
         for (auto& te : tes) {
           te->undo().Release();
-          ++stats_.committed;
+          committed_.fetch_add(1, std::memory_order_relaxed);
           outcome.txn_id = te->txn_id();
           for (Tuple& row : te->output()) {
             outcome.output.push_back(std::move(row));
@@ -280,10 +502,14 @@ void Partition::RunTask(Task& task) {
     }
   }
 
-  if (task.ticket != nullptr) task.ticket->Fulfill(std::move(outcome));
+  if (task.ticket != nullptr) {
+    task.ticket->Fulfill(std::move(outcome));
+  } else if (task.batch != nullptr) {
+    task.batch->Fulfill(task.batch_index, std::move(outcome));
+  }
 }
 
-TxnOutcome Partition::ExecuteInvocation(const Invocation& inv,
+TxnOutcome Partition::ExecuteInvocation(Invocation&& inv,
                                         TransactionExecution** te_out,
                                         bool defer_commit_side_effects) {
   TxnOutcome outcome;
@@ -292,14 +518,18 @@ TxnOutcome Partition::ExecuteInvocation(const Invocation& inv,
     outcome.status = Status::NotFound("no procedure named '" + inv.proc + "'");
     return outcome;
   }
-  TransactionExecution te(next_txn_id_++, inv.proc, inv.params, inv.batch_id);
+  // The invocation's name and params move into the TE — the tuple a client
+  // handed to SubmitAsync reaches the stored procedure without ever being
+  // copied.
+  TransactionExecution te(next_txn_id_++, std::move(inv.proc),
+                          std::move(inv.params), inv.batch_id);
   if (te_out != nullptr) *te_out = &te;
   ProcContext ctx(this, &ee_, &te);
   Status st = it->second.proc->Run(ctx);
   outcome.txn_id = te.txn_id();
   if (!st.ok()) {
     Status undo_st = te.undo().Rollback();
-    ++stats_.aborted;
+    aborted_.fetch_add(1, std::memory_order_relaxed);
     outcome.status = undo_st.ok() ? st : undo_st;
     return outcome;
   }
@@ -307,12 +537,12 @@ TxnOutcome Partition::ExecuteInvocation(const Invocation& inv,
     Status log_st = LogCommit(te, it->second.kind);
     if (!log_st.ok()) {
       te.undo().Rollback().ok();
-      ++stats_.aborted;
+      aborted_.fetch_add(1, std::memory_order_relaxed);
       outcome.status = log_st;
       return outcome;
     }
     te.undo().Release();
-    ++stats_.committed;
+    committed_.fetch_add(1, std::memory_order_relaxed);
     outcome.output = std::move(te.output());
     FireCommitHooks(te);
   }
@@ -340,26 +570,43 @@ void Partition::FireCommitHooks(const TransactionExecution& te) {
   for (const CommitHook& hook : commit_hooks_) hook(*this, te);
 }
 
-TxnOutcome Partition::RunInline(const Invocation& inv) {
+TxnOutcome Partition::RunInline(Invocation inv) {
   TransactionExecution* te = nullptr;
-  return ExecuteInvocation(inv, &te, /*defer_commit_side_effects=*/false);
+  return ExecuteInvocation(std::move(inv), &te,
+                           /*defer_commit_side_effects=*/false);
 }
 
 size_t Partition::DrainQueueInline() {
   size_t executed = 0;
-  while (true) {
-    Task task;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (queue_.empty()) break;
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
+  Task task;
+  while (PopTask(&task)) {
     if (task.stop) continue;
     RunTask(task);
     ++executed;
   }
   return executed;
+}
+
+Partition::Stats Partition::stats() const {
+  Stats out;
+  out.committed = committed_.load(std::memory_order_relaxed);
+  out.aborted = aborted_.load(std::memory_order_relaxed);
+  out.nested_groups = nested_groups_.load(std::memory_order_relaxed);
+  out.client_requests = client_requests_.load(std::memory_order_relaxed);
+  out.internal_requests = internal_requests_.load(std::memory_order_relaxed);
+  out.queue_high_watermark = queue_hwm_.load(std::memory_order_relaxed);
+  out.producer_blocks = producer_blocks_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Partition::ResetStats() {
+  committed_.store(0, std::memory_order_relaxed);
+  aborted_.store(0, std::memory_order_relaxed);
+  nested_groups_.store(0, std::memory_order_relaxed);
+  client_requests_.store(0, std::memory_order_relaxed);
+  internal_requests_.store(0, std::memory_order_relaxed);
+  queue_hwm_.store(0, std::memory_order_relaxed);
+  producer_blocks_.store(0, std::memory_order_relaxed);
 }
 
 void Partition::AttachCommandLog(std::unique_ptr<CommandLog> log,
@@ -373,11 +620,6 @@ Status Partition::DetachCommandLog() {
   Status st = log_->Close();
   log_.reset();
   return st;
-}
-
-size_t Partition::QueueDepth() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size() + inflight_.load(std::memory_order_acquire);
 }
 
 }  // namespace sstore

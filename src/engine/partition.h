@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "engine/execution_engine.h"
+#include "engine/mpsc_queue.h"
 #include "engine/procedure.h"
 #include "engine/txn.h"
 #include "log/command_log.h"
@@ -33,6 +34,17 @@ struct Invocation {
   std::string proc;
   Tuple params;
   int64_t batch_id = 0;
+};
+
+/// What an enqueue does when the request ring is full while the worker runs.
+enum class EnqueuePolicy {
+  /// Sleep until the worker frees a slot — the bounded-memory default.
+  kBlockWhenFull,
+  /// Append to the (mutex-protected, unbounded) overflow lane instead of
+  /// waiting. For callers that must not stall while holding their own locks
+  /// — e.g. ClusterInjector's batch-id lanes — and that apply backpressure
+  /// separately via WaitForQueueBelow. FIFO order is preserved.
+  kSpillWhenFull,
 };
 
 /// Completion handle for an asynchronously submitted transaction. The
@@ -56,6 +68,52 @@ class TxnTicket {
 
 using TicketPtr = std::shared_ptr<TxnTicket>;
 
+/// Completion handle for a whole submitted batch: one allocation and one
+/// mutex/cv for N invocations, instead of N TxnTickets. Each invocation
+/// still commits or aborts independently (a batch is not a nested
+/// transaction); the ticket records every outcome by submission index and
+/// signals once, when the last invocation finishes.
+class BatchTicket {
+ public:
+  explicit BatchTicket(size_t size)
+      : outcomes_(size), remaining_(size), done_(size == 0) {}
+
+  BatchTicket(const BatchTicket&) = delete;
+  BatchTicket& operator=(const BatchTicket&) = delete;
+
+  /// Blocks until every invocation in the batch has finished.
+  void Wait();
+  /// Non-blocking: true once every invocation has finished.
+  bool TryWait();
+
+  size_t size() const { return outcomes_.size(); }
+  /// Live counters; exact once Wait()/TryWait() reports completion.
+  size_t committed() const { return committed_.load(std::memory_order_acquire); }
+  size_t aborted() const { return aborted_.load(std::memory_order_acquire); }
+  bool all_committed() const { return committed() == size(); }
+
+  /// Per-invocation outcomes, indexed by submission order. Valid after
+  /// Wait() (or once TryWait() returns true).
+  const std::vector<TxnOutcome>& outcomes() const { return outcomes_; }
+  const TxnOutcome& outcome(size_t i) const { return outcomes_[i]; }
+
+ private:
+  friend class Partition;
+  /// Worker thread, once per invocation; `index` slots are distinct so no
+  /// lock is needed until the final completion flips `done_`.
+  void Fulfill(size_t index, TxnOutcome outcome);
+
+  std::vector<TxnOutcome> outcomes_;
+  std::atomic<size_t> remaining_;
+  std::atomic<size_t> committed_{0};
+  std::atomic<size_t> aborted_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_;
+};
+
+using BatchTicketPtr = std::shared_ptr<BatchTicket>;
+
 /// Fired on the worker thread after a transaction commits; the streaming
 /// layer uses this to implement PE triggers.
 using CommitHook =
@@ -66,13 +124,27 @@ using CommitHook =
 /// transactions serially (paper §3.1: single-sited transactions run serially,
 /// eliminating fine-grained locks and latches).
 ///
-/// The S-Store streaming scheduler (paper §3.2.4) is realized by
-/// EnqueueFront: PE-triggered transactions are fast-tracked to the front of
-/// the request queue, so a workflow's TEs run back-to-back without foreign
-/// transactions interleaving.
+/// The request queue is a bounded MPSC ring buffer: client enqueues are
+/// lock-free in the common case (one CAS + one release store, no allocation
+/// beyond the caller's params), and when the ring fills, producers *block* on
+/// a condition variable instead of spinning — bounded memory and ~0% spin CPU
+/// under overload. Two mutex-protected side lanes complete the picture:
+///
+///  - front lane: EnqueueFront fast-tracks PE-triggered transactions ahead of
+///    all queued client work (the streaming scheduler, paper §3.2.4). It is
+///    unbounded and never blocks, because it is called from commit hooks on
+///    the worker thread itself.
+///  - overflow lane: producers that find the ring full while the partition is
+///    not accepting (worker stopped/stopping, or inline mode) append here
+///    instead of blocking forever. Consumption order is front lane, then
+///    ring, then overflow — overall FIFO is preserved because the overflow
+///    only receives items while it is the newest tail of the queue.
 class Partition {
  public:
-  explicit Partition(int partition_id = 0);
+  /// Ring capacity used when the caller passes 0.
+  static constexpr size_t kDefaultQueueCapacity = 4096;
+
+  explicit Partition(int partition_id = 0, size_t queue_capacity = 0);
   ~Partition();
 
   Partition(const Partition&) = delete;
@@ -92,7 +164,16 @@ class Partition {
   // ---- Client API (any thread) ----
 
   /// Enqueues at the back of the FIFO queue (ordinary client request).
-  TicketPtr SubmitAsync(Invocation inv);
+  TicketPtr SubmitAsync(Invocation inv,
+                        EnqueuePolicy policy = EnqueuePolicy::kBlockWhenFull);
+
+  /// Enqueues a whole batch of independent invocations with a single shared
+  /// completion ticket: one allocation and one wait for the entire batch.
+  /// The invocations run in submission order (other producers may
+  /// interleave) and commit/abort independently.
+  BatchTicketPtr SubmitBatchAsync(
+      std::vector<Invocation> batch,
+      EnqueuePolicy policy = EnqueuePolicy::kBlockWhenFull);
 
   /// Submit + Wait: the H-Store client pattern, paying a full round trip.
   TxnOutcome ExecuteSync(const std::string& proc, Tuple params,
@@ -142,11 +223,25 @@ class Partition {
   /// Executes an invocation synchronously on the calling thread, bypassing
   /// the queue. Valid only when the worker is not running (recovery replay,
   /// single-threaded tests) or from within the worker thread itself.
-  TxnOutcome RunInline(const Invocation& inv);
+  TxnOutcome RunInline(Invocation inv);
 
   /// Runs queued tasks on the calling thread until the queue is empty.
   /// Valid only when the worker is not running. Returns tasks executed.
   size_t DrainQueueInline();
+
+  // ---- Backpressure (any thread) ----
+
+  /// Blocks until QueueDepth() < limit, the same condition the injectors'
+  /// legacy spin loop polled — but sleeping on a condition variable the
+  /// worker signals as it retires work. Returns immediately when `limit` is
+  /// 0 or the partition is not accepting work (worker stopped/stopping), so
+  /// a producer can never deadlock against a dead worker.
+  void WaitForQueueBelow(size_t limit);
+
+  /// Blocks until the partition is truly idle (QueueDepth() == 0) or the
+  /// worker stops. When the worker is not running, returns immediately —
+  /// callers in inline mode drain with DrainQueueInline() instead.
+  void WaitIdle();
 
   // ---- Durability ----
 
@@ -165,34 +260,61 @@ class Partition {
     uint64_t client_requests = 0;
     uint64_t internal_requests = 0;
     uint64_t nested_groups = 0;
+    /// Deepest QueueDepth() observed at enqueue since the last reset —
+    /// admission control reads this to see how close the partition runs to
+    /// its bound.
+    uint64_t queue_high_watermark = 0;
+    /// Times a producer blocked (full ring, or an injector's depth limit).
+    uint64_t producer_blocks = 0;
   };
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats{}; }
+  /// Point-in-time snapshot (counters are updated from several threads).
+  Stats stats() const;
+  void ResetStats();
 
   /// Pending work: queued requests plus the task currently executing on the
   /// worker (if any), so depth 0 means the partition is truly idle — what
   /// Cluster::WaitIdle and client backpressure rely on.
-  size_t QueueDepth();
+  size_t QueueDepth() const;
+
+  size_t queue_capacity() const { return ring_.capacity(); }
 
  private:
   struct Task {
-    std::vector<Invocation> invocations;  // >1 == nested transaction
-    TicketPtr ticket;                     // null for internal (PE-triggered)
+    Invocation inv;                    // the common, single-invocation case
+    std::vector<Invocation> children;  // non-empty == nested transaction
+    TicketPtr ticket;                  // null for internal / batched work
+    BatchTicketPtr batch;              // shared by every task of one batch
+    uint32_t batch_index = 0;
     bool stop = false;
   };
 
   void WorkerLoop();
   void RunTask(Task& task);
-  /// Executes one invocation; on commit appends to the command log (by
-  /// policy) and fires commit hooks. `defer_commit_side_effects` is used by
-  /// nested execution to postpone logging/hooks until the whole group is
-  /// known to commit.
-  TxnOutcome ExecuteInvocation(const Invocation& inv,
-                               TransactionExecution** te_out,
+  /// Executes one invocation, consuming it (params move into the TE — no
+  /// copy on the hot path); on commit appends to the command log (by policy)
+  /// and fires commit hooks. `defer_commit_side_effects` is used by nested
+  /// execution to postpone logging/hooks until the whole group is known to
+  /// commit.
+  TxnOutcome ExecuteInvocation(Invocation&& inv, TransactionExecution** te_out,
                                bool defer_commit_side_effects);
   bool ShouldLog(SpKind kind) const;
   Status LogCommit(const TransactionExecution& te, SpKind kind);
   void FireCommitHooks(const TransactionExecution& te);
+
+  /// FIFO enqueue: ring fast path; when full, blocks while accepting (under
+  /// kBlockWhenFull) and spills to the overflow lane otherwise. Updates the
+  /// depth watermark and wakes the consumer.
+  void PushTaskBack(Task&& task,
+                    EnqueuePolicy policy = EnqueuePolicy::kBlockWhenFull);
+  /// Consumer-side dequeue: front lane, then ring, then overflow.
+  bool PopTask(Task* out);
+  bool QueueEmpty() const;
+  void NoteWatermark();
+  /// Wakes the worker if it is parked waiting for work.
+  void WakeConsumer();
+  /// Wakes producers blocked on backpressure (full ring, depth limits,
+  /// WaitIdle) when waiters are registered.
+  void NotifyBackpressure();
 
   int partition_id_;
   Catalog catalog_;
@@ -206,20 +328,58 @@ class Partition {
   std::vector<CommitHook> commit_hooks_;
   TableAccessGuard access_guard_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Task> queue_;
+  // ---- Request queue ----
+
+  BoundedMpscQueue<Task> ring_;
+  /// Guards both side lanes; taken only for PE-trigger fast-tracks and
+  /// overflow spills, never on the client fast path.
+  mutable std::mutex lanes_mu_;
+  std::deque<Task> front_lane_;
+  std::deque<Task> overflow_;
+  std::atomic<size_t> front_size_{0};
+  std::atomic<size_t> overflow_size_{0};
+
+  /// True while the worker is running and not stopping. Producers blocked on
+  /// a full ring spill to the overflow lane instead of waiting when false.
+  std::atomic<bool> accepting_{false};
   /// 1 while the worker is executing a dequeued task (see QueueDepth).
   std::atomic<size_t> inflight_{0};
+
+  /// Consumer parking: the worker sets parked_ (seq_cst) before sleeping and
+  /// re-checks the queue; a producer publishes, issues a full fence, then
+  /// reads parked_ (WakeConsumer) — so the push is either seen by the
+  /// worker's re-check or the producer sees parked_ and notifies. The park
+  /// itself is a timed wait as a belt-and-braces backstop.
+  std::atomic<bool> parked_{false};
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+
+  /// Backpressure waiters (blocked producers, WaitForQueueBelow, WaitIdle).
+  /// The waiter count gates notification so the worker pays one relaxed load
+  /// per task when nobody is blocked.
+  std::atomic<size_t> bp_waiters_{0};
+  std::mutex bp_mu_;
+  std::condition_variable bp_cv_;
+
   std::thread worker_;
-  bool stop_requested_ = false;
 
   std::unique_ptr<CommandLog> log_;
   RecoveryMode recovery_mode_ = RecoveryMode::kStrong;
 
   int64_t next_txn_id_ = 1;
   int64_t client_rtt_micros_ = 0;
-  Stats stats_;
+
+  // Written only by the worker thread (inline mode mutates them from the
+  // caller thread, which is the de-facto worker then), but read by stats()
+  // from arbitrary threads — relaxed atomics keep those live reads defined.
+  std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> aborted_{0};
+  std::atomic<uint64_t> nested_groups_{0};
+  // Producer-side counters.
+  std::atomic<uint64_t> client_requests_{0};
+  std::atomic<uint64_t> internal_requests_{0};
+  std::atomic<uint64_t> queue_hwm_{0};
+  std::atomic<uint64_t> producer_blocks_{0};
 };
 
 }  // namespace sstore

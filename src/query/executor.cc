@@ -261,6 +261,19 @@ Result<size_t> Executor::InsertMany(Table* table,
   return n;
 }
 
+Result<size_t> Executor::InsertMany(Table* table, std::vector<Tuple>&& rows,
+                                    int64_t batch_id, bool active) const {
+  size_t n = 0;
+  for (Tuple& row : rows) {
+    SSTORE_ASSIGN_OR_RETURN(RowId rid,
+                            Insert(table, std::move(row), batch_id, active));
+    (void)rid;
+    ++n;
+  }
+  rows.clear();  // rows are moved-from; don't leave husks for the caller
+  return n;
+}
+
 Result<size_t> Executor::Delete(Table* table, const ExprPtr& predicate,
                                 bool include_staged) const {
   if (table == nullptr) {

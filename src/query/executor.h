@@ -50,6 +50,11 @@ class Executor {
   Result<size_t> InsertMany(Table* table, const std::vector<Tuple>& rows,
                             int64_t batch_id = 0, bool active = true) const;
 
+  /// Move form: each row is moved into the table — the copy-free write path
+  /// used by stream emission (a border SP's rows reach storage untouched).
+  Result<size_t> InsertMany(Table* table, std::vector<Tuple>&& rows,
+                            int64_t batch_id = 0, bool active = true) const;
+
   /// Deletes all rows matching `predicate` (all rows if null); returns count.
   Result<size_t> Delete(Table* table, const ExprPtr& predicate = nullptr,
                         bool include_staged = false) const;

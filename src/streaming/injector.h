@@ -5,11 +5,23 @@
 #include <cstdint>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/partition.h"
 
 namespace sstore {
+
+/// How an injector waits when the partition's queue is at its depth limit.
+enum class BackpressureMode {
+  /// Sleep on the partition's condition variable until the worker retires
+  /// enough work — ~0% CPU while throttled. The default.
+  kBlock,
+  /// Busy-spin with yield(), the pre-batching behavior. Kept for latency
+  /// experiments: a spinning producer reacts a context switch sooner.
+  kSpin,
+};
 
 /// The stream injection module (paper §3.2, Figure 4): prepares atomic
 /// batches from a push-based source and invokes the workflow's border stored
@@ -18,17 +30,19 @@ namespace sstore {
 /// The border SP receives the input tuple as its parameters — exactly what
 /// the command log records, so both recovery modes can re-ingest the batch.
 ///
-/// With `Options::max_queue_depth` set, injection applies backpressure: a
-/// call spins (yielding the CPU) while the partition's request queue is at
-/// the limit, so an overloaded engine bounds its memory instead of growing
-/// the request deque without limit. The worker must be running, or a
-/// throttled inject would wait forever.
+/// With `Options::max_queue_depth` set, injection applies backpressure while
+/// the partition's request queue is at the limit, so an overloaded engine
+/// bounds its memory instead of growing its backlog without limit. In the
+/// default kBlock mode the producer sleeps and the worker wakes it (and a
+/// stopped worker releases it — no deadlock); kSpin preserves the old
+/// yield-loop, which requires a running worker.
 class StreamInjector {
  public:
   struct Options {
-    /// Maximum request-queue depth before InjectAsync/InjectSync throttle;
-    /// 0 disables backpressure.
+    /// Maximum request-queue depth before injection throttles; 0 disables
+    /// backpressure.
     size_t max_queue_depth = 0;
+    BackpressureMode backpressure = BackpressureMode::kBlock;
   };
 
   StreamInjector(Partition* partition, std::string border_proc)
@@ -48,6 +62,24 @@ class StreamInjector {
         Invocation{border_proc_, std::move(batch), batch_id});
   }
 
+  /// Batch-at-a-time injection: one border invocation per tuple, all sharing
+  /// one completion ticket — a single allocation and a single wait for the
+  /// whole group. Batch ids stay consecutive and in submission order.
+  /// Backpressure is applied once per call, so the queue may transiently
+  /// exceed the limit by the batch size.
+  BatchTicketPtr InjectBatchAsync(std::vector<Tuple> batches) {
+    Throttle();
+    int64_t first_id =
+        next_batch_id_.fetch_add(static_cast<int64_t>(batches.size()));
+    std::vector<Invocation> invocations;
+    invocations.reserve(batches.size());
+    int64_t id = first_id;
+    for (Tuple& batch : batches) {
+      invocations.push_back(Invocation{border_proc_, std::move(batch), id++});
+    }
+    return partition_->SubmitBatchAsync(std::move(invocations));
+  }
+
   /// Blocking injection: waits for the border transaction to commit.
   TxnOutcome InjectSync(Tuple batch) {
     Throttle();
@@ -58,10 +90,15 @@ class StreamInjector {
   int64_t batches_injected() const { return next_batch_id_.load() - 1; }
 
   size_t max_queue_depth() const { return options_.max_queue_depth; }
+  BackpressureMode backpressure() const { return options_.backpressure; }
 
  private:
   void Throttle() {
     if (options_.max_queue_depth == 0) return;
+    if (options_.backpressure == BackpressureMode::kBlock) {
+      partition_->WaitForQueueBelow(options_.max_queue_depth);
+      return;
+    }
     while (partition_->QueueDepth() >= options_.max_queue_depth) {
       std::this_thread::yield();
     }

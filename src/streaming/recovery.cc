@@ -1,8 +1,5 @@
 #include "streaming/recovery.h"
 
-#include <chrono>
-#include <thread>
-
 namespace sstore {
 
 Status RecoveryManager::Checkpoint(const std::string& snapshot_path) {
@@ -73,9 +70,9 @@ void RecoveryManager::DrainTriggered() {
     partition_->DrainQueueInline();
     return;
   }
-  while (partition_->QueueDepth() > 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(50));
-  }
+  // Sleeps on the partition's idle condition variable; the worker signals
+  // as it retires the last triggered TE (no sleep-poll).
+  partition_->WaitIdle();
 }
 
 }  // namespace sstore

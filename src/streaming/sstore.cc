@@ -2,7 +2,8 @@
 
 namespace sstore {
 
-SStore::SStore(const Options& options) : partition_(options.partition_id) {
+SStore::SStore(const Options& options)
+    : partition_(options.partition_id, options.queue_capacity) {
   streams_ = std::make_unique<StreamManager>(&partition_.catalog());
   windows_ = std::make_unique<WindowManager>(&partition_.ee());
   triggers_ = std::make_unique<TriggerManager>(&partition_, streams_.get());

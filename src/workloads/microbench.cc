@@ -46,12 +46,14 @@ Status EeTriggerChain::SetupSStore(SStore* store, int num_stages,
           });
           if (last) {
             SSTORE_ASSIGN_OR_RETURN(Table * sink, ee.catalog()->GetTable(to));
-            SSTORE_ASSIGN_OR_RETURN(size_t n, exec.InsertMany(sink, rows, batch));
+            SSTORE_ASSIGN_OR_RETURN(size_t n,
+                                     exec.InsertMany(sink, std::move(rows), batch));
             (void)n;
             return std::vector<Tuple>{};
           }
           // Cascades into s<i+1>'s own EE trigger.
-          SSTORE_RETURN_NOT_OK(ee.InsertBatch(to, rows, batch, exec.mutation_log()));
+          SSTORE_RETURN_NOT_OK(
+              ee.InsertBatch(to, std::move(rows), batch, exec.mutation_log()));
           return std::vector<Tuple>{};
         }));
     SSTORE_RETURN_NOT_OK(store->ee().AttachInsertTrigger(from, frag));
@@ -110,7 +112,8 @@ Status EeTriggerChain::SetupHStore(SStore* store, int num_stages,
             }
             return true;
           });
-          SSTORE_ASSIGN_OR_RETURN(size_t n, exec.InsertMany(dst, rows, batch));
+          SSTORE_ASSIGN_OR_RETURN(size_t n,
+                                  exec.InsertMany(dst, std::move(rows), batch));
           (void)n;
           for (RowId rid : consumed) {
             SSTORE_RETURN_NOT_OK(exec.DeleteRow(src, rid));
@@ -177,12 +180,12 @@ Status PeTriggerChain::SetupSStore(SStore* store, int num_procs) {
                 s->streams().BatchContents(in_stream, ctx.batch_id()));
             if (last) {
               SSTORE_ASSIGN_OR_RETURN(Table * done, ctx.table("done"));
-              SSTORE_ASSIGN_OR_RETURN(size_t n,
-                                      ctx.exec().InsertMany(done, rows));
+              SSTORE_ASSIGN_OR_RETURN(
+                  size_t n, ctx.exec().InsertMany(done, std::move(rows)));
               (void)n;
               return Status::OK();
             }
-            return ctx.EmitToStream(out_stream, rows);
+            return ctx.EmitToStream(out_stream, std::move(rows));
           });
     }
     SSTORE_RETURN_NOT_OK(store->partition().RegisterProcedure(
@@ -252,8 +255,8 @@ Status PeTriggerChain::SetupHStore(SStore* store, int num_procs) {
             } else {
               SSTORE_ASSIGN_OR_RETURN(dst, ctx.table(out_stream));
             }
-            SSTORE_ASSIGN_OR_RETURN(size_t n,
-                                    ctx.exec().InsertMany(dst, rows, batch));
+            SSTORE_ASSIGN_OR_RETURN(
+                size_t n, ctx.exec().InsertMany(dst, std::move(rows), batch));
             (void)n;
             for (RowId rid : consumed) {
               SSTORE_RETURN_NOT_OK(ctx.exec().DeleteRow(src, rid));

@@ -34,7 +34,7 @@ Schema IdSchema() { return Schema({{"contestant_id", ValueType::kBigInt}}); }
 Status RewriteBoard(Executor& exec, Table* board, std::vector<Tuple> rows) {
   SSTORE_ASSIGN_OR_RETURN(size_t del, exec.Delete(board, nullptr));
   (void)del;
-  SSTORE_ASSIGN_OR_RETURN(size_t ins, exec.InsertMany(board, rows));
+  SSTORE_ASSIGN_OR_RETURN(size_t ins, exec.InsertMany(board, std::move(rows)));
   (void)ins;
   return Status::OK();
 }

@@ -1,32 +1,44 @@
 #!/usr/bin/env bash
-# Builds and runs the submission hot-path benchmark and writes the results
-# to BENCH_pr2.json (google-benchmark JSON, including machine context).
+# Builds and runs one benchmark binary and writes the results to a JSON file
+# (google-benchmark JSON, including machine context).
 #
 # Usage:
-#   bench/run_bench.sh                  # full run -> BENCH_pr2.json
+#   bench/run_bench.sh                  # PR 2 hot path -> BENCH_pr2.json
+#   BENCH=bench_multipart_txn bench/run_bench.sh   # PR 3 -> BENCH_pr3.json
 #   bench/run_bench.sh --benchmark_min_time=0.1s   # quick smoke (CI)
 #
 # Env:
+#   BENCH      benchmark target (default: bench_ingest_hotpath)
 #   BUILD_DIR  build directory (default: build-bench)
-#   OUT        output JSON path (default: BENCH_pr2.json)
+#   OUT        output JSON path (default: per-target, see below)
 #
-# Acceptance gate (checked by eye / by the driver): items_per_second of
-# BM_SubmitBatch must be >= 2x BM_SubmitPerInvocation at the same batch arg,
-# and BM_BackpressureCpu/blocking:1 must report producer_cpu_frac near 0.
+# Acceptance gates (checked by eye / by the driver):
+#   bench_ingest_hotpath:  items_per_second of BM_SubmitBatch >= 2x
+#     BM_SubmitPerInvocation at the same batch arg, and
+#     BM_BackpressureCpu/blocking:1 producer_cpu_frac near 0.
+#   bench_multipart_txn:  BM_MultiPartitionTransfer completes in both modes
+#     (atomicity machinery on the hot path), and BM_GlobalOrderPipelined
+#     items_per_second exceeds the synchronous 2PC mode.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+BENCH="${BENCH:-bench_ingest_hotpath}"
 BUILD_DIR="${BUILD_DIR:-build-bench}"
-OUT="${OUT:-BENCH_pr2.json}"
+case "$BENCH" in
+  bench_ingest_hotpath) DEFAULT_OUT=BENCH_pr2.json ;;
+  bench_multipart_txn)  DEFAULT_OUT=BENCH_pr3.json ;;
+  *)                    DEFAULT_OUT="BENCH_${BENCH}.json" ;;
+esac
+OUT="${OUT:-$DEFAULT_OUT}"
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Release \
   -DSSTORE_BUILD_BENCHMARKS=ON \
   -DSSTORE_BUILD_TESTS=OFF \
   -DSSTORE_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build "$BUILD_DIR" -j --target bench_ingest_hotpath >/dev/null
+cmake --build "$BUILD_DIR" -j --target "$BENCH" >/dev/null
 
-"$BUILD_DIR/bench/bench_ingest_hotpath" \
+"$BUILD_DIR/bench/$BENCH" \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json \
   "$@"

@@ -5,10 +5,19 @@
 // routes each position report by its x-way column, so x-way w always lands
 // on partition w % N and per-x-way report order is preserved end to end.
 //
+// `--mp-ratio R` mixes multi-partition load in: roughly every 1/R simulated
+// seconds a network-wide congestion probe runs as one atomic transaction
+// across every partition through the TxnCoordinator (Cluster::ExecuteOnAll),
+// so the demo shows single- and multi-partition traffic side by side.
+//
 // Run: ./build/examples/cluster_linear_road [xways] [partitions] [sim_seconds]
+//      ./build/examples/cluster_linear_road --xways 8 --partitions 4 \
+//          --seconds 130 --mp-ratio 0.1
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -19,9 +28,32 @@
 using namespace sstore;  // NOLINT: example brevity
 
 int main(int argc, char** argv) {
-  int xways = argc > 1 ? std::atoi(argv[1]) : 4;
-  int partitions = argc > 2 ? std::atoi(argv[2]) : 4;
-  int sim_seconds = argc > 3 ? std::atoi(argv[3]) : 130;
+  int xways = 4;
+  int partitions = 4;
+  int sim_seconds = 130;
+  double mp_ratio = 0.0;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--xways") == 0 && i + 1 < argc) {
+      xways = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--partitions") == 0 && i + 1 < argc) {
+      partitions = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      sim_seconds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--mp-ratio") == 0 && i + 1 < argc) {
+      mp_ratio = std::atof(argv[++i]);
+    } else if (argv[i][0] != '-') {
+      // Back-compat positional form: [xways] [partitions] [sim_seconds].
+      int v = std::atoi(argv[i]);
+      if (positional == 0) xways = v;
+      if (positional == 1) partitions = v;
+      if (positional == 2) sim_seconds = v;
+      ++positional;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
   if (partitions > xways) partitions = xways;
 
   // --- One cluster, one plan, N identical shared-nothing partitions. ---
@@ -42,6 +74,20 @@ int main(int argc, char** argv) {
                  deployed.ToString().c_str());
     return 1;
   }
+
+  // Supplemental OLTP procedure for the multi-partition probe: counts this
+  // partition's tracked vehicles. ExecuteOnAll runs it atomically on every
+  // partition; the client sums the fragments for a network-wide total.
+  DeploymentPlan probe_plan;
+  probe_plan.RegisterProcedure(
+      "xway_probe", SpKind::kOltp,
+      std::make_shared<LambdaProcedure>([](ProcContext& ctx) {
+        SSTORE_ASSIGN_OR_RETURN(Table * vehicles, ctx.table("lr_vehicles"));
+        ctx.EmitOutput({Value::BigInt(
+            static_cast<int64_t>(vehicles->row_count()))});
+        return Status::OK();
+      }));
+  if (!cluster.Deploy(probe_plan).ok()) return 1;
   cluster.Start();
 
   // --- Keyed injection: column 2 of a position report is the x-way. ---
@@ -53,10 +99,26 @@ int main(int argc, char** argv) {
   LinearRoadGenerator gen(config);
   std::vector<TicketPtr> tickets;
   int64_t total_reports = 0;
+  int64_t probes = 0;
+  int64_t last_probe_total = 0;
+  int probe_every = mp_ratio > 0
+                        ? std::max(1, static_cast<int>(1.0 / mp_ratio))
+                        : 0;
   for (int s = 0; s < sim_seconds; ++s) {
     for (const PositionReport& r : gen.NextSecond()) {
       tickets.push_back(injector.InjectAsync(r.ToTuple()));
       ++total_reports;
+    }
+    if (probe_every > 0 && s % probe_every == 0) {
+      // Atomic cross-partition read: one consistent count per partition.
+      std::vector<TxnOutcome> outs = cluster.ExecuteOnAll("xway_probe", {});
+      last_probe_total = 0;
+      for (const TxnOutcome& out : outs) {
+        if (out.committed() && !out.output.empty()) {
+          last_probe_total += out.output[0][0].as_int64();
+        }
+      }
+      ++probes;
     }
   }
   for (auto& t : tickets) t->Wait();
@@ -100,6 +162,17 @@ int main(int argc, char** argv) {
   std::printf("toll/accident notifications delivered: %zu\n", notifications);
   std::printf("per-minute segment statistics archived: %zu\n", archived);
   std::printf("total tolls charged: %.1f\n", tolls);
+  if (probes > 0) {
+    std::printf(
+        "multi-partition probes: %lld (%s mode; %llu commits, %llu aborts, "
+        "avg round %.1f us; last network-wide vehicle count %lld)\n",
+        static_cast<long long>(probes),
+        CoordinationModeToString(cluster.coordinator().mode()),
+        static_cast<unsigned long long>(stats.coord.commits),
+        static_cast<unsigned long long>(stats.coord.aborts),
+        stats.coord.avg_round_latency_us(),
+        static_cast<long long>(last_probe_total));
+  }
   return total_reports > 0 &&
                  stats.committed() >= static_cast<uint64_t>(total_reports)
              ? 0

@@ -1,7 +1,14 @@
 #include "cluster/cluster.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <set>
 #include <thread>
 #include <utility>
+
+#include "log/snapshot.h"
 
 namespace sstore {
 
@@ -11,6 +18,69 @@ Cluster::Options WithPartitions(int num_partitions) {
   Cluster::Options options;
   options.num_partitions = num_partitions;
   return options;
+}
+
+constexpr char kManifestName[] = "CHECKPOINT";
+constexpr char kDecisionLogName[] = "coord-decisions.log";
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// The manifest names the one complete checkpoint in `dir`; it is written
+/// atomically (temp + rename) after every snapshot is on disk, so a crash
+/// mid-checkpoint leaves the previous manifest — and the previous consistent
+/// cut — intact.
+Status WriteManifest(const std::string& dir, uint64_t checkpoint_id,
+                     size_t partitions) {
+  std::string tmp = dir + "/" + kManifestName + ".tmp";
+  std::string final_path = dir + "/" + kManifestName;
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot write checkpoint manifest at " + tmp);
+  }
+  // Same durability discipline as SnapshotManager::WriteSnapshot: the
+  // rename must never publish a short or non-durable file over the last
+  // good manifest.
+  int written = std::fprintf(f, "sstore-cluster-checkpoint 1\n"
+                             "checkpoint_id %llu\npartitions %zu\n",
+                             static_cast<unsigned long long>(checkpoint_id),
+                             partitions);
+  bool ok = written > 0 && std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot flush checkpoint manifest at " + tmp);
+  }
+  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    return Status::IOError("cannot publish checkpoint manifest at " +
+                           final_path);
+  }
+  return Status::OK();
+}
+
+Status ReadManifest(const std::string& dir, uint64_t* checkpoint_id,
+                    size_t* partitions) {
+  std::string path = dir + "/" + kManifestName;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::IOError("no checkpoint manifest at " + path);
+  }
+  unsigned long long id = 0;
+  size_t n = 0;
+  int version = 0;
+  int matched = std::fscanf(f,
+                            "sstore-cluster-checkpoint %d\ncheckpoint_id %llu\n"
+                            "partitions %zu\n",
+                            &version, &id, &n);
+  std::fclose(f);
+  if (matched != 3 || version != 1) {
+    return Status::Corruption("malformed checkpoint manifest at " + path);
+  }
+  *checkpoint_id = id;
+  *partitions = n;
+  return Status::OK();
 }
 
 }  // namespace
@@ -36,6 +106,18 @@ Cluster::Cluster(const Options& options)
     }
     stores_.push_back(std::make_unique<SStore>(store_opts));
   }
+  TxnCoordinator::Options coord_opts;
+  coord_opts.mode = options_.coordination;
+  if (!options_.log_dir.empty()) {
+    coord_opts.decision_log_path =
+        options_.log_dir + "/" + kDecisionLogName;
+    coord_opts.log_sync = options_.log_sync;
+  }
+  std::vector<Partition*> partitions;
+  partitions.reserve(n);
+  for (auto& store : stores_) partitions.push_back(&store->partition());
+  coordinator_ =
+      std::make_unique<TxnCoordinator>(std::move(partitions), coord_opts);
 }
 
 Cluster::Cluster(int num_partitions) : Cluster(WithPartitions(num_partitions)) {}
@@ -94,19 +176,154 @@ BatchTicketPtr Cluster::SubmitBatchToPartition(size_t p,
   return stores_[p]->partition().SubmitBatchAsync(std::move(invs));
 }
 
+MultiKeyTicketPtr Cluster::SubmitMulti(
+    const std::string& proc, std::vector<std::pair<Value, Tuple>> ops) {
+  std::vector<MultiOp> routed;
+  routed.reserve(ops.size());
+  for (auto& [key, params] : ops) {
+    MultiOp op;
+    op.partition = map_.PartitionOf(key);
+    op.inv = Invocation{proc, std::move(params), 0};
+    routed.push_back(std::move(op));
+  }
+  return coordinator_->SubmitMulti(std::move(routed));
+}
+
+std::vector<TxnOutcome> Cluster::ExecuteMulti(
+    const std::string& proc, std::vector<std::pair<Value, Tuple>> ops) {
+  MultiKeyTicketPtr ticket = SubmitMulti(proc, std::move(ops));
+  ticket->Wait();
+  return ticket->outcomes();
+}
+
 std::vector<TxnOutcome> Cluster::ExecuteOnAll(const std::string& proc,
                                               Tuple params) {
-  // Scatter asynchronously so partitions work concurrently, then gather.
-  std::vector<TicketPtr> tickets;
-  tickets.reserve(stores_.size());
-  for (auto& store : stores_) {
-    tickets.push_back(
-        store->partition().SubmitAsync(Invocation{proc, params, 0}));
+  // One fragment per partition, submitted in partition order — op index i
+  // is partition i's fragment, so the returned outcomes are indexed by
+  // partition id. Atomic end to end via the coordinator.
+  std::vector<MultiOp> ops;
+  ops.reserve(stores_.size());
+  for (size_t p = 0; p < stores_.size(); ++p) {
+    MultiOp op;
+    op.partition = p;
+    op.inv = Invocation{proc, params, 0};
+    ops.push_back(std::move(op));
   }
-  std::vector<TxnOutcome> outcomes;
-  outcomes.reserve(tickets.size());
-  for (auto& ticket : tickets) outcomes.push_back(ticket->Wait());
-  return outcomes;
+  return coordinator_->ExecuteMulti(std::move(ops));
+}
+
+std::string Cluster::SnapshotPath(const std::string& dir,
+                                  uint64_t checkpoint_id, size_t p) const {
+  return dir + "/ckpt-" + std::to_string(checkpoint_id) + "-partition-" +
+         std::to_string(p) + ".snap";
+}
+
+Status Cluster::Checkpoint(const std::string& dir) {
+  size_t running_count = 0;
+  for (auto& store : stores_) {
+    if (store->partition().running()) ++running_count;
+  }
+  if (running_count != 0 && running_count != stores_.size()) {
+    return Status::Internal(
+        "checkpoint needs a uniformly running or stopped cluster");
+  }
+
+  // No multi-partition transaction may span the cut: block new submissions
+  // and wait for in-flight rounds to drain. Afterwards no request queue
+  // holds a participant fragment.
+  coordinator_->QuiesceBegin();
+  uint64_t checkpoint_id = next_checkpoint_id_++;
+
+  // Stop-the-world barrier: every worker parks at a closure task, so the
+  // per-partition cut is at a transaction boundary and the catalog is safe
+  // to read from this thread. Producers keep enqueueing behind the barrier.
+  std::shared_ptr<WorkerBarrier> barrier;
+  if (running_count != 0) {
+    barrier = std::make_shared<WorkerBarrier>(stores_.size());
+    for (auto& store : stores_) {
+      store->partition().SubmitClosure(
+          [barrier](Partition&) { barrier->ArriveAndWait(); });
+    }
+    barrier->WaitAllArrived();
+  }
+
+  // Mark the logs *before* writing snapshots: a crash in between leaves a
+  // mark with no manifest pointing at it, which recovery simply ignores
+  // (the manifest still names the previous complete checkpoint).
+  Status st;
+  for (auto& store : stores_) {
+    st = store->partition().AppendCheckpointMark(checkpoint_id);
+    if (!st.ok()) break;
+  }
+  if (st.ok()) {
+    for (size_t p = 0; p < stores_.size() && st.ok(); ++p) {
+      st = SnapshotManager::WriteSnapshot(
+          SnapshotPath(dir, checkpoint_id, p), stores_[p]->catalog());
+    }
+  }
+  if (st.ok()) st = WriteManifest(dir, checkpoint_id, stores_.size());
+
+  if (barrier != nullptr) barrier->Release();
+  coordinator_->QuiesceEnd();
+  if (st.ok()) coordinator_->NoteCheckpoint();
+  return st;
+}
+
+Status Cluster::Recover(const std::string& dir, const std::string& log_dir) {
+  for (auto& store : stores_) {
+    if (store->partition().running()) {
+      return Status::InvalidArgument("recover before Start()");
+    }
+  }
+  uint64_t checkpoint_id = 0;
+  size_t manifest_partitions = 0;
+  SSTORE_RETURN_NOT_OK(
+      ReadManifest(dir, &checkpoint_id, &manifest_partitions));
+  if (manifest_partitions != stores_.size()) {
+    return Status::Corruption(
+        "checkpoint has " + std::to_string(manifest_partitions) +
+        " partitions, cluster has " + std::to_string(stores_.size()));
+  }
+
+  std::set<int64_t> committed_gids;
+  int64_t max_gid = 0;
+  if (!log_dir.empty()) {
+    SSTORE_ASSIGN_OR_RETURN(
+        std::vector<int64_t> gids,
+        TxnCoordinator::ReadCommittedGids(log_dir + "/" + kDecisionLogName));
+    for (int64_t gid : gids) {
+      committed_gids.insert(gid);
+      if (gid > max_gid) max_gid = gid;
+    }
+  }
+
+  uint64_t in_doubt_committed = 0;
+  uint64_t in_doubt_aborted = 0;
+  for (size_t p = 0; p < stores_.size(); ++p) {
+    std::string log_path;
+    if (!log_dir.empty()) {
+      std::string candidate =
+          log_dir + "/partition-" + std::to_string(p) + ".log";
+      if (FileExists(candidate)) log_path = candidate;
+    }
+    RecoveryManager::ReplayOptions replay;
+    replay.from_checkpoint_id = checkpoint_id;
+    replay.committed_gids = &committed_gids;
+    SSTORE_RETURN_NOT_OK(
+        stores_[p]->Recover(SnapshotPath(dir, checkpoint_id, p), log_path,
+                            options_.recovery_mode, replay));
+    const RecoveryManager::ReplayStats& rs =
+        stores_[p]->recovery().replay_stats();
+    in_doubt_committed += rs.in_doubt_committed;
+    in_doubt_aborted += rs.in_doubt_aborted;
+  }
+  coordinator_->NoteInDoubt(in_doubt_committed, in_doubt_aborted);
+  // New global txn ids must not collide with decisions already on disk,
+  // and a post-recovery Checkpoint() must not reuse (and clobber) the
+  // snapshot files the manifest still points at.
+  coordinator_->SetNextGlobalTxnId(max_gid + 1);
+  next_checkpoint_id_ = checkpoint_id + 1;
+  return Status::OK();
 }
 
 void Cluster::Start() {
@@ -139,6 +356,7 @@ void Cluster::WaitIdle() {
 
 ClusterStats Cluster::GatherStats() const {
   ClusterStats out;
+  out.coord = coordinator_->stats();
   out.per_partition.reserve(stores_.size());
   out.per_partition_engine.reserve(stores_.size());
   for (const auto& store : stores_) {
@@ -172,6 +390,7 @@ void Cluster::ResetStats() {
     store->partition().ResetStats();
     store->ee().ResetStats();
   }
+  coordinator_->ResetStats();
 }
 
 }  // namespace sstore

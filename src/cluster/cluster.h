@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/deployment.h"
@@ -10,6 +11,7 @@
 #include "common/status.h"
 #include "engine/partition.h"
 #include "streaming/sstore.h"
+#include "txn_coord/txn_coordinator.h"
 
 namespace sstore {
 
@@ -27,6 +29,9 @@ struct ClusterStats {
   /// admission-control meaning; the worst single backlog does).
   Partition::Stats txn;
   EngineStats engine;     // summed across partitions
+  /// Cross-partition coordinator counters (prepares, aborts, in-doubt
+  /// resolutions, 2PC round latency, checkpoints).
+  CoordStats coord;
   std::vector<Partition::Stats> per_partition;
   std::vector<EngineStats> per_partition_engine;
 
@@ -67,6 +72,10 @@ class Cluster {
     RecoveryMode recovery_mode = RecoveryMode::kStrong;
     /// Per-partition request-ring capacity; 0 = Partition default.
     size_t queue_capacity = 0;
+    /// How multi-partition transactions are coordinated (see
+    /// txn_coord/txn_coordinator.h): classic blocking 2PC, or deterministic
+    /// global order for pipelined multi-partition throughput.
+    CoordinationMode coordination = CoordinationMode::kTwoPhase;
   };
 
   explicit Cluster(const Options& options);
@@ -120,11 +129,52 @@ class Cluster {
   BatchTicketPtr SubmitBatchToPartition(size_t p,
                                         std::vector<Invocation> invs);
 
-  /// Runs one OLTP-style request on *every* partition and returns the
-  /// outcomes in partition order (scatter; the caller gathers). This is the
-  /// seam where cross-partition transactions will eventually live — today it
-  /// provides no atomicity across partitions.
+  // ---- Multi-partition transactions (any thread) ----
+
+  /// The coordinator executing multi-key transactions atomically across
+  /// partitions (two-phase commit or deterministic global order, per
+  /// Options::coordination).
+  TxnCoordinator& coordinator() { return *coordinator_; }
+
+  /// Submits one atomic transaction whose ops are routed by key: each
+  /// (key, params) pair becomes a fragment on the key's owning partition,
+  /// all fragments commit or all abort. Outcomes are indexed by pair
+  /// submission order.
+  MultiKeyTicketPtr SubmitMulti(const std::string& proc,
+                                std::vector<std::pair<Value, Tuple>> ops);
+
+  /// Submit + Wait for the keyed form.
+  std::vector<TxnOutcome> ExecuteMulti(
+      const std::string& proc, std::vector<std::pair<Value, Tuple>> ops);
+
+  /// Runs one OLTP-style request on *every* partition as a single atomic
+  /// multi-partition transaction: either every partition commits its
+  /// fragment or every partition rolls back (an abort vote on one
+  /// participant aborts them all). Outcomes are returned indexed by
+  /// partition id, deterministically — outcome[p] is partition p's.
   std::vector<TxnOutcome> ExecuteOnAll(const std::string& proc, Tuple params);
+
+  // ---- Coordinated checkpoint & recovery ----
+
+  /// Quiesces the coordinator (no multi-partition transaction spans the
+  /// cut), pauses every partition worker at a barrier, then writes one
+  /// snapshot per partition into `dir` plus a manifest, and appends a
+  /// checkpoint mark to each partition's command log. The result is a
+  /// consistent cluster-wide cut: restoring the snapshots (plus replaying
+  /// the post-mark log suffix) can never observe half of a multi-partition
+  /// transaction. Callable while the cluster is running (concurrent
+  /// single-partition submissions keep queueing behind the barrier) or
+  /// stopped; not concurrently with Stop().
+  Status Checkpoint(const std::string& dir);
+
+  /// Restores every partition to the consistent cut of the last checkpoint
+  /// in `dir`, then replays each partition's post-checkpoint log suffix
+  /// from `log_dir`, resolving in-doubt multi-partition transactions
+  /// against the coordinator's decision log. Call on a freshly constructed
+  /// cluster (same partition count, same Deploy()ed plan, *no* log_dir in
+  /// its Options — attaching logs would truncate the files being replayed)
+  /// before Start(). An empty `log_dir` restores the snapshots only.
+  Status Recover(const std::string& dir, const std::string& log_dir);
 
   // ---- Lifecycle ----
 
@@ -151,9 +201,16 @@ class Cluster {
   void ResetStats();
 
  private:
+  std::string SnapshotPath(const std::string& dir, uint64_t checkpoint_id,
+                           size_t p) const;
+
   Options options_;
   PartitionMap map_;
   std::vector<std::unique_ptr<SStore>> stores_;
+  /// Declared after stores_ so participant closures (which reference the
+  /// coordinator) are drained by Stop() while it is still alive.
+  std::unique_ptr<TxnCoordinator> coordinator_;
+  uint64_t next_checkpoint_id_ = 1;
 };
 
 }  // namespace sstore

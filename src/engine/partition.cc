@@ -360,6 +360,137 @@ void Partition::EnqueueBack(Invocation inv) {
   PushTaskBack(std::move(task));
 }
 
+void Partition::SubmitClosure(std::function<void(Partition&)> fn) {
+  Task task;
+  task.fn = std::move(fn);
+  internal_requests_.fetch_add(1, std::memory_order_relaxed);
+  PushTaskBack(std::move(task));
+}
+
+// ---- Multi-partition participation ----------------------------------------
+
+Partition::PreparedMulti Partition::PrepareMulti(
+    std::vector<Invocation> fragments, int64_t global_txn_id) {
+  PreparedMulti out;
+  size_t failed_executions = 0;  // fragments that ran and then aborted
+  for (Invocation& frag : fragments) {
+    auto it = procs_.find(frag.proc);
+    if (it == procs_.end()) {
+      out.vote = Status::NotFound("no procedure named '" + frag.proc + "'");
+      break;
+    }
+    auto te = std::make_unique<TransactionExecution>(
+        next_txn_id_++, std::move(frag.proc), std::move(frag.params),
+        frag.batch_id);
+    ProcContext ctx(this, &ee_, te.get());
+    Status st = it->second.proc->Run(ctx);
+    if (!st.ok()) {
+      te->undo().Rollback().ok();
+      failed_executions = 1;
+      out.vote = st;
+      break;
+    }
+    out.kinds.push_back(it->second.kind);
+    out.tes.push_back(std::move(te));
+  }
+  if (!out.vote.ok()) {
+    for (auto it = out.tes.rbegin(); it != out.tes.rend(); ++it) {
+      (*it)->undo().Rollback().ok();
+    }
+    // Count only fragments that actually executed; those past the failure
+    // never ran.
+    aborted_.fetch_add(out.tes.size() + failed_executions,
+                       std::memory_order_relaxed);
+    out.tes.clear();
+    out.kinds.clear();
+    return out;
+  }
+  // Durable prepare: every fragment is logged regardless of SpKind/recovery
+  // mode — the atomicity machinery needs the complete fragment set to
+  // re-execute a committed-in-doubt transaction. Flushed before the vote.
+  // A partial append followed by a crash is safe under presumed abort: the
+  // coordinator cannot have logged a commit decision for an unvoted txn.
+  if (log_ != nullptr) {
+    Status log_st;
+    for (size_t i = 0; i < out.tes.size(); ++i) {
+      const TransactionExecution& te = *out.tes[i];
+      LogRecord record;
+      record.txn_id = te.txn_id();
+      record.proc = te.proc_name();
+      record.params = te.params();
+      record.batch_id = te.batch_id();
+      record.sp_kind = static_cast<uint8_t>(out.kinds[i]);
+      record.record_type = static_cast<uint8_t>(LogRecordType::kPrepare);
+      record.global_txn_id = global_txn_id;
+      log_st = log_->Append(record);
+      if (!log_st.ok()) break;
+    }
+    if (log_st.ok()) log_st = log_->Flush();
+    if (!log_st.ok()) {
+      for (auto it = out.tes.rbegin(); it != out.tes.rend(); ++it) {
+        (*it)->undo().Rollback().ok();
+      }
+      aborted_.fetch_add(out.tes.size(), std::memory_order_relaxed);
+      out.tes.clear();
+      out.kinds.clear();
+      out.vote = log_st;
+    }
+  }
+  return out;
+}
+
+void Partition::CommitMulti(PreparedMulti& prepared, int64_t global_txn_id,
+                            std::vector<TxnOutcome>* outcomes) {
+  if (log_ != nullptr) {
+    LogRecord mark;
+    mark.record_type = static_cast<uint8_t>(LogRecordType::kCommitMark);
+    mark.global_txn_id = global_txn_id;
+    log_->Append(mark).ok();
+  }
+  for (auto& te : prepared.tes) {
+    te->undo().Release();
+    committed_.fetch_add(1, std::memory_order_relaxed);
+    if (outcomes != nullptr) {
+      TxnOutcome out;
+      out.txn_id = te->txn_id();
+      out.output = std::move(te->output());
+      outcomes->push_back(std::move(out));
+    }
+  }
+  // Hooks after the whole slice committed — same isolation-unit rule as
+  // nested transactions; PE-triggered cascades of a multi fragment start
+  // only once the global decision is commit.
+  for (auto& te : prepared.tes) FireCommitHooks(*te);
+  prepared.tes.clear();
+  prepared.kinds.clear();
+}
+
+void Partition::AbortMulti(PreparedMulti& prepared, int64_t global_txn_id) {
+  for (auto it = prepared.tes.rbegin(); it != prepared.tes.rend(); ++it) {
+    (*it)->undo().Rollback().ok();
+  }
+  aborted_.fetch_add(prepared.tes.size(), std::memory_order_relaxed);
+  prepared.tes.clear();
+  prepared.kinds.clear();
+  // The mark lets replay drop already-durable kPrepare records promptly
+  // instead of carrying them to the in-doubt resolution at log end.
+  if (log_ != nullptr) {
+    LogRecord mark;
+    mark.record_type = static_cast<uint8_t>(LogRecordType::kAbortMark);
+    mark.global_txn_id = global_txn_id;
+    log_->Append(mark).ok();
+  }
+}
+
+Status Partition::AppendCheckpointMark(uint64_t checkpoint_id) {
+  if (log_ == nullptr) return Status::OK();
+  LogRecord mark;
+  mark.record_type = static_cast<uint8_t>(LogRecordType::kCheckpointMark);
+  mark.global_txn_id = static_cast<int64_t>(checkpoint_id);
+  SSTORE_RETURN_NOT_OK(log_->Append(mark));
+  return log_->Flush();
+}
+
 void Partition::Start() {
   if (running()) return;
   accepting_.store(true, std::memory_order_seq_cst);
@@ -439,6 +570,12 @@ void Partition::WorkerLoop() {
 }
 
 void Partition::RunTask(Task& task) {
+  if (task.fn) {
+    // Closure task: the participant protocol or a checkpoint barrier. The
+    // closure owns its own completion signaling; tickets don't apply.
+    task.fn(*this);
+    return;
+  }
   TxnOutcome outcome;
   if (task.children.empty()) {
     TransactionExecution* te = nullptr;

@@ -192,6 +192,59 @@ class Partition {
   /// Internal enqueue preserving FIFO order.
   void EnqueueBack(Invocation inv);
 
+  /// Enqueues a closure to run on the worker thread at its FIFO queue
+  /// position. The closure may block the worker (that is the point: the
+  /// cross-partition coordinator parks a participant between prepare and
+  /// decision here, and the coordinated checkpoint pauses every worker at a
+  /// barrier closure). No ticket; completion is whatever the closure signals.
+  void SubmitClosure(std::function<void(Partition&)> fn);
+
+  // ---- Multi-partition participation (driven by txn_coord) ----
+  //
+  // A participant's slice of one multi-partition transaction runs in three
+  // steps on the worker thread (or inline while the worker is stopped):
+  // PrepareMulti executes the fragments but defers every commit side effect,
+  // keeping the undo logs (query/mutation_log.h before-images) alive as the
+  // prepared state and force-flushing kPrepare records so the vote is
+  // durable; CommitMulti / AbortMulti then apply the coordinator's decision.
+
+  /// Prepared-but-undecided state of this partition's fragments. When
+  /// `vote` is non-OK the fragments have already been rolled back and
+  /// `tes` is empty — the participant must still vote abort so its peers
+  /// roll back too.
+  struct PreparedMulti {
+    std::vector<std::unique_ptr<TransactionExecution>> tes;
+    std::vector<SpKind> kinds;
+    Status vote;  // OK == ready to commit
+  };
+
+  /// Executes `fragments` back-to-back as one isolation unit WITHOUT
+  /// committing: no log-commit records, no undo release, no commit hooks.
+  /// On success, appends one kPrepare record per fragment (tagged with the
+  /// coordinator's `global_txn_id`) and flushes, so a crash after the vote
+  /// leaves a resolvable in-doubt transaction. On any failure the executed
+  /// fragments are rolled back newest-first and `vote` carries the cause.
+  /// Worker thread (or stopped-worker inline) only.
+  PreparedMulti PrepareMulti(std::vector<Invocation> fragments,
+                             int64_t global_txn_id);
+
+  /// Applies a commit decision: appends a kCommitMark (group-commit policy;
+  /// durability of the decision itself is the coordinator's decision log),
+  /// releases the undo logs, fires commit hooks, and appends each
+  /// fragment's outcome to `outcomes` in fragment order.
+  void CommitMulti(PreparedMulti& prepared, int64_t global_txn_id,
+                   std::vector<TxnOutcome>* outcomes);
+
+  /// Applies an abort decision: rolls back newest-first and appends a
+  /// kAbortMark so replay drops any already-durable kPrepare records.
+  void AbortMulti(PreparedMulti& prepared, int64_t global_txn_id);
+
+  /// Appends a kCheckpointMark carrying `checkpoint_id` and flushes. Called
+  /// by the coordinated checkpoint while this worker is paused at the
+  /// barrier (the log is single-writer; a paused worker cannot race this).
+  /// No-op without an attached log.
+  Status AppendCheckpointMark(uint64_t checkpoint_id);
+
   void AddCommitHook(CommitHook hook) {
     commit_hooks_.push_back(std::move(hook));
   }
@@ -282,6 +335,7 @@ class Partition {
   struct Task {
     Invocation inv;                    // the common, single-invocation case
     std::vector<Invocation> children;  // non-empty == nested transaction
+    std::function<void(Partition&)> fn;  // non-null == closure task
     TicketPtr ticket;                  // null for internal / batched work
     BatchTicketPtr batch;              // shared by every task of one batch
     uint32_t batch_index = 0;

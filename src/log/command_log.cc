@@ -27,6 +27,8 @@ void EncodeRecord(const LogRecord& r, ByteWriter* out) {
   payload.PutTuple(r.params);
   payload.PutI64(r.batch_id);
   payload.PutU8(r.sp_kind);
+  payload.PutU8(r.record_type);
+  payload.PutI64(r.global_txn_id);
   const std::vector<uint8_t>& bytes = payload.data();
   out->PutU32(kRecordMagic);
   out->PutU32(static_cast<uint32_t>(bytes.size()));
@@ -140,6 +142,8 @@ Result<std::vector<LogRecord>> CommandLog::ReadAll(const std::string& path) {
     SSTORE_ASSIGN_OR_RETURN(r.params, pr.GetTuple());
     SSTORE_ASSIGN_OR_RETURN(r.batch_id, pr.GetI64());
     SSTORE_ASSIGN_OR_RETURN(r.sp_kind, pr.GetU8());
+    SSTORE_ASSIGN_OR_RETURN(r.record_type, pr.GetU8());
+    SSTORE_ASSIGN_OR_RETURN(r.global_txn_id, pr.GetI64());
     records.push_back(std::move(r));
   }
   return records;

@@ -13,6 +13,25 @@
 
 namespace sstore {
 
+/// What a log record means to replay. Beyond plain committed transactions,
+/// the cross-partition coordinator (src/txn_coord) writes a presumed-abort
+/// two-phase-commit trail into each participant's log:
+/// - kPrepare: a fragment of multi-partition transaction `global_txn_id`
+///   executed here and is ready to commit (durable *before* the vote).
+/// - kCommitMark / kAbortMark: this partition learned the decision. Replay
+///   applies buffered kPrepare records at the kCommitMark position.
+/// - kCheckpointMark: a coordinated cluster checkpoint cut the log here;
+///   recovery from that checkpoint replays only records after the mark.
+/// A kPrepare with no following mark is *in doubt*: recovery resolves it
+/// against the coordinator's decision log (commit) or presumes abort.
+enum class LogRecordType : uint8_t {
+  kTxn = 0,
+  kPrepare = 1,
+  kCommitMark = 2,
+  kAbortMark = 3,
+  kCheckpointMark = 4,
+};
+
 /// One command-log entry: enough to re-execute a committed transaction with
 /// the same arguments (H-Store's command logging [Malviya et al., ICDE'14]).
 struct LogRecord {
@@ -21,10 +40,18 @@ struct LogRecord {
   Tuple params;
   int64_t batch_id = 0;
   uint8_t sp_kind = 0;  // SpKind as logged (OLTP / border / interior)
+  uint8_t record_type = 0;  // LogRecordType
+  /// Coordinator-assigned id for multi-partition records (kPrepare and the
+  /// decision marks); the checkpoint id for kCheckpointMark; 0 otherwise.
+  int64_t global_txn_id = 0;
+
+  LogRecordType type() const { return static_cast<LogRecordType>(record_type); }
 
   friend bool operator==(const LogRecord& a, const LogRecord& b) {
     return a.txn_id == b.txn_id && a.proc == b.proc && a.params == b.params &&
-           a.batch_id == b.batch_id && a.sp_kind == b.sp_kind;
+           a.batch_id == b.batch_id && a.sp_kind == b.sp_kind &&
+           a.record_type == b.record_type &&
+           a.global_txn_id == b.global_txn_id;
   }
 };
 

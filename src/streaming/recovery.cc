@@ -1,5 +1,7 @@
 #include "streaming/recovery.h"
 
+#include <map>
+
 namespace sstore {
 
 Status RecoveryManager::Checkpoint(const std::string& snapshot_path) {
@@ -8,7 +10,8 @@ Status RecoveryManager::Checkpoint(const std::string& snapshot_path) {
 
 Status RecoveryManager::Recover(const std::string& snapshot_path,
                                 const std::string& log_path,
-                                RecoveryMode mode) {
+                                RecoveryMode mode,
+                                const ReplayOptions& replay) {
   stats_ = ReplayStats{};
 
   if (mode == RecoveryMode::kStrong) {
@@ -29,8 +32,11 @@ Status RecoveryManager::Recover(const std::string& snapshot_path,
     DrainTriggered();
   }
 
-  SSTORE_RETURN_NOT_OK(
-      ReplayLog(log_path, /*include_interior=*/mode == RecoveryMode::kStrong));
+  if (!log_path.empty()) {
+    SSTORE_RETURN_NOT_OK(
+        ReplayLog(log_path, /*include_interior=*/mode == RecoveryMode::kStrong,
+                  replay));
+  }
 
   if (mode == RecoveryMode::kStrong) {
     triggers_->SetPeTriggersEnabled(true);
@@ -43,24 +49,90 @@ Status RecoveryManager::Recover(const std::string& snapshot_path,
   return Status::OK();
 }
 
+void RecoveryManager::ReplayRecord(const LogRecord& record) {
+  // The replay client submits sequentially: each transaction must be
+  // confirmed committed before the next is sent (paper §4.4). Interior
+  // records replayed this way pay the same client round trip — which is
+  // why strong recovery time grows with workflow depth (Figure 9b).
+  TxnOutcome outcome =
+      partition_->ExecuteSync(record.proc, record.params, record.batch_id);
+  ++stats_.records_replayed;
+  if (!outcome.committed()) ++stats_.replay_failures;
+}
+
 Status RecoveryManager::ReplayLog(const std::string& log_path,
-                                  bool include_interior) {
+                                  bool include_interior,
+                                  const ReplayOptions& replay) {
   SSTORE_ASSIGN_OR_RETURN(std::vector<LogRecord> records,
                           CommandLog::ReadAll(log_path));
-  for (const LogRecord& r : records) {
-    if (!include_interior &&
-        static_cast<SpKind>(r.sp_kind) == SpKind::kInterior) {
-      // Defensive: a weak-mode log should not contain interior records.
-      continue;
+
+  // Replay starts after the coordinated-checkpoint cut, if one is named.
+  size_t start = 0;
+  if (replay.from_checkpoint_id != 0) {
+    bool found = false;
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (records[i].type() == LogRecordType::kCheckpointMark &&
+          records[i].global_txn_id ==
+              static_cast<int64_t>(replay.from_checkpoint_id)) {
+        start = i + 1;
+        found = true;  // keep scanning: the *last* matching mark wins
+      }
     }
-    // The replay client submits sequentially: each transaction must be
-    // confirmed committed before the next is sent (paper §4.4). Interior
-    // records replayed this way pay the same client round trip — which is
-    // why strong recovery time grows with workflow depth (Figure 9b).
-    TxnOutcome outcome =
-        partition_->ExecuteSync(r.proc, r.params, r.batch_id);
-    ++stats_.records_replayed;
-    if (!outcome.committed()) ++stats_.replay_failures;
+    if (!found) {
+      return Status::Corruption("log has no checkpoint mark for id " +
+                                std::to_string(replay.from_checkpoint_id));
+    }
+  }
+
+  // Multi-partition fragments (kPrepare) apply at their decision mark.
+  // The participant worker blocks between prepare and decision, so marks
+  // directly follow their prepares; only a crash leaves an undecided
+  // (in-doubt) tail, resolved below against the coordinator's decisions.
+  std::map<int64_t, std::vector<LogRecord>> pending;
+  std::vector<int64_t> pending_order;
+  for (size_t i = start; i < records.size(); ++i) {
+    const LogRecord& r = records[i];
+    switch (r.type()) {
+      case LogRecordType::kTxn:
+        if (!include_interior &&
+            static_cast<SpKind>(r.sp_kind) == SpKind::kInterior) {
+          // Defensive: a weak-mode log should not contain interior records.
+          continue;
+        }
+        ReplayRecord(r);
+        break;
+      case LogRecordType::kPrepare:
+        if (pending.find(r.global_txn_id) == pending.end()) {
+          pending_order.push_back(r.global_txn_id);
+        }
+        pending[r.global_txn_id].push_back(r);
+        break;
+      case LogRecordType::kCommitMark:
+        for (const LogRecord& frag : pending[r.global_txn_id]) {
+          ReplayRecord(frag);
+        }
+        pending.erase(r.global_txn_id);
+        break;
+      case LogRecordType::kAbortMark:
+        pending.erase(r.global_txn_id);
+        break;
+      case LogRecordType::kCheckpointMark:
+        break;  // a later checkpoint's cut; nothing to apply
+    }
+  }
+
+  // In-doubt resolution (presumed abort): commit only what the coordinator
+  // made durable before the crash.
+  for (int64_t gid : pending_order) {
+    auto it = pending.find(gid);
+    if (it == pending.end()) continue;
+    if (replay.committed_gids != nullptr &&
+        replay.committed_gids->count(gid) != 0) {
+      for (const LogRecord& frag : it->second) ReplayRecord(frag);
+      ++stats_.in_doubt_committed;
+    } else {
+      ++stats_.in_doubt_aborted;
+    }
   }
   return Status::OK();
 }

@@ -2,6 +2,7 @@
 #define SSTORE_STREAMING_RECOVERY_H_
 
 #include <cstdint>
+#include <set>
 #include <string>
 
 #include "common/status.h"
@@ -39,18 +40,43 @@ class RecoveryManager {
     size_t records_replayed = 0;
     size_t residual_triggers = 0;
     size_t replay_failures = 0;
+    /// Multi-partition transactions whose log ended after kPrepare with no
+    /// decision mark, resolved commit (coordinator decision log) or abort
+    /// (presumed abort).
+    size_t in_doubt_committed = 0;
+    size_t in_doubt_aborted = 0;
+  };
+
+  /// Cluster-coordinated replay parameters (see Cluster::Recover).
+  struct ReplayOptions {
+    /// When non-zero, replay starts after the *last* kCheckpointMark record
+    /// carrying this id (the coordinated-checkpoint cut); a log without
+    /// that mark is corrupt. Zero replays the whole log (the legacy
+    /// single-store flow, whose snapshot precedes every record).
+    uint64_t from_checkpoint_id = 0;
+    /// Global txn ids the coordinator decided to commit; resolves in-doubt
+    /// kPrepare tails. Null == presume abort for every in-doubt txn.
+    const std::set<int64_t>* committed_gids = nullptr;
   };
 
   /// Recovers a freshly re-created partition (DDL, procedures, workflow
   /// already deployed; no data) from `snapshot_path` + `log_path`. The mode
-  /// must match what the partition logged with before the crash.
+  /// must match what the partition logged with before the crash. An empty
+  /// `log_path` restores the snapshot only (checkpoint-without-logging).
   Status Recover(const std::string& snapshot_path, const std::string& log_path,
-                 RecoveryMode mode);
+                 RecoveryMode mode, const ReplayOptions& replay);
+  Status Recover(const std::string& snapshot_path, const std::string& log_path,
+                 RecoveryMode mode) {
+    return Recover(snapshot_path, log_path, mode, ReplayOptions());
+  }
 
   const ReplayStats& replay_stats() const { return stats_; }
 
  private:
-  Status ReplayLog(const std::string& log_path, bool include_interior);
+  Status ReplayLog(const std::string& log_path, bool include_interior,
+                   const ReplayOptions& replay);
+  /// Executes one logged transaction through the replay client.
+  void ReplayRecord(const LogRecord& record);
   /// Runs everything PE triggers enqueued until the partition queue is dry.
   void DrainTriggered();
 

@@ -72,6 +72,13 @@ class SStore {
   }
 
   /// Recovers this (freshly constructed and DDL-initialized) instance.
+  /// `replay` carries the cluster-coordinated parameters (checkpoint cut,
+  /// in-doubt commit set) when driven by Cluster::Recover.
+  Status Recover(const std::string& snapshot_path, const std::string& log_path,
+                 RecoveryMode mode,
+                 const RecoveryManager::ReplayOptions& replay) {
+    return recovery_->Recover(snapshot_path, log_path, mode, replay);
+  }
   Status Recover(const std::string& snapshot_path, const std::string& log_path,
                  RecoveryMode mode) {
     return recovery_->Recover(snapshot_path, log_path, mode);

@@ -1,0 +1,428 @@
+#include "txn_coord/txn_coordinator.h"
+
+#include <sys/stat.h>
+
+#include <utility>
+
+namespace sstore {
+
+const char* CoordinationModeToString(CoordinationMode mode) {
+  switch (mode) {
+    case CoordinationMode::kTwoPhase:
+      return "2pc";
+    case CoordinationMode::kGlobalOrder:
+      return "global-order";
+  }
+  return "unknown";
+}
+
+// ---- MultiKeyTicket --------------------------------------------------------
+
+void MultiKeyTicket::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+}
+
+bool MultiKeyTicket::TryWait() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void MultiKeyTicket::FulfillParticipant(const std::vector<size_t>& op_indices,
+                                        std::vector<TxnOutcome> outs,
+                                        bool commit, Status decision_status) {
+  // Op slots are disjoint across participants; no lock needed until the
+  // final completion flips done_ (the BatchTicket rule).
+  for (size_t i = 0; i < op_indices.size(); ++i) {
+    outcomes_[op_indices[i]] = std::move(outs[i]);
+  }
+  bool last = remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  if (!last) return;
+  bool decided_commit;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    committed_ = commit;
+    status_ = std::move(decision_status);
+    decided_commit = committed_;
+    done_ = true;
+  }
+  cv_.notify_all();
+  if (on_complete_) on_complete_(decided_commit);
+}
+
+// ---- WorkerBarrier ---------------------------------------------------------
+
+void WorkerBarrier::ArriveAndWait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (++arrived_ == expected_) cv_.notify_all();
+  cv_.wait(lock, [this] { return released_; });
+}
+
+void WorkerBarrier::WaitAllArrived() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return arrived_ == expected_; });
+}
+
+void WorkerBarrier::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+  }
+  cv_.notify_all();
+}
+
+namespace {
+
+/// Vote rendezvous for one multi-partition transaction. Participants call
+/// VoteAndWait from their worker threads; the last voter computes the
+/// decision, makes a commit durable through `durable_commit`, and wakes the
+/// rest. A durable-commit failure demotes the decision to abort — an
+/// un-loggable decision must never be applied anywhere.
+class MultiTxnControl {
+ public:
+  MultiTxnControl(size_t participants, std::function<Status()> durable_commit)
+      : participants_(participants),
+        durable_commit_(std::move(durable_commit)) {}
+
+  /// Returns the decision (true == commit); `abort_reason` is the first
+  /// abort vote (or the durable-commit failure) when false.
+  bool VoteAndWait(const Status& vote, Status* abort_reason) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!vote.ok() && first_abort_.ok()) first_abort_ = vote;
+    if (++votes_ == participants_) {
+      bool commit = first_abort_.ok();
+      if (commit && durable_commit_) {
+        // Holding mu_ across the flush is fine: every other participant is
+        // parked in the wait below and the decision must precede them all.
+        Status st = durable_commit_();
+        if (!st.ok()) {
+          commit = false;
+          first_abort_ = st;
+        }
+      }
+      decided_ = true;
+      commit_ = commit;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [this] { return decided_; });
+    }
+    *abort_reason = first_abort_;
+    return commit_;
+  }
+
+  /// The kTwoPhase round lock is held until the decision exists.
+  void WaitDecided() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return decided_; });
+  }
+
+ private:
+  size_t participants_;
+  std::function<Status()> durable_commit_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t votes_ = 0;
+  bool decided_ = false;
+  bool commit_ = false;
+  Status first_abort_;
+};
+
+Status PeerAbort(const Status& reason) {
+  return Status::Aborted("aborted with peer partition: " + reason.message());
+}
+
+}  // namespace
+
+// ---- TxnCoordinator --------------------------------------------------------
+
+TxnCoordinator::TxnCoordinator(std::vector<Partition*> partitions,
+                               Options options)
+    : partitions_(std::move(partitions)), options_(std::move(options)) {
+  if (!options_.decision_log_path.empty()) {
+    CommandLog::Options log_opts;
+    log_opts.path = options_.decision_log_path;
+    log_opts.group_size = 1;  // a decision is durable or it does not exist
+    log_opts.sync = options_.log_sync;
+    Result<std::unique_ptr<CommandLog>> log = CommandLog::Open(log_opts);
+    if (log.ok()) {
+      decision_log_ = std::move(log).value();
+    } else {
+      // A configured-but-unopenable decision log must not silently demote
+      // the cluster to non-durable decisions: every commit attempt will
+      // surface this error and abort instead (presumed abort everywhere is
+      // still atomic; silent non-durability is not).
+      decision_log_error_ = log.status();
+    }
+  }
+}
+
+TxnCoordinator::~TxnCoordinator() = default;
+
+MultiKeyTicketPtr TxnCoordinator::ErrorTicket(size_t num_ops, Status status) {
+  auto ticket = std::make_shared<MultiKeyTicket>(num_ops, 0);
+  for (TxnOutcome& out : ticket->outcomes_) out.status = status;
+  ticket->done_ = true;
+  ticket->status_ = std::move(status);
+  return ticket;
+}
+
+Status TxnCoordinator::AppendCommitDecision(int64_t gid) {
+  std::lock_guard<std::mutex> lock(decision_log_mu_);
+  if (decision_log_ == nullptr) return decision_log_error_;
+  LogRecord record;
+  record.record_type = static_cast<uint8_t>(LogRecordType::kCommitMark);
+  record.global_txn_id = gid;
+  return decision_log_->Append(record);  // group_size 1: appends flush
+}
+
+void TxnCoordinator::CompleteTxn(bool commit, int64_t start_us) {
+  (commit ? commits_ : aborts_).fetch_add(1, std::memory_order_relaxed);
+  rounds_.fetch_add(1, std::memory_order_relaxed);
+  int64_t elapsed = clock_.NowMicros() - start_us;
+  if (elapsed > 0) {
+    round_latency_us_.fetch_add(static_cast<uint64_t>(elapsed),
+                                std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    --in_flight_;
+  }
+  gate_cv_.notify_all();
+}
+
+MultiKeyTicketPtr TxnCoordinator::SubmitMulti(std::vector<MultiOp> ops) {
+  if (ops.empty()) {
+    return ErrorTicket(0, Status::InvalidArgument(
+                              "multi-partition transaction needs ops"));
+  }
+  for (const MultiOp& op : ops) {
+    if (op.partition >= partitions_.size()) {
+      return ErrorTicket(ops.size(),
+                         Status::InvalidArgument("op targets partition " +
+                                                 std::to_string(op.partition) +
+                                                 " of " +
+                                                 std::to_string(
+                                                     partitions_.size())));
+    }
+  }
+
+  // Group ops per participant, preserving submission order within each.
+  std::vector<std::vector<size_t>> ops_of(partitions_.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    ops_of[ops[i].partition].push_back(i);
+  }
+  std::vector<size_t> parts;
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    if (!ops_of[p].empty()) parts.push_back(p);
+  }
+  std::vector<std::vector<Invocation>> frags_of(partitions_.size());
+  for (size_t p : parts) {
+    frags_of[p].reserve(ops_of[p].size());
+    for (size_t i : ops_of[p]) frags_of[p].push_back(std::move(ops[i].inv));
+  }
+
+  size_t running = 0;
+  for (size_t p : parts) {
+    if (partitions_[p]->running()) ++running;
+  }
+  if (running != 0 && running != parts.size()) {
+    return ErrorTicket(ops.size(),
+                       Status::Internal("participants are part running, part "
+                                        "stopped; multi-partition execution "
+                                        "needs a uniform cluster state"));
+  }
+  bool inline_mode = running == 0;
+
+  // Admission gate: checkpoints quiesce here.
+  {
+    std::unique_lock<std::mutex> lock(gate_mu_);
+    gate_cv_.wait(lock, [this] { return !quiescing_; });
+    ++in_flight_;
+  }
+  multi_txns_.fetch_add(1, std::memory_order_relaxed);
+  int64_t start_us = clock_.NowMicros();
+
+  auto ticket = std::make_shared<MultiKeyTicket>(ops.size(), parts.size());
+  ticket->on_complete_ = [this, start_us](bool commit) {
+    CompleteTxn(commit, start_us);
+  };
+
+  if (inline_mode) {
+    std::lock_guard<std::mutex> seq(seq_mu_);
+    int64_t gid = next_gid_.fetch_add(1, std::memory_order_relaxed);
+    ticket->gid_ = gid;
+    RunInlineMulti(ticket, std::move(frags_of), std::move(ops_of), parts, gid);
+    return ticket;
+  }
+
+  if (options_.mode == CoordinationMode::kTwoPhase) round_mu_.lock();
+  std::shared_ptr<MultiTxnControl> control;
+  {
+    // Sequencer critical section: the gid and every participant's enqueue
+    // happen atomically, so per-partition queue order == gid order.
+    std::lock_guard<std::mutex> seq(seq_mu_);
+    int64_t gid = next_gid_.fetch_add(1, std::memory_order_relaxed);
+    ticket->gid_ = gid;
+    control = std::make_shared<MultiTxnControl>(
+        parts.size(), [this, gid] { return AppendCommitDecision(gid); });
+    for (size_t p : parts) {
+      partitions_[p]->SubmitClosure(
+          [this, control, ticket, gid, frags = std::move(frags_of[p]),
+           op_idx = std::move(ops_of[p])](Partition& part) mutable {
+            prepares_.fetch_add(frags.size(), std::memory_order_relaxed);
+            Partition::PreparedMulti prepared =
+                part.PrepareMulti(std::move(frags), gid);
+            Status vote = prepared.vote;
+            Status reason;
+            bool commit = control->VoteAndWait(vote, &reason);
+            if (commit) {
+              std::vector<TxnOutcome> outs;
+              outs.reserve(op_idx.size());
+              part.CommitMulti(prepared, gid, &outs);
+              ticket->FulfillParticipant(op_idx, std::move(outs), true,
+                                         Status::OK());
+            } else {
+              part.AbortMulti(prepared, gid);
+              std::vector<TxnOutcome> outs(op_idx.size());
+              for (TxnOutcome& out : outs) {
+                out.status = vote.ok() ? PeerAbort(reason) : vote;
+              }
+              ticket->FulfillParticipant(op_idx, std::move(outs), false,
+                                         reason);
+            }
+          });
+    }
+  }
+  if (options_.mode == CoordinationMode::kTwoPhase) {
+    control->WaitDecided();
+    round_mu_.unlock();
+  }
+  return ticket;
+}
+
+void TxnCoordinator::RunInlineMulti(
+    const MultiKeyTicketPtr& ticket,
+    std::vector<std::vector<Invocation>> frags_of,
+    std::vector<std::vector<size_t>> ops_of, const std::vector<size_t>& parts,
+    int64_t gid) {
+  std::vector<Partition::PreparedMulti> prepared(parts.size());
+  Status first_abort;
+  for (size_t j = 0; j < parts.size(); ++j) {
+    size_t p = parts[j];
+    prepares_.fetch_add(frags_of[p].size(), std::memory_order_relaxed);
+    prepared[j] = partitions_[p]->PrepareMulti(std::move(frags_of[p]), gid);
+    if (!prepared[j].vote.ok() && first_abort.ok()) {
+      first_abort = prepared[j].vote;
+    }
+  }
+  bool commit = first_abort.ok();
+  if (commit) {
+    Status st = AppendCommitDecision(gid);
+    if (!st.ok()) {
+      commit = false;
+      first_abort = st;
+    }
+  }
+  for (size_t j = 0; j < parts.size(); ++j) {
+    size_t p = parts[j];
+    if (commit) {
+      std::vector<TxnOutcome> outs;
+      outs.reserve(ops_of[p].size());
+      partitions_[p]->CommitMulti(prepared[j], gid, &outs);
+      // Commit hooks may have PE-triggered interior work; drain it the
+      // inline way, as Partition::ExecuteSync does.
+      partitions_[p]->DrainQueueInline();
+      ticket->FulfillParticipant(ops_of[p], std::move(outs), true,
+                                 Status::OK());
+    } else {
+      partitions_[p]->AbortMulti(prepared[j], gid);
+      std::vector<TxnOutcome> outs(ops_of[p].size());
+      for (TxnOutcome& out : outs) {
+        out.status =
+            prepared[j].vote.ok() ? PeerAbort(first_abort) : prepared[j].vote;
+      }
+      ticket->FulfillParticipant(ops_of[p], std::move(outs), false,
+                                 first_abort);
+    }
+  }
+}
+
+std::vector<TxnOutcome> TxnCoordinator::ExecuteMulti(std::vector<MultiOp> ops) {
+  MultiKeyTicketPtr ticket = SubmitMulti(std::move(ops));
+  ticket->Wait();
+  return ticket->outcomes();
+}
+
+void TxnCoordinator::QuiesceBegin() {
+  std::unique_lock<std::mutex> lock(gate_mu_);
+  // Serialize concurrent checkpointers on the same gate.
+  gate_cv_.wait(lock, [this] { return !quiescing_; });
+  quiescing_ = true;
+  gate_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void TxnCoordinator::QuiesceEnd() {
+  {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    quiescing_ = false;
+  }
+  gate_cv_.notify_all();
+}
+
+Result<std::vector<int64_t>> TxnCoordinator::ReadCommittedGids(
+    const std::string& decision_log_path) {
+  // A decision log that never existed means no decision was ever made
+  // durable: every in-doubt transaction is presumed aborted. A log that
+  // exists but cannot be read is NOT that — recovery must fail loudly
+  // rather than presume aborts over unreadable decisions.
+  struct stat st;
+  if (::stat(decision_log_path.c_str(), &st) != 0) {
+    return std::vector<int64_t>{};
+  }
+  Result<std::vector<LogRecord>> records =
+      CommandLog::ReadAll(decision_log_path);
+  if (!records.ok()) return records.status();
+  std::vector<int64_t> gids;
+  for (const LogRecord& r : *records) {
+    if (r.type() == LogRecordType::kCommitMark) gids.push_back(r.global_txn_id);
+  }
+  return gids;
+}
+
+void TxnCoordinator::SetNextGlobalTxnId(int64_t gid) {
+  next_gid_.store(gid, std::memory_order_relaxed);
+}
+
+void TxnCoordinator::NoteInDoubt(uint64_t committed, uint64_t aborted) {
+  in_doubt_committed_.fetch_add(committed, std::memory_order_relaxed);
+  in_doubt_aborted_.fetch_add(aborted, std::memory_order_relaxed);
+}
+
+CoordStats TxnCoordinator::stats() const {
+  CoordStats out;
+  out.multi_txns = multi_txns_.load(std::memory_order_relaxed);
+  out.prepares = prepares_.load(std::memory_order_relaxed);
+  out.commits = commits_.load(std::memory_order_relaxed);
+  out.aborts = aborts_.load(std::memory_order_relaxed);
+  out.in_doubt_committed = in_doubt_committed_.load(std::memory_order_relaxed);
+  out.in_doubt_aborted = in_doubt_aborted_.load(std::memory_order_relaxed);
+  out.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  out.rounds = rounds_.load(std::memory_order_relaxed);
+  out.round_latency_us_total =
+      round_latency_us_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void TxnCoordinator::ResetStats() {
+  multi_txns_.store(0, std::memory_order_relaxed);
+  prepares_.store(0, std::memory_order_relaxed);
+  commits_.store(0, std::memory_order_relaxed);
+  aborts_.store(0, std::memory_order_relaxed);
+  in_doubt_committed_.store(0, std::memory_order_relaxed);
+  in_doubt_aborted_.store(0, std::memory_order_relaxed);
+  checkpoints_.store(0, std::memory_order_relaxed);
+  rounds_.store(0, std::memory_order_relaxed);
+  round_latency_us_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sstore

@@ -1,0 +1,263 @@
+#ifndef SSTORE_TXN_COORD_TXN_COORDINATOR_H_
+#define SSTORE_TXN_COORD_TXN_COORDINATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "engine/partition.h"
+#include "log/command_log.h"
+
+namespace sstore {
+
+/// How multi-partition transactions are scheduled across participants.
+enum class CoordinationMode {
+  /// Classic blocking two-phase commit: one multi-partition transaction in
+  /// flight at a time (the coordinator holds the round from submission to
+  /// decision). Simple and obviously deadlock-free; the per-round
+  /// quiescence is exactly the multi-partition cost the paper's
+  /// shared-nothing design avoids paying on the hot path.
+  kTwoPhase,
+  /// Deterministic global order: a single sequencer assigns monotonic
+  /// global transaction ids and enqueues every participant's fragments
+  /// under one lock, so all partitions observe multi-partition transactions
+  /// in the same (id) order. Many transactions can then be in flight at
+  /// once without deadlock — the vote barrier of txn `g` is reachable on
+  /// every participant once all txns < g have decided, a total order with
+  /// no cycles. Same atomicity guarantees as kTwoPhase; higher throughput
+  /// under multi-partition load.
+  kGlobalOrder,
+};
+
+const char* CoordinationModeToString(CoordinationMode mode);
+
+/// One fragment of a multi-partition transaction: which partition runs it
+/// and what it runs. The coordinator groups ops by partition; each
+/// participant executes its ops back-to-back as one isolation unit.
+struct MultiOp {
+  size_t partition = 0;
+  Invocation inv;
+};
+
+/// Aggregate coordinator counters, surfaced through ClusterStats.
+struct CoordStats {
+  uint64_t multi_txns = 0;   // multi-partition transactions submitted
+  uint64_t prepares = 0;     // participant fragments prepared
+  uint64_t commits = 0;      // transactions decided commit
+  uint64_t aborts = 0;       // transactions decided abort
+  uint64_t in_doubt_committed = 0;  // resolved commit during recovery
+  uint64_t in_doubt_aborted = 0;    // presumed abort during recovery
+  uint64_t checkpoints = 0;         // coordinated cluster checkpoints
+  uint64_t rounds = 0;              // completed coordination rounds
+  uint64_t round_latency_us_total = 0;  // submit -> all participants applied
+
+  double avg_round_latency_us() const {
+    return rounds == 0 ? 0.0
+                       : static_cast<double>(round_latency_us_total) /
+                             static_cast<double>(rounds);
+  }
+};
+
+/// Completion handle for one multi-partition transaction (the MultiKey
+/// analogue of BatchTicket): per-op outcomes indexed by submission order,
+/// one decision for the whole transaction, one signal when the last
+/// participant has applied that decision.
+class MultiKeyTicket {
+ public:
+  MultiKeyTicket(size_t num_ops, size_t num_participants)
+      : outcomes_(num_ops), remaining_(num_participants) {}
+
+  MultiKeyTicket(const MultiKeyTicket&) = delete;
+  MultiKeyTicket& operator=(const MultiKeyTicket&) = delete;
+
+  /// Blocks until every participant has applied the decision.
+  void Wait();
+  /// Non-blocking completion probe.
+  bool TryWait();
+
+  /// Coordinator-assigned global transaction id.
+  int64_t gid() const { return gid_; }
+
+  /// Decision; valid after Wait() (or once TryWait() returns true).
+  bool committed() const { return committed_; }
+  /// OK on commit; the abort reason otherwise.
+  const Status& status() const { return status_; }
+  /// Per-op outcomes in submission order. On abort, ops on the participant
+  /// that voted abort carry its own failure; the rest carry kAborted.
+  const std::vector<TxnOutcome>& outcomes() const { return outcomes_; }
+
+ private:
+  friend class TxnCoordinator;
+  void FulfillParticipant(const std::vector<size_t>& op_indices,
+                          std::vector<TxnOutcome> outs, bool commit,
+                          Status decision_status);
+
+  int64_t gid_ = 0;
+  std::vector<TxnOutcome> outcomes_;
+  std::atomic<size_t> remaining_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  bool committed_ = false;
+  Status status_;
+  /// Invoked once, with the decision, after the last participant applied.
+  std::function<void(bool)> on_complete_;
+};
+
+using MultiKeyTicketPtr = std::shared_ptr<MultiKeyTicket>;
+
+/// Rendezvous used by the coordinated checkpoint: every partition worker
+/// parks in ArriveAndWait() (via a closure task), the checkpoint thread
+/// proceeds once WaitAllArrived() returns, and Release() resumes the
+/// workers after the snapshots are on disk.
+class WorkerBarrier {
+ public:
+  explicit WorkerBarrier(size_t expected) : expected_(expected) {}
+
+  void ArriveAndWait();
+  void WaitAllArrived();
+  void Release();
+
+ private:
+  size_t expected_;
+  size_t arrived_ = 0;
+  bool released_ = false;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+/// Executes multi-key transactions atomically across partitions (the
+/// ROADMAP's cross-partition item; the coordination layer kvpaxos-style
+/// partitioned designs put between clients and shards).
+///
+/// Protocol (presumed-abort 2PC over serial partition workers): fragments
+/// are enqueued as closure tasks; each participant worker prepares its
+/// fragments (undo kept alive, kPrepare records force-flushed), votes, and
+/// blocks until the decision. The last voter makes the decision durable in
+/// the coordinator's decision log *before* publishing it, then every
+/// participant applies commit (undo release + commit hooks + kCommitMark)
+/// or abort (rollback + kAbortMark). A crash leaves either no decision
+/// (every prepared fragment aborts on recovery — presumed abort) or a
+/// durable commit decision (every in-doubt fragment re-executes), never a
+/// partial commit.
+///
+/// When no partition worker is running, transactions execute inline on the
+/// calling thread (sequential prepare/decide/apply) — the same rule as
+/// Partition::RunInline, used by tests and recovery replay.
+class TxnCoordinator {
+ public:
+  struct Options {
+    CoordinationMode mode = CoordinationMode::kTwoPhase;
+    /// When non-empty, commit decisions are force-flushed here before any
+    /// participant applies them; recovery reads this to resolve in-doubt
+    /// transactions. Empty = decisions are not durable (non-logged cluster).
+    std::string decision_log_path;
+    bool log_sync = true;
+  };
+
+  TxnCoordinator(std::vector<Partition*> partitions, Options options);
+  ~TxnCoordinator();
+
+  TxnCoordinator(const TxnCoordinator&) = delete;
+  TxnCoordinator& operator=(const TxnCoordinator&) = delete;
+
+  CoordinationMode mode() const { return options_.mode; }
+  /// Valid only while no multi-partition transaction is in flight.
+  void set_mode(CoordinationMode mode) { options_.mode = mode; }
+
+  /// Submits one atomic multi-partition transaction. Returns immediately in
+  /// kGlobalOrder mode; in kTwoPhase mode returns once the decision is made
+  /// (participants may still be applying — Wait() on the ticket for full
+  /// completion). Ops may target any subset of partitions, repeats allowed.
+  MultiKeyTicketPtr SubmitMulti(std::vector<MultiOp> ops);
+
+  /// Submit + Wait: outcomes indexed by op submission order.
+  std::vector<TxnOutcome> ExecuteMulti(std::vector<MultiOp> ops);
+
+  // ---- Checkpoint support ----
+
+  /// Blocks new multi-partition submissions and waits until none are in
+  /// flight; afterwards no queue holds a participant fragment, so a
+  /// partition-by-partition barrier cuts between — never inside — multi-
+  /// partition transactions. Pair with QuiesceEnd().
+  void QuiesceBegin();
+  void QuiesceEnd();
+  void NoteCheckpoint() { checkpoints_.fetch_add(1); }
+
+  // ---- Recovery support ----
+
+  /// Reads a decision log and returns the set of committed global txn ids.
+  /// A missing file is an empty set (no decisions were ever made durable).
+  static Result<std::vector<int64_t>> ReadCommittedGids(
+      const std::string& decision_log_path);
+
+  /// Restart the sequencer above every gid seen in recovered logs so new
+  /// transactions never collide with old decision records.
+  void SetNextGlobalTxnId(int64_t gid);
+  void NoteInDoubt(uint64_t committed, uint64_t aborted);
+
+  // ---- Stats ----
+
+  CoordStats stats() const;
+  void ResetStats();
+
+ private:
+  MultiKeyTicketPtr ErrorTicket(size_t num_ops, Status status);
+  /// Force-flushes a commit decision for `gid`; OK when decisions are not
+  /// durable. Any-thread safe (the last voter runs on a partition worker).
+  Status AppendCommitDecision(int64_t gid);
+  /// Ticket-completion callback: stats + in-flight bookkeeping.
+  void CompleteTxn(bool commit, int64_t start_us);
+  /// Sequential prepare/decide/apply on the calling thread (no workers).
+  void RunInlineMulti(const MultiKeyTicketPtr& ticket,
+                      std::vector<std::vector<Invocation>> frags_of,
+                      std::vector<std::vector<size_t>> ops_of,
+                      const std::vector<size_t>& parts, int64_t gid);
+
+  std::vector<Partition*> partitions_;
+  Options options_;
+
+  std::unique_ptr<CommandLog> decision_log_;
+  /// Non-OK when a configured decision log failed to open: commit decisions
+  /// then fail (aborting the transaction) instead of silently losing
+  /// durability.
+  Status decision_log_error_;
+  std::mutex decision_log_mu_;
+
+  /// Sequencer: gid assignment and fragment enqueue are atomic so every
+  /// partition sees multi-partition transactions in gid order (the
+  /// kGlobalOrder invariant; harmless in kTwoPhase).
+  std::mutex seq_mu_;
+  std::atomic<int64_t> next_gid_{1};
+  /// kTwoPhase round lock, held submission -> decision.
+  std::mutex round_mu_;
+
+  /// Admission gate for checkpoint quiescence.
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  bool quiescing_ = false;
+  size_t in_flight_ = 0;
+
+  WallClock clock_;
+
+  std::atomic<uint64_t> multi_txns_{0};
+  std::atomic<uint64_t> prepares_{0};
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> aborts_{0};
+  std::atomic<uint64_t> in_doubt_committed_{0};
+  std::atomic<uint64_t> in_doubt_aborted_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> rounds_{0};
+  std::atomic<uint64_t> round_latency_us_{0};
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_TXN_COORD_TXN_COORDINATOR_H_

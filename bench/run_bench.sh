@@ -19,15 +19,19 @@
 #   bench_multipart_txn:  BM_MultiPartitionTransfer completes in both modes
 #     (atomicity machinery on the hot path), and BM_GlobalOrderPipelined
 #     items_per_second exceeds the synchronous 2PC mode.
+#   bench_placed_workflow:  BM_PlacedPipeline completes with
+#     channel_deliveries == 2x items (both boundaries transported), and the
+#     replicated/placed LinearRoad pair quantifies the channel-hop cost.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH="${BENCH:-bench_ingest_hotpath}"
 BUILD_DIR="${BUILD_DIR:-build-bench}"
 case "$BENCH" in
-  bench_ingest_hotpath) DEFAULT_OUT=BENCH_pr2.json ;;
-  bench_multipart_txn)  DEFAULT_OUT=BENCH_pr3.json ;;
-  *)                    DEFAULT_OUT="BENCH_${BENCH}.json" ;;
+  bench_ingest_hotpath)   DEFAULT_OUT=BENCH_pr2.json ;;
+  bench_multipart_txn)    DEFAULT_OUT=BENCH_pr3.json ;;
+  bench_placed_workflow)  DEFAULT_OUT=BENCH_pr4.json ;;
+  *)                      DEFAULT_OUT="BENCH_${BENCH}.json" ;;
 esac
 OUT="${OUT:-$DEFAULT_OUT}"
 

@@ -5,6 +5,12 @@
 // routes each position report by its x-way column, so x-way w always lands
 // on partition w % N and per-x-way report order is preserved end to end.
 //
+// `--placed` switches to the placement-aware topology instead (the paper's
+// distributed direction): the ingest stage stays keyed by x-way on the
+// border partitions, the minute rollup is pinned to the last partition, and
+// minute-boundary batches cross partitions through a stream channel — the
+// demo then also reports the channel traffic.
+//
 // `--mp-ratio R` mixes multi-partition load in: roughly every 1/R simulated
 // seconds a network-wide congestion probe runs as one atomic transaction
 // across every partition through the TxnCoordinator (Cluster::ExecuteOnAll),
@@ -13,6 +19,7 @@
 // Run: ./build/examples/cluster_linear_road [xways] [partitions] [sim_seconds]
 //      ./build/examples/cluster_linear_road --xways 8 --partitions 4 \
 //          --seconds 130 --mp-ratio 0.1
+//      ./build/examples/cluster_linear_road --xways 8 --partitions 4 --placed
 
 #include <algorithm>
 #include <cstdio>
@@ -22,6 +29,8 @@
 
 #include "cluster/cluster.h"
 #include "cluster/cluster_injector.h"
+#include "cluster/stream_channel.h"
+#include "cluster/topology.h"
 #include "query/expr.h"
 #include "workloads/linear_road.h"
 
@@ -32,6 +41,7 @@ int main(int argc, char** argv) {
   int partitions = 4;
   int sim_seconds = 130;
   double mp_ratio = 0.0;
+  bool placed = false;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--xways") == 0 && i + 1 < argc) {
@@ -42,6 +52,8 @@ int main(int argc, char** argv) {
       sim_seconds = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--mp-ratio") == 0 && i + 1 < argc) {
       mp_ratio = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--placed") == 0) {
+      placed = true;
     } else if (argv[i][0] != '-') {
       // Back-compat positional form: [xways] [partitions] [sim_seconds].
       int v = std::atoi(argv[i]);
@@ -68,7 +80,16 @@ int main(int argc, char** argv) {
   config.duration_sec = sim_seconds;
   config.stop_probability = 0.002;
   config.seed = 42;
-  Status deployed = cluster.Deploy(BuildLinearRoadDeployment(config));
+  Status deployed;
+  if (placed) {
+    // Placement-aware topology: ingest keyed by x-way, rollup pinned to the
+    // last partition, s_minute crossing partitions as a stream channel.
+    Result<Topology> topo = BuildPlacedLinearRoadTopology(
+        config, static_cast<size_t>(partitions - 1));
+    deployed = topo.ok() ? cluster.Deploy(*topo) : topo.status();
+  } else {
+    deployed = cluster.Deploy(BuildLinearRoadDeployment(config));
+  }
   if (!deployed.ok()) {
     std::fprintf(stderr, "deployment failed: %s\n",
                  deployed.ToString().c_str());
@@ -148,8 +169,19 @@ int main(int argc, char** argv) {
   }
   cluster.Stop();
 
-  std::printf("x-ways: %d across %zu partition(s), %d simulated seconds\n",
-              xways, cluster.num_partitions(), sim_seconds);
+  std::printf("x-ways: %d across %zu partition(s), %d simulated seconds%s\n",
+              xways, cluster.num_partitions(), sim_seconds,
+              placed ? " (placed topology)" : "");
+  if (placed) {
+    for (const auto& channel : cluster.channels()) {
+      StreamChannel::Stats cs = channel->stats();
+      std::printf(
+          "channel %s -> %s: %llu deliveries, %llu rows forwarded\n",
+          channel->spec().stream.c_str(), channel->spec().consumer.c_str(),
+          static_cast<unsigned long long>(cs.deliveries),
+          static_cast<unsigned long long>(cs.rows_forwarded));
+    }
+  }
   std::printf("position reports processed: %lld\n",
               static_cast<long long>(total_reports));
   std::printf("committed transactions (cluster total): %llu\n",

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <memory>
 
+#include "cluster/deployment.h"
 #include "query/expr.h"
 #include "streaming/injector.h"
 #include "streaming/sstore.h"
@@ -19,39 +20,42 @@ using namespace sstore;  // NOLINT: example brevity
 namespace {
 
 // A tiny bank-deposit pipeline: deposits stream in; the interior SP applies
-// them to an accounts table.
-Status SetupApp(SStore& store) {
+// them to an accounts table. One plan describes the app; recovery re-applies
+// it to a blank store before replay — exactly why the builder records steps
+// instead of executing them ad hoc.
+DeploymentPlan BuildBankPlan() {
   Schema deposit({{"account", ValueType::kBigInt}, {"amount", ValueType::kBigInt}});
-  SSTORE_RETURN_NOT_OK(store.streams().DefineStream("deposits", deposit));
-  SSTORE_ASSIGN_OR_RETURN(Table * accounts,
-                          store.catalog().CreateTable("accounts", deposit));
-  SSTORE_RETURN_NOT_OK(accounts->CreateIndex("pk", {"account"}, true));
+  DeploymentPlan plan;
+  plan.DefineStream("deposits", deposit)
+      .CreateTable("accounts", deposit)
+      .CreateIndex("accounts", "pk", {"account"}, /*unique=*/true);
   for (int64_t a = 0; a < 4; ++a) {
-    SSTORE_ASSIGN_OR_RETURN(RowId rid,
-                            accounts->Insert({Value::BigInt(a), Value::BigInt(0)}));
-    (void)rid;
+    plan.InsertRow("accounts", {Value::BigInt(a), Value::BigInt(0)});
   }
-  SSTORE_RETURN_NOT_OK(store.partition().RegisterProcedure(
-      "ingest", SpKind::kBorder,
-      std::make_shared<LambdaProcedure>([](ProcContext& ctx) {
-        return ctx.EmitToStream("deposits", {ctx.params()});
-      })));
-  SStore* s = &store;
-  SSTORE_RETURN_NOT_OK(store.partition().RegisterProcedure(
-      "apply", SpKind::kInterior,
-      std::make_shared<LambdaProcedure>([s](ProcContext& ctx) {
-        SSTORE_ASSIGN_OR_RETURN(
-            std::vector<Tuple> rows,
-            s->streams().BatchContents("deposits", ctx.batch_id()));
-        SSTORE_ASSIGN_OR_RETURN(Table * accounts, ctx.table("accounts"));
-        for (const Tuple& r : rows) {
-          SSTORE_ASSIGN_OR_RETURN(
-              size_t n, ctx.exec().Update(accounts, Eq(Col(0), Lit(r[0])),
-                                          {{1, Add(Col(1), Lit(r[1]))}}));
-          (void)n;
-        }
-        return Status::OK();
-      })));
+  plan.RegisterProcedure(
+          "ingest", SpKind::kBorder,
+          std::make_shared<LambdaProcedure>([](ProcContext& ctx) {
+            return ctx.EmitToStream("deposits", {ctx.params()});
+          }))
+      .RegisterProcedure(
+          "apply", SpKind::kInterior,
+          [](SStore& store) -> std::shared_ptr<StoredProcedure> {
+            SStore* s = &store;
+            return std::make_shared<LambdaProcedure>([s](ProcContext& ctx) {
+              SSTORE_ASSIGN_OR_RETURN(
+                  std::vector<Tuple> rows,
+                  s->streams().BatchContents("deposits", ctx.batch_id()));
+              SSTORE_ASSIGN_OR_RETURN(Table * accounts, ctx.table("accounts"));
+              for (const Tuple& r : rows) {
+                SSTORE_ASSIGN_OR_RETURN(
+                    size_t n,
+                    ctx.exec().Update(accounts, Eq(Col(0), Lit(r[0])),
+                                      {{1, Add(Col(1), Lit(r[1]))}}));
+                (void)n;
+              }
+              return Status::OK();
+            });
+          });
   Workflow wf("bank");
   WorkflowNode n1, n2;
   n1.proc = "ingest";
@@ -60,10 +64,13 @@ Status SetupApp(SStore& store) {
   n2.proc = "apply";
   n2.kind = SpKind::kInterior;
   n2.input_streams = {"deposits"};
-  SSTORE_RETURN_NOT_OK(wf.AddNode(n1));
-  SSTORE_RETURN_NOT_OK(wf.AddNode(n2));
-  return store.DeployWorkflow(wf);
+  (void)wf.AddNode(n1);
+  (void)wf.AddNode(n2);
+  plan.DeployWorkflow(std::move(wf));
+  return plan;
 }
+
+Status SetupApp(SStore& store) { return BuildBankPlan().ApplyTo(store); }
 
 int64_t TotalBalance(SStore& store) {
   Table* accounts = *store.catalog().GetTable("accounts");

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "cluster/deployment.h"
 #include "query/expr.h"
 #include "streaming/injector.h"
 #include "streaming/sstore.h"
@@ -20,60 +21,65 @@
 using namespace sstore;  // NOLINT: example brevity
 
 int main() {
-  SStore store;
-
-  // --- DDL: one public table, one stream. ---
+  // One DeploymentPlan describes the whole application — DDL, stored
+  // procedures, and workflow wiring. The same plan applies unchanged to a
+  // single store (here), to every partition of a Cluster, or — placed stage
+  // by stage — through cluster/topology.h.
   Schema reading({{"sensor", ValueType::kBigInt}, {"value", ValueType::kBigInt}});
   Schema totals({{"sensor", ValueType::kBigInt}, {"sum", ValueType::kBigInt}});
-  if (!store.streams().DefineStream("readings", reading).ok()) return 1;
-  Table* totals_table = *store.catalog().CreateTable("totals", totals);
-  (void)totals_table->CreateIndex("pk", {"sensor"}, /*unique=*/true);
 
-  // --- Border SP: ingest one reading per atomic batch. ---
-  (void)store.partition().RegisterProcedure(
-      "ingest", SpKind::kBorder,
-      std::make_shared<LambdaProcedure>([](ProcContext& ctx) {
-        return ctx.EmitToStream("readings", {ctx.params()});
-      }));
-
-  // --- Interior SP: fold the batch into per-sensor totals. ---
-  SStore* s = &store;
-  (void)store.partition().RegisterProcedure(
-      "rollup", SpKind::kInterior,
-      std::make_shared<LambdaProcedure>([s](ProcContext& ctx) {
-        SSTORE_ASSIGN_OR_RETURN(
-            std::vector<Tuple> rows,
-            s->streams().BatchContents("readings", ctx.batch_id()));
-        SSTORE_ASSIGN_OR_RETURN(Table * totals, ctx.table("totals"));
-        for (const Tuple& r : rows) {
-          SSTORE_ASSIGN_OR_RETURN(
-              std::vector<Tuple> existing,
-              ctx.exec().IndexScan(totals, "pk", {r[0]}));
-          if (existing.empty()) {
-            SSTORE_ASSIGN_OR_RETURN(RowId rid,
-                                    ctx.exec().Insert(totals, {r[0], r[1]}));
-            (void)rid;
-          } else {
-            SSTORE_ASSIGN_OR_RETURN(
-                size_t n, ctx.exec().Update(totals, Eq(Col(0), Lit(r[0])),
-                                            {{1, Add(Col(1), Lit(r[1]))}}));
-            (void)n;
-          }
-        }
-        return Status::OK();
-      }));
-
-  // --- OLTP SP: transactional point lookup against the shared table. ---
-  (void)store.partition().RegisterProcedure(
-      "lookup", SpKind::kOltp,
-      std::make_shared<LambdaProcedure>([](ProcContext& ctx) {
-        SSTORE_ASSIGN_OR_RETURN(Table * totals, ctx.table("totals"));
-        SSTORE_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
-                                ctx.exec().IndexScan(totals, "pk",
-                                                     {ctx.params()[0]}));
-        for (Tuple& r : rows) ctx.EmitOutput(std::move(r));
-        return Status::OK();
-      }));
+  DeploymentPlan plan;
+  // --- DDL: one public table, one stream. ---
+  plan.DefineStream("readings", reading)
+      .CreateTable("totals", totals)
+      .CreateIndex("totals", "pk", {"sensor"}, /*unique=*/true)
+      // --- Border SP: ingest one reading per atomic batch. ---
+      .RegisterProcedure(
+          "ingest", SpKind::kBorder,
+          std::make_shared<LambdaProcedure>([](ProcContext& ctx) {
+            return ctx.EmitToStream("readings", {ctx.params()});
+          }))
+      // --- Interior SP: fold the batch into per-sensor totals. The factory
+      // binds each instance to its own store's StreamManager. ---
+      .RegisterProcedure(
+          "rollup", SpKind::kInterior,
+          [](SStore& store) -> std::shared_ptr<StoredProcedure> {
+            SStore* s = &store;
+            return std::make_shared<LambdaProcedure>([s](ProcContext& ctx) {
+              SSTORE_ASSIGN_OR_RETURN(
+                  std::vector<Tuple> rows,
+                  s->streams().BatchContents("readings", ctx.batch_id()));
+              SSTORE_ASSIGN_OR_RETURN(Table * totals, ctx.table("totals"));
+              for (const Tuple& r : rows) {
+                SSTORE_ASSIGN_OR_RETURN(
+                    std::vector<Tuple> existing,
+                    ctx.exec().IndexScan(totals, "pk", {r[0]}));
+                if (existing.empty()) {
+                  SSTORE_ASSIGN_OR_RETURN(
+                      RowId rid, ctx.exec().Insert(totals, {r[0], r[1]}));
+                  (void)rid;
+                } else {
+                  SSTORE_ASSIGN_OR_RETURN(
+                      size_t n,
+                      ctx.exec().Update(totals, Eq(Col(0), Lit(r[0])),
+                                        {{1, Add(Col(1), Lit(r[1]))}}));
+                  (void)n;
+                }
+              }
+              return Status::OK();
+            });
+          })
+      // --- OLTP SP: transactional point lookup against the shared table. ---
+      .RegisterProcedure(
+          "lookup", SpKind::kOltp,
+          std::make_shared<LambdaProcedure>([](ProcContext& ctx) {
+            SSTORE_ASSIGN_OR_RETURN(Table * totals, ctx.table("totals"));
+            SSTORE_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
+                                    ctx.exec().IndexScan(totals, "pk",
+                                                         {ctx.params()[0]}));
+            for (Tuple& r : rows) ctx.EmitOutput(std::move(r));
+            return Status::OK();
+          }));
 
   // --- Wire the workflow: PE trigger readings -> rollup. ---
   Workflow wf("quickstart");
@@ -86,7 +92,10 @@ int main() {
   n2.input_streams = {"readings"};
   (void)wf.AddNode(n1);
   (void)wf.AddNode(n2);
-  if (!store.DeployWorkflow(wf).ok()) return 1;
+  plan.DeployWorkflow(std::move(wf));
+
+  SStore store;
+  if (!plan.ApplyTo(store).ok()) return 1;
 
   // --- Run: push readings, interleave OLTP lookups. ---
   store.Start();

@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "cluster/stream_channel.h"
 #include "log/snapshot.h"
 
 namespace sstore {
@@ -33,7 +34,7 @@ bool FileExists(const std::string& path) {
 /// mid-checkpoint leaves the previous manifest — and the previous consistent
 /// cut — intact.
 Status WriteManifest(const std::string& dir, uint64_t checkpoint_id,
-                     size_t partitions) {
+                     size_t partitions, uint64_t log_epoch) {
   std::string tmp = dir + "/" + kManifestName + ".tmp";
   std::string final_path = dir + "/" + kManifestName;
   std::FILE* f = std::fopen(tmp.c_str(), "w");
@@ -44,9 +45,11 @@ Status WriteManifest(const std::string& dir, uint64_t checkpoint_id,
   // rename must never publish a short or non-durable file over the last
   // good manifest.
   int written = std::fprintf(f, "sstore-cluster-checkpoint 1\n"
-                             "checkpoint_id %llu\npartitions %zu\n",
+                             "checkpoint_id %llu\npartitions %zu\n"
+                             "log_epoch %llu\n",
                              static_cast<unsigned long long>(checkpoint_id),
-                             partitions);
+                             partitions,
+                             static_cast<unsigned long long>(log_epoch));
   bool ok = written > 0 && std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
   ok = (std::fclose(f) == 0) && ok;
   if (!ok) {
@@ -61,7 +64,7 @@ Status WriteManifest(const std::string& dir, uint64_t checkpoint_id,
 }
 
 Status ReadManifest(const std::string& dir, uint64_t* checkpoint_id,
-                    size_t* partitions) {
+                    size_t* partitions, uint64_t* log_epoch) {
   std::string path = dir + "/" + kManifestName;
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) {
@@ -74,12 +77,19 @@ Status ReadManifest(const std::string& dir, uint64_t* checkpoint_id,
                             "sstore-cluster-checkpoint %d\ncheckpoint_id %llu\n"
                             "partitions %zu\n",
                             &version, &id, &n);
+  // Optional (absent in pre-rotation manifests): which log rotation epoch
+  // pairs with this checkpoint.
+  unsigned long long epoch = 0;
+  if (matched == 3 && std::fscanf(f, "log_epoch %llu\n", &epoch) != 1) {
+    epoch = 0;
+  }
   std::fclose(f);
   if (matched != 3 || version != 1) {
     return Status::Corruption("malformed checkpoint manifest at " + path);
   }
   *checkpoint_id = id;
   *partitions = n;
+  *log_epoch = epoch;
   return Status::OK();
 }
 
@@ -131,6 +141,31 @@ Status Cluster::Deploy(const DeploymentPlan& plan) {
       return Status(s.code(),
                     "partition " + std::to_string(p) + ": " + s.message());
     }
+  }
+  return Status::OK();
+}
+
+Status Cluster::Deploy(const Topology& topology) {
+  for (const WorkflowNode& node : topology.workflow().nodes()) {
+    Result<Placement> placement = topology.placement_of(node.proc);
+    if (placement.ok() && placement->kind == Placement::Kind::kPinned &&
+        placement->partition >= stores_.size()) {
+      return Status::InvalidArgument(
+          "stage '" + node.proc + "' pinned to partition " +
+          std::to_string(placement->partition) + " of a " +
+          std::to_string(stores_.size()) + "-partition cluster");
+    }
+  }
+  for (size_t p = 0; p < stores_.size(); ++p) {
+    Status s = topology.ApplyTo(*stores_[p], p, stores_.size());
+    if (!s.ok()) {
+      return Status(s.code(),
+                    "partition " + std::to_string(p) + ": " + s.message());
+    }
+  }
+  for (const ChannelSpec& spec : topology.channels()) {
+    channels_.push_back(std::make_unique<StreamChannel>(this, spec));
+    channels_.back()->InstallHooks();
   }
   return Status::OK();
 }
@@ -218,6 +253,15 @@ std::string Cluster::SnapshotPath(const std::string& dir,
          std::to_string(p) + ".snap";
 }
 
+std::string Cluster::LogPath(const std::string& log_dir, uint64_t epoch,
+                             size_t p) const {
+  if (epoch == 0) {
+    return log_dir + "/partition-" + std::to_string(p) + ".log";
+  }
+  return log_dir + "/partition-" + std::to_string(p) + ".e" +
+         std::to_string(epoch) + ".log";
+}
+
 Status Cluster::Checkpoint(const std::string& dir) {
   size_t running_count = 0;
   for (auto& store : stores_) {
@@ -261,7 +305,48 @@ Status Cluster::Checkpoint(const std::string& dir) {
           SnapshotPath(dir, checkpoint_id, p), stores_[p]->catalog());
     }
   }
-  if (st.ok()) st = WriteManifest(dir, checkpoint_id, stores_.size());
+
+  // Log truncation: with every worker still parked, rotate each partition's
+  // log to a fresh epoch file whose first record is this checkpoint's mark,
+  // so the replayable suffix restarts at the cut instead of accumulating
+  // forever. The manifest naming the new epoch is made durable *first*:
+  // a crash (or error) before/during rotation then leaves the manifest
+  // pointing at epoch files that are absent or end at the mark — both
+  // replay as an empty suffix, which is exactly right because no
+  // transaction can commit until the barrier releases. The reverse order
+  // would let workers keep committing into files no durable manifest
+  // references. Old-epoch files are deleted only after everything above
+  // stuck.
+  uint64_t prev_epoch = log_epoch_;
+  bool will_rotate = false;
+  if (st.ok() && !options_.log_dir.empty()) {
+    for (auto& store : stores_) {
+      will_rotate =
+          will_rotate || store->partition().command_log() != nullptr;
+    }
+  }
+  if (st.ok()) {
+    st = WriteManifest(dir, checkpoint_id, stores_.size(),
+                       will_rotate ? checkpoint_id : log_epoch_);
+  }
+  if (st.ok() && will_rotate) {
+    for (size_t p = 0; p < stores_.size() && st.ok(); ++p) {
+      Partition& partition = stores_[p]->partition();
+      if (partition.command_log() == nullptr) continue;
+      st = partition.RotateCommandLog(
+          LogPath(options_.log_dir, checkpoint_id, p));
+      if (st.ok()) st = partition.AppendCheckpointMark(checkpoint_id);
+    }
+    if (st.ok()) {
+      log_epoch_ = checkpoint_id;
+      for (size_t p = 0; p < stores_.size(); ++p) {
+        std::remove(LogPath(options_.log_dir, prev_epoch, p).c_str());
+      }
+    }
+    // A rotation failure leaves this partition unable to log (its old file
+    // must not be truncated by reopening); the error is returned and the
+    // cluster should be treated as needing recovery.
+  }
 
   if (barrier != nullptr) barrier->Release();
   coordinator_->QuiesceEnd();
@@ -277,13 +362,20 @@ Status Cluster::Recover(const std::string& dir, const std::string& log_dir) {
   }
   uint64_t checkpoint_id = 0;
   size_t manifest_partitions = 0;
+  uint64_t manifest_epoch = 0;
   SSTORE_RETURN_NOT_OK(
-      ReadManifest(dir, &checkpoint_id, &manifest_partitions));
+      ReadManifest(dir, &checkpoint_id, &manifest_partitions,
+                   &manifest_epoch));
   if (manifest_partitions != stores_.size()) {
     return Status::Corruption(
         "checkpoint has " + std::to_string(manifest_partitions) +
         " partitions, cluster has " + std::to_string(stores_.size()));
   }
+
+  // Replaying a producer's log re-fires its commit hooks; the emissions it
+  // re-creates were already transported pre-crash (or will be reconciled
+  // below), so the channels must not forward during replay.
+  for (auto& channel : channels_) channel->SetEnabled(false);
 
   std::set<int64_t> committed_gids;
   int64_t max_gid = 0;
@@ -302,8 +394,7 @@ Status Cluster::Recover(const std::string& dir, const std::string& log_dir) {
   for (size_t p = 0; p < stores_.size(); ++p) {
     std::string log_path;
     if (!log_dir.empty()) {
-      std::string candidate =
-          log_dir + "/partition-" + std::to_string(p) + ".log";
+      std::string candidate = LogPath(log_dir, manifest_epoch, p);
       if (FileExists(candidate)) log_path = candidate;
     }
     RecoveryManager::ReplayOptions replay;
@@ -323,6 +414,16 @@ Status Cluster::Recover(const std::string& dir, const std::string& log_dir) {
   // snapshot files the manifest still points at.
   coordinator_->SetNextGlobalTxnId(max_gid + 1);
   next_checkpoint_id_ = checkpoint_id + 1;
+  log_epoch_ = manifest_epoch;
+
+  // Channel reconciliation: any raw boundary-stream batch the replay left
+  // pending is re-routed; sub-deliveries the consumer's durable cursor
+  // already covers are released, the rest are queued for delivery at
+  // Start(). Exactly-once across the crash.
+  for (auto& channel : channels_) {
+    SSTORE_RETURN_NOT_OK(channel->ReconcileAfterRecovery());
+  }
+  for (auto& channel : channels_) channel->SetEnabled(true);
   return Status::OK();
 }
 
@@ -348,9 +449,23 @@ size_t Cluster::TotalQueueDepth() {
 }
 
 void Cluster::WaitIdle() {
-  // One pass suffices: a PE trigger on partition p only ever re-enqueues on
-  // p (shared-nothing), so once each partition has been seen idle the
-  // cluster is quiescent. Each wait sleeps on that partition's idle cv.
+  // One pass suffices without channels: a PE trigger on partition p only
+  // ever re-enqueues on p (shared-nothing), so once each partition has been
+  // seen idle the cluster is quiescent. Each wait sleeps on that
+  // partition's idle cv.
+  for (auto& store : stores_) store->partition().WaitIdle();
+  if (channels_.empty()) return;
+  // Channel deliveries hop partitions: a producer past its idle check may
+  // have enqueued onto a consumer already checked. Repeat until a full pass
+  // sees no residual work (delivery chains follow the finite DAG, so this
+  // terminates). Guarded on running(): a stopped or not-yet-started
+  // partition holds its queue (Partition::WaitIdle returns immediately for
+  // it), and spinning on depth would never end — e.g. deliveries queued by
+  // recovery reconciliation before Start().
+  while (running() && TotalQueueDepth() != 0) {
+    for (auto& store : stores_) store->partition().WaitIdle();
+  }
+  for (auto& channel : channels_) channel->ScheduleAckDrains();
   for (auto& store : stores_) store->partition().WaitIdle();
 }
 

@@ -8,12 +8,15 @@
 
 #include "cluster/deployment.h"
 #include "cluster/partition_map.h"
+#include "cluster/topology.h"
 #include "common/status.h"
 #include "engine/partition.h"
 #include "streaming/sstore.h"
 #include "txn_coord/txn_coordinator.h"
 
 namespace sstore {
+
+class StreamChannel;
 
 /// Aggregate statistics snapshot over every partition of a Cluster: the
 /// partition-engine counters (Partition::Stats) and the execution-engine
@@ -96,8 +99,24 @@ class Cluster {
   /// Applies one deployment plan to every partition, in partition order.
   /// Fails fast on the first partition that rejects a step; partitions are
   /// either all deployed or the cluster should be discarded (deployment is
-  /// not transactional across partitions).
+  /// not transactional across partitions). This is the kEverywhere special
+  /// case of the topology deploy below: every partition runs the whole
+  /// application.
   Status Deploy(const DeploymentPlan& plan);
+
+  /// Applies a *placed* topology: each partition receives its slice (shared
+  /// DDL, the stage procedures and PE triggers whose placement runs there,
+  /// channel plumbing where a boundary touches it), and one StreamChannel
+  /// per placement-boundary stream is installed to transport batches from
+  /// producer partitions to the consumer stage's partition. Same
+  /// fail-fast/discard semantics as the plan overload.
+  Status Deploy(const Topology& topology);
+
+  /// The live cross-partition stream transports of the deployed topology
+  /// (empty for plan deploys and channel-free topologies).
+  const std::vector<std::unique_ptr<StreamChannel>>& channels() const {
+    return channels_;
+  }
 
   // ---- Keyed routing (any thread) ----
 
@@ -165,15 +184,28 @@ class Cluster {
   /// transaction. Callable while the cluster is running (concurrent
   /// single-partition submissions keep queueing behind the barrier) or
   /// stopped; not concurrently with Stop().
+  ///
+  /// When logging is attached, each partition's command log is also
+  /// *rotated* inside the barrier: a fresh epoch log (named
+  /// `partition-<p>.e<checkpoint_id>.log`) starts with the checkpoint mark,
+  /// the manifest records the epoch, and the previous epoch's files are
+  /// deleted once the manifest is durable — so logs no longer grow without
+  /// bound across checkpoints.
   Status Checkpoint(const std::string& dir);
 
   /// Restores every partition to the consistent cut of the last checkpoint
   /// in `dir`, then replays each partition's post-checkpoint log suffix
   /// from `log_dir`, resolving in-doubt multi-partition transactions
   /// against the coordinator's decision log. Call on a freshly constructed
-  /// cluster (same partition count, same Deploy()ed plan, *no* log_dir in
-  /// its Options — attaching logs would truncate the files being replayed)
-  /// before Start(). An empty `log_dir` restores the snapshots only.
+  /// cluster (same partition count, same Deploy()ed plan or topology, *no*
+  /// log_dir in its Options — attaching logs would truncate the files being
+  /// replayed) before Start(). An empty `log_dir` restores the snapshots
+  /// only. The manifest's log epoch selects which rotation's files are
+  /// replayed. For placed topologies, channels are disabled during replay
+  /// and then reconciled: raw boundary-stream batches the consumer's
+  /// durable cursor does not cover are re-forwarded (queued until Start()),
+  /// covered ones are released — the placed workflow replays to the same
+  /// consistent cut as a replicated one.
   Status Recover(const std::string& dir, const std::string& log_dir);
 
   // ---- Lifecycle ----
@@ -187,7 +219,10 @@ class Cluster {
 
   /// Blocks until every partition's queue is empty (all submitted work and
   /// the PE-triggered interiors it cascaded into have drained). Sleeps on
-  /// each partition's idle condition variable — no spinning.
+  /// each partition's idle condition variable — no spinning. With channels
+  /// deployed, repeats until a full pass observes no cross-partition
+  /// deliveries in flight, then lets each channel GC acknowledged
+  /// deliveries on the owning workers.
   void WaitIdle();
 
   // ---- Stats ----
@@ -203,6 +238,10 @@ class Cluster {
  private:
   std::string SnapshotPath(const std::string& dir, uint64_t checkpoint_id,
                            size_t p) const;
+  /// Partition p's command-log path for one rotation epoch (epoch 0 is the
+  /// pre-rotation name `partition-<p>.log`).
+  std::string LogPath(const std::string& log_dir, uint64_t epoch,
+                      size_t p) const;
 
   Options options_;
   PartitionMap map_;
@@ -210,7 +249,16 @@ class Cluster {
   /// Declared after stores_ so participant closures (which reference the
   /// coordinator) are drained by Stop() while it is still alive.
   std::unique_ptr<TxnCoordinator> coordinator_;
+  /// Cross-partition stream transports of a deployed topology. Their commit
+  /// hooks reference partitions in stores_, so they are destroyed first
+  /// (declared after) while the hooks can no longer fire (Stop() in ~Cluster
+  /// precedes member destruction).
+  std::vector<std::unique_ptr<StreamChannel>> channels_;
   uint64_t next_checkpoint_id_ = 1;
+  /// Epoch of the currently attached command logs (advanced by Checkpoint's
+  /// rotation; the previous epoch's files are deleted once the manifest
+  /// naming the new epoch is durable).
+  uint64_t log_epoch_ = 0;
 };
 
 }  // namespace sstore

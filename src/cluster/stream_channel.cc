@@ -1,0 +1,320 @@
+#include "cluster/stream_channel.h"
+
+#include <utility>
+
+#include "cluster/cluster.h"
+#include "query/expr.h"
+
+namespace sstore {
+
+std::string ChannelIngestProcName(const std::string& stream) {
+  return "__chan_ingest_" + stream;
+}
+
+std::string ChannelCursorTableName(const std::string& stream) {
+  return "__chan_pos_" + stream;
+}
+
+Status InstallChannelConsumerSupport(SStore& store, const ChannelSpec& spec,
+                                     size_t num_partitions) {
+  // Cursor table: one row per producer lane, advanced inside each delivery
+  // transaction — the snapshot + log replay restore exactly how far every
+  // lane got, which is what ReconcileAfterRecovery keys exactly-once on.
+  std::string cursor = ChannelCursorTableName(spec.stream);
+  if (!store.catalog().HasTable(cursor)) {
+    SSTORE_ASSIGN_OR_RETURN(
+        Table * table,
+        store.catalog().CreateTable(cursor,
+                                    Schema({{"producer", ValueType::kBigInt},
+                                            {"last_id", ValueType::kBigInt}})));
+    SSTORE_RETURN_NOT_OK(table->CreateIndex("pk", {"producer"}, /*unique=*/true));
+  }
+
+  std::string proc_name = ChannelIngestProcName(spec.stream);
+  if (store.partition().HasProcedure(proc_name)) return Status::OK();
+  std::string stream = spec.stream;
+  int64_t n = static_cast<int64_t>(num_partitions);
+  auto proc = std::make_shared<LambdaProcedure>(
+      [stream, cursor, n](ProcContext& ctx) -> Status {
+        SSTORE_ASSIGN_OR_RETURN(Table * stream_table, ctx.table(stream));
+        size_t width = stream_table->schema().num_columns();
+        int64_t id = ctx.batch_id();
+        int64_t lane = (id - kChannelBatchIdBase) % n;
+
+        SSTORE_ASSIGN_OR_RETURN(Table * cursor_table, ctx.table(cursor));
+        SSTORE_ASSIGN_OR_RETURN(
+            std::vector<Tuple> existing,
+            ctx.exec().IndexScan(cursor_table, "pk", {Value::BigInt(lane)}));
+        if (!existing.empty() && existing[0][1].as_int64() >= id) {
+          // The lane's cursor is already past this id: a replayed delivery
+          // the snapshot had absorbed. Committing without effects keeps the
+          // transport exactly-once.
+          return Status::OK();
+        }
+
+        const Tuple& params = ctx.params();
+        if (width == 0 || params.size() % width != 0) {
+          return Status::InvalidArgument(
+              "channel delivery for '" + stream +
+              "' does not flatten into rows of width " +
+              std::to_string(width));
+        }
+        std::vector<Tuple> rows;
+        rows.reserve(params.size() / width);
+        for (size_t i = 0; i < params.size(); i += width) {
+          rows.emplace_back(params.begin() + static_cast<long>(i),
+                            params.begin() + static_cast<long>(i + width));
+        }
+        SSTORE_RETURN_NOT_OK(ctx.EmitToStream(stream, std::move(rows)));
+
+        if (existing.empty()) {
+          SSTORE_ASSIGN_OR_RETURN(
+              RowId rid, ctx.exec().Insert(cursor_table, {Value::BigInt(lane),
+                                                          Value::BigInt(id)}));
+          (void)rid;
+        } else {
+          SSTORE_ASSIGN_OR_RETURN(
+              size_t updated,
+              ctx.exec().Update(cursor_table, Eq(Col(0), LitInt(lane)),
+                                {{1, LitInt(id)}}));
+          (void)updated;
+        }
+        return Status::OK();
+      });
+  return store.partition().RegisterProcedure(proc_name, SpKind::kBorder,
+                                             std::move(proc));
+}
+
+StreamChannel::StreamChannel(Cluster* cluster, ChannelSpec spec)
+    : cluster_(cluster),
+      spec_(std::move(spec)),
+      ingest_proc_(ChannelIngestProcName(spec_.stream)),
+      lanes_(cluster->num_partitions()) {
+  for (auto& lane : lanes_) lane = std::make_unique<Lane>();
+}
+
+int64_t StreamChannel::EncodeBatchId(int64_t producer_batch,
+                                     size_t lane) const {
+  return kChannelBatchIdBase +
+         producer_batch * static_cast<int64_t>(cluster_->num_partitions()) +
+         static_cast<int64_t>(lane);
+}
+
+void StreamChannel::InstallHooks() {
+  for (size_t p = 0; p < cluster_->num_partitions(); ++p) {
+    if (!spec_.ProducerRunsOn(p)) continue;
+    cluster_->partition(p).AddCommitHook(
+        [this, p](Partition&, const TransactionExecution& te) {
+          OnProducerCommit(p, te);
+        });
+  }
+}
+
+void StreamChannel::OnProducerCommit(size_t lane,
+                                     const TransactionExecution& te) {
+  if (!enabled_.load(std::memory_order_acquire)) return;
+  // We are on this partition's worker — the only thread allowed to mutate
+  // its stream tables — so piggyback the GC of acknowledged deliveries.
+  DrainLane(lane);
+  // Our own deliveries re-emit into the stream; everything else — including
+  // stages that inherited a channel-range batch id from a (single-lane,
+  // enforced at Build) upstream channel — is raw production to forward.
+  if (te.proc_name() == ingest_proc_) return;
+  for (const auto& [stream, batch] : te.emitted()) {
+    if (stream != spec_.stream) continue;
+    StreamManager& streams = cluster_->store(lane).streams();
+    Result<std::vector<Tuple>> rows = streams.BatchContents(stream, batch);
+    if (!rows.ok()) continue;
+    if (rows->empty()) {
+      streams.OnBatchConsumed(stream, batch).ok();
+      continue;
+    }
+    ForwardBatch(lane, batch, std::move(rows).value(), nullptr);
+  }
+}
+
+std::map<size_t, std::vector<Tuple>> StreamChannel::RouteRows(
+    std::vector<Tuple> rows) const {
+  std::map<size_t, std::vector<Tuple>> routed;
+  if (spec_.consumer_placement.kind == Placement::Kind::kPinned) {
+    routed[spec_.consumer_placement.partition] = std::move(rows);
+    return routed;
+  }
+  // kKeyed: split by the owning partition of the key column, the same rule
+  // (and the same missing-column fallback) as ClusterInjector.
+  size_t column = static_cast<size_t>(spec_.consumer_placement.key_column);
+  for (Tuple& row : rows) {
+    size_t target =
+        column < row.size() ? cluster_->PartitionOf(row[column]) : 0;
+    routed[target].push_back(std::move(row));
+  }
+  return routed;
+}
+
+void StreamChannel::ForwardBatch(size_t lane, int64_t producer_batch,
+                                 std::vector<Tuple> rows,
+                                 const std::map<size_t, int64_t>* cursors) {
+  int64_t encoded = EncodeBatchId(producer_batch, lane);
+  std::map<size_t, std::vector<Tuple>> routed = RouteRows(std::move(rows));
+  Delivery delivery;
+  delivery.producer_batch = producer_batch;
+  for (auto& [target, target_rows] : routed) {
+    if (cursors != nullptr) {
+      auto it = cursors->find(target);
+      if (it != cursors->end() && it->second >= encoded) {
+        redeliveries_suppressed_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    Tuple params;
+    params.reserve(target_rows.size() *
+                   (target_rows.empty() ? 0 : target_rows[0].size()));
+    for (Tuple& row : target_rows) {
+      for (Value& v : row) params.push_back(std::move(v));
+    }
+    rows_forwarded_.fetch_add(target_rows.size(), std::memory_order_relaxed);
+    deliveries_.fetch_add(1, std::memory_order_relaxed);
+    // kSpillWhenFull: a full consumer ring must not block this producer's
+    // worker (or, on a self-delivery, deadlock it against itself).
+    delivery.tickets.push_back(cluster_->partition(target).SubmitAsync(
+        Invocation{ingest_proc_, std::move(params), encoded},
+        EnqueuePolicy::kSpillWhenFull));
+  }
+  StreamManager& streams = cluster_->store(lane).streams();
+  if (delivery.tickets.empty()) {
+    // Every target already covered (reconciliation): release the claim now.
+    streams.OnBatchConsumed(spec_.stream, producer_batch).ok();
+    return;
+  }
+  std::lock_guard<std::mutex> hold(lanes_[lane]->mu);
+  lanes_[lane]->inflight.push_back(std::move(delivery));
+  lanes_[lane]->inflight_count.store(lanes_[lane]->inflight.size(),
+                                     std::memory_order_release);
+}
+
+void StreamChannel::DrainLane(size_t lane) {
+  if (lanes_[lane]->inflight_count.load(std::memory_order_acquire) == 0) {
+    return;
+  }
+  std::vector<int64_t> consumed;
+  {
+    std::lock_guard<std::mutex> hold(lanes_[lane]->mu);
+    std::deque<Delivery>& inflight = lanes_[lane]->inflight;
+    while (!inflight.empty()) {
+      Delivery& front = inflight.front();
+      bool all_done = true;
+      bool all_committed = true;
+      for (TicketPtr& ticket : front.tickets) {
+        TxnOutcome out;
+        if (!ticket->TryGet(&out)) {
+          all_done = false;
+          break;
+        }
+        all_committed = all_committed && out.committed();
+      }
+      // FIFO only: an unacked front delivery blocks later ones so the raw
+      // batches GC in stream order.
+      if (!all_done) break;
+      if (all_committed) {
+        consumed.push_back(front.producer_batch);
+      } else {
+        // The delivery transaction aborted (log failure on the consumer).
+        // Keep the raw batch pending — recovery can still re-forward it.
+        delivery_failures_.fetch_add(1, std::memory_order_relaxed);
+      }
+      inflight.pop_front();
+    }
+    lanes_[lane]->inflight_count.store(inflight.size(),
+                                       std::memory_order_release);
+  }
+  StreamManager& streams = cluster_->store(lane).streams();
+  for (int64_t batch : consumed) {
+    streams.OnBatchConsumed(spec_.stream, batch).ok();
+  }
+}
+
+void StreamChannel::ScheduleAckDrains() {
+  for (size_t p = 0; p < cluster_->num_partitions(); ++p) {
+    if (!spec_.ProducerRunsOn(p)) continue;
+    Partition& partition = cluster_->partition(p);
+    if (partition.running()) {
+      partition.SubmitClosure([this, p](Partition&) { DrainLane(p); });
+    } else {
+      DrainLane(p);
+    }
+  }
+}
+
+Result<int64_t> StreamChannel::ReadCursor(size_t consumer_partition,
+                                          size_t lane) const {
+  SStore& store = cluster_->store(consumer_partition);
+  Result<Table*> table =
+      store.catalog().GetTable(ChannelCursorTableName(spec_.stream));
+  if (!table.ok()) return int64_t{0};
+  Executor exec;
+  SSTORE_ASSIGN_OR_RETURN(
+      std::vector<Tuple> rows,
+      exec.IndexScan(*table, "pk",
+                     {Value::BigInt(static_cast<int64_t>(lane))}));
+  return rows.empty() ? int64_t{0} : rows[0][1].as_int64();
+}
+
+Status StreamChannel::ReconcileAfterRecovery() {
+  size_t n = cluster_->num_partitions();
+  // Pre-read every consumer lane cursor: delivered ids per lane only grow,
+  // and pending raw batches are visited in ascending order.
+  for (size_t p = 0; p < n; ++p) {
+    if (!spec_.ProducerRunsOn(p)) continue;
+    StreamManager& streams = cluster_->store(p).streams();
+    if (!streams.HasStream(spec_.stream)) continue;
+    std::map<size_t, int64_t> cursors;
+    for (size_t q = 0; q < n; ++q) {
+      if (!spec_.consumer_placement.RunsOn(q)) continue;
+      SSTORE_ASSIGN_OR_RETURN(int64_t cursor, ReadCursor(q, p));
+      cursors[q] = cursor;
+    }
+    // On a partition that also runs the consumer, pending batches are a mix
+    // of raw production and batches *delivered here* (awaiting the local
+    // consumer — residual triggers fire those). A delivered batch is one
+    // this partition's own cursor has recorded for its decoded lane; a raw
+    // batch never touches the local cursor, even when it inherited a
+    // channel-range id from an upstream boundary.
+    bool consumer_here = spec_.consumer_placement.RunsOn(p);
+    std::map<size_t, int64_t> local_cursor;
+    if (consumer_here) {
+      for (size_t lane = 0; lane < n; ++lane) {
+        SSTORE_ASSIGN_OR_RETURN(int64_t cursor, ReadCursor(p, lane));
+        local_cursor[lane] = cursor;
+      }
+    }
+    SSTORE_ASSIGN_OR_RETURN(std::vector<int64_t> pending,
+                            streams.PendingBatches(spec_.stream));
+    for (int64_t batch : pending) {
+      if (consumer_here && batch >= kChannelBatchIdBase) {
+        size_t lane = static_cast<size_t>(
+            (batch - kChannelBatchIdBase) % static_cast<int64_t>(n));
+        if (batch <= local_cursor[lane]) continue;  // delivered, not ours
+      }
+      SSTORE_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
+                              streams.BatchContents(spec_.stream, batch));
+      if (rows.empty()) {
+        streams.OnBatchConsumed(spec_.stream, batch).ok();
+        continue;
+      }
+      ForwardBatch(p, batch, std::move(rows), &cursors);
+    }
+  }
+  return Status::OK();
+}
+
+StreamChannel::Stats StreamChannel::stats() const {
+  Stats out;
+  out.deliveries = deliveries_.load(std::memory_order_relaxed);
+  out.rows_forwarded = rows_forwarded_.load(std::memory_order_relaxed);
+  out.redeliveries_suppressed =
+      redeliveries_suppressed_.load(std::memory_order_relaxed);
+  out.delivery_failures = delivery_failures_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace sstore

@@ -1,0 +1,348 @@
+#include "cluster/topology.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "cluster/stream_channel.h"
+#include "streaming/trigger.h"
+
+namespace sstore {
+
+std::string Placement::Describe() const {
+  switch (kind) {
+    case Kind::kEverywhere:
+      return "everywhere";
+    case Kind::kPinned:
+      return "pinned(" + std::to_string(partition) + ")";
+    case Kind::kKeyed:
+      return "keyed(col " + std::to_string(key_column) + ")";
+  }
+  return "unknown";
+}
+
+bool ChannelSpec::ProducerRunsOn(size_t p) const {
+  for (const Placement& placement : producer_placements) {
+    if (placement.RunsOn(p)) return true;
+  }
+  return false;
+}
+
+Result<Placement> Topology::placement_of(const std::string& proc) const {
+  auto it = placements_.find(proc);
+  if (it == placements_.end()) {
+    return Status::NotFound("topology has no stage '" + proc + "'");
+  }
+  return it->second;
+}
+
+Status Topology::ApplyTo(SStore& store, size_t p,
+                         size_t num_partitions) const {
+  // Shared slice: DDL, seed rows, streams, windows, fragments are identical
+  // on every partition (recovery re-creates partitions from the same slice,
+  // so the slice must be a pure function of the partition id).
+  SSTORE_RETURN_NOT_OK(plan_.ApplyTo(store));
+
+  // Procedures: stage procedures only where their placement runs; OLTP and
+  // helper procedures everywhere.
+  for (const ProcedureSpec& spec : procedures_) {
+    if (spec.is_stage) {
+      auto it = placements_.find(spec.name);
+      if (it != placements_.end() && !it->second.RunsOn(p)) continue;
+    }
+    std::shared_ptr<StoredProcedure> proc = spec.factory(store);
+    if (proc == nullptr) {
+      return Status::InvalidArgument("procedure factory returned null for '" +
+                                     spec.name + "'");
+    }
+    SSTORE_RETURN_NOT_OK(
+        store.partition().RegisterProcedure(spec.name, spec.kind,
+                                            std::move(proc)));
+  }
+
+  // Channel consumer support (cursor table + delivery procedure) wherever
+  // the consumer stage runs.
+  for (const ChannelSpec& channel : channels_) {
+    if (!channel.consumer_placement.RunsOn(p)) continue;
+    SSTORE_RETURN_NOT_OK(
+        InstallChannelConsumerSupport(store, channel, num_partitions));
+  }
+
+  // Workflow slice: PE triggers for the locally running stages, with
+  // channel streams gated to the channel's delivery procedure and their GC
+  // claim pinned to one (each batch there has exactly one consuming party:
+  // the forwarder for raw batches, the local consumer for delivered ones).
+  WorkflowSliceOptions slice;
+  for (const WorkflowNode& node : workflow_.nodes()) {
+    auto it = placements_.find(node.proc);
+    if (it != placements_.end() && it->second.RunsOn(p)) {
+      slice.local_procs.insert(node.proc);
+    }
+  }
+  for (const ChannelSpec& channel : channels_) {
+    bool touches = channel.consumer_placement.RunsOn(p) ||
+                   channel.ProducerRunsOn(p);
+    if (!touches) continue;
+    WorkflowSliceOptions::EmitterFilter filter;
+    filter.proc = ChannelIngestProcName(channel.stream);
+    filter.min_batch_id = kChannelBatchIdBase;
+    slice.emitter_filters[channel.stream] = filter;
+    slice.consumer_count_overrides[channel.stream] = 1;
+  }
+  return store.triggers().DeployWorkflowSlice(workflow_, slice);
+}
+
+std::string Topology::Describe() const {
+  std::string out = plan_.Describe();
+  for (const ProcedureSpec& spec : procedures_) {
+    out += std::string(spec.is_stage ? "stage-procedure " : "procedure ") +
+           spec.name + " (" + SpKindToString(spec.kind) + ")\n";
+  }
+  for (const WorkflowNode& node : workflow_.nodes()) {
+    auto it = placements_.find(node.proc);
+    out += "stage " + node.proc + " placement=" +
+           (it == placements_.end() ? "everywhere" : it->second.Describe());
+    if (!node.input_streams.empty()) {
+      out += " inputs=[";
+      for (size_t i = 0; i < node.input_streams.size(); ++i) {
+        out += (i == 0 ? "" : ",") + node.input_streams[i];
+      }
+      out += "]";
+    }
+    if (!node.output_streams.empty()) {
+      out += " outputs=[";
+      for (size_t i = 0; i < node.output_streams.size(); ++i) {
+        out += (i == 0 ? "" : ",") + node.output_streams[i];
+      }
+      out += "]";
+    }
+    out += "\n";
+  }
+  for (const ChannelSpec& channel : channels_) {
+    out += "channel " + channel.stream + ": ";
+    for (size_t i = 0; i < channel.producers.size(); ++i) {
+      out += (i == 0 ? "" : ",") + channel.producers[i] + "@" +
+             channel.producer_placements[i].Describe();
+    }
+    out += " -> " + channel.consumer + "@" +
+           channel.consumer_placement.Describe() + "\n";
+  }
+  return out;
+}
+
+// ---- TopologyBuilder --------------------------------------------------------
+
+TopologyBuilder::TopologyBuilder(std::string name) : name_(std::move(name)) {
+  topology_.workflow_ = Workflow(name_);
+}
+
+TopologyBuilder& TopologyBuilder::CreateTable(std::string name, Schema schema) {
+  topology_.plan_.CreateTable(std::move(name), std::move(schema));
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::CreateIndex(std::string table,
+                                              std::string index,
+                                              std::vector<std::string> columns,
+                                              bool unique) {
+  topology_.plan_.CreateIndex(std::move(table), std::move(index),
+                              std::move(columns), unique);
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::InsertRow(std::string table, Tuple row) {
+  topology_.plan_.InsertRow(std::move(table), std::move(row));
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::DefineStream(std::string name,
+                                               Schema schema) {
+  topology_.plan_.DefineStream(std::move(name), std::move(schema));
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::DefineWindow(WindowSpec spec) {
+  topology_.plan_.DefineWindow(std::move(spec));
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::RegisterFragment(std::string name,
+                                                   FragmentFn fn) {
+  topology_.plan_.RegisterFragment(std::move(name), std::move(fn));
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::Custom(std::string description,
+                                         std::function<Status(SStore&)> fn) {
+  topology_.plan_.Custom(std::move(description), std::move(fn));
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::RegisterProcedure(
+    std::string name, SpKind kind, DeploymentPlan::ProcedureFactory factory) {
+  Topology::ProcedureSpec spec;
+  spec.name = std::move(name);
+  spec.kind = kind;
+  spec.factory = std::move(factory);
+  topology_.procedures_.push_back(std::move(spec));
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::RegisterProcedure(
+    std::string name, SpKind kind, std::shared_ptr<StoredProcedure> proc) {
+  return RegisterProcedure(
+      std::move(name), kind,
+      [proc = std::move(proc)](SStore&) { return proc; });
+}
+
+TopologyBuilder& TopologyBuilder::AddStage(WorkflowNode node,
+                                           Placement placement) {
+  stages_.emplace_back(std::move(node), placement);
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::AddWorkflow(const Workflow& workflow) {
+  for (const WorkflowNode& node : workflow.nodes()) {
+    AddStage(node, Placement::Everywhere());
+  }
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::Place(const std::string& proc,
+                                        Placement placement) {
+  for (auto& [node, node_placement] : stages_) {
+    if (node.proc == proc) {
+      node_placement = placement;
+      return *this;
+    }
+  }
+  if (deferred_error_.ok()) {
+    deferred_error_ =
+        Status::NotFound("Place() names unknown stage '" + proc + "'");
+  }
+  return *this;
+}
+
+Result<Topology> TopologyBuilder::Build() const {
+  SSTORE_RETURN_NOT_OK(deferred_error_);
+  Topology out = topology_;
+  out.workflow_ = Workflow(name_);
+  for (const auto& [node, placement] : stages_) {
+    SSTORE_RETURN_NOT_OK(out.workflow_.AddNode(node));
+    if (placement.kind == Placement::Kind::kKeyed && placement.key_column < 0) {
+      return Status::InvalidArgument("stage '" + node.proc +
+                                     "': keyed placement needs a "
+                                     "non-negative key column");
+    }
+    out.placements_[node.proc] = placement;
+  }
+  SSTORE_RETURN_NOT_OK(out.workflow_.Validate());
+
+  // Mark which registered procedures are stages (they deploy per placement).
+  for (Topology::ProcedureSpec& spec : out.procedures_) {
+    spec.is_stage = out.placements_.count(spec.name) != 0;
+  }
+  for (const auto& [proc, placement] : out.placements_) {
+    (void)placement;
+    bool registered = false;
+    for (const Topology::ProcedureSpec& spec : out.procedures_) {
+      registered = registered || spec.name == proc;
+    }
+    if (!registered) {
+      return Status::InvalidArgument("stage '" + proc +
+                                     "' has no registered procedure");
+    }
+  }
+
+  // Derive the channels: a stream edge is local only when the consumer is
+  // guaranteed present wherever the producer commits *and* the batch's
+  // routing requirement is satisfied there — kEverywhere consumers always,
+  // kPinned consumers only under a producer pinned to the same partition,
+  // kKeyed consumers only under a producer keyed by the same column (the
+  // key-preserving pipeline). Everything else crosses a placement boundary.
+  for (const WorkflowNode& node : out.workflow_.nodes()) {
+    const Placement& consumer = out.placements_[node.proc];
+    for (const std::string& stream : node.input_streams) {
+      std::vector<std::string> producers = out.workflow_.ProducersOf(stream);
+      if (producers.empty()) continue;  // externally fed stream: local
+      bool boundary = false;
+      std::vector<Placement> producer_placements;
+      for (const std::string& producer : producers) {
+        const Placement& pp = out.placements_[producer];
+        bool local =
+            consumer.kind == Placement::Kind::kEverywhere ||
+            (consumer.kind == Placement::Kind::kPinned &&
+             pp.kind == Placement::Kind::kPinned &&
+             pp.partition == consumer.partition) ||
+            (consumer.kind == Placement::Kind::kKeyed &&
+             pp.kind == Placement::Kind::kKeyed &&
+             pp.key_column == consumer.key_column);
+        boundary = boundary || !local;
+        producer_placements.push_back(pp);
+      }
+      if (!boundary) continue;
+      // v1 transport constraints, enforced here so they fail at build time
+      // rather than as silent mis-wirings at run time.
+      if (out.workflow_.ConsumersOf(stream).size() != 1) {
+        return Status::InvalidArgument(
+            "stream '" + stream +
+            "' crosses a placement boundary but has multiple consumers; "
+            "boundary streams support exactly one consumer stage");
+      }
+      if (node.input_streams.size() != 1) {
+        return Status::InvalidArgument(
+            "stage '" + node.proc +
+            "' joins multiple input streams across a placement boundary; "
+            "channel consumers take exactly one input stream");
+      }
+      ChannelSpec channel;
+      channel.stream = stream;
+      channel.producers = std::move(producers);
+      channel.producer_placements = std::move(producer_placements);
+      channel.consumer = node.proc;
+      channel.consumer_placement = consumer;
+      out.channels_.push_back(std::move(channel));
+    }
+  }
+
+  // Cascade constraint: a channel's delivered ids are monotonic per lane
+  // only if its producer stage's own batch ids arrive in commit order. An
+  // injector-fed border or a single-lane upstream channel guarantees that;
+  // a *multi-lane* upstream channel interleaves its lanes at the consumer,
+  // so a stage fed by one would emit non-monotonic ids downstream and the
+  // next channel's cursor dedup would silently drop batches. Reject it.
+  for (const ChannelSpec& channel : out.channels_) {
+    for (const std::string& producer : channel.producers) {
+      Result<const WorkflowNode*> producer_node =
+          out.workflow_.node(producer);
+      if (!producer_node.ok()) continue;
+      for (const std::string& input : (*producer_node)->input_streams) {
+        const ChannelSpec* upstream = nullptr;
+        for (const ChannelSpec& candidate : out.channels_) {
+          if (candidate.stream == input && candidate.consumer == producer) {
+            upstream = &candidate;
+          }
+        }
+        if (upstream == nullptr) continue;
+        bool single_lane = !upstream->producer_placements.empty();
+        for (const Placement& pp : upstream->producer_placements) {
+          single_lane = single_lane &&
+                        pp.kind == Placement::Kind::kPinned &&
+                        pp.partition ==
+                            upstream->producer_placements[0].partition;
+        }
+        if (!single_lane) {
+          return Status::InvalidArgument(
+              "stage '" + producer + "' feeds channel stream '" +
+              channel.stream + "' but is itself fed by multi-lane channel "
+              "stream '" + input +
+              "'; cascaded channels require a single-lane (pinned-producer) "
+              "upstream so batch ids stay monotonic per lane");
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sstore

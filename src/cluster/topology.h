@@ -1,0 +1,189 @@
+#ifndef SSTORE_CLUSTER_TOPOLOGY_H_
+#define SSTORE_CLUSTER_TOPOLOGY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/deployment.h"
+#include "common/status.h"
+#include "streaming/sstore.h"
+#include "streaming/workflow.h"
+
+namespace sstore {
+
+/// Where a workflow stage runs in a cluster (paper §4.7, the distributed
+/// S-Store direction): replicated on every partition, pinned to one, or
+/// spread across partitions by a key column of its input batches.
+struct Placement {
+  enum class Kind {
+    /// The stage is deployed and triggered on every partition; it consumes
+    /// whatever its upstream produces locally. Today's replicate-everything
+    /// deployment is this placement for every node.
+    kEverywhere,
+    /// The stage runs on exactly one partition. Streams feeding it from any
+    /// other partition become channels.
+    kPinned,
+    /// The stage runs on the partition owning `key_column` of each input
+    /// row (the cluster's PartitionMap decides ownership). Batches reaching
+    /// it through a channel are split by that column. Two stages keyed by
+    /// the same column are assumed co-located per key (the key-preserving
+    /// pipeline of the paper) and need no channel between them.
+    kKeyed,
+  };
+
+  Kind kind = Kind::kEverywhere;
+  size_t partition = 0;  // kPinned only
+  int key_column = 0;    // kKeyed only: column of the stage's input rows
+
+  static Placement Everywhere() { return Placement{}; }
+  static Placement Pinned(size_t p) {
+    return Placement{Kind::kPinned, p, 0};
+  }
+  static Placement Keyed(int column) {
+    return Placement{Kind::kKeyed, 0, column};
+  }
+
+  /// Is the stage deployed on partition `p`? kKeyed stages are deployed on
+  /// every partition (any partition may own some of their keys).
+  bool RunsOn(size_t p) const {
+    return kind != Kind::kPinned || partition == p;
+  }
+
+  /// "everywhere" | "pinned(2)" | "keyed(col 3)".
+  std::string Describe() const;
+};
+
+/// One stream edge of a placed workflow that crosses a placement boundary:
+/// batches emitted into `stream` on a producer partition must be transported
+/// to the consumer stage's partition (cluster/stream_channel.h implements
+/// the transport). Derived by TopologyBuilder::Build, never hand-built.
+struct ChannelSpec {
+  std::string stream;
+  std::vector<std::string> producers;
+  std::vector<Placement> producer_placements;  // aligned with `producers`
+  std::string consumer;
+  Placement consumer_placement;
+
+  /// True when any producer stage of this channel is deployed on `p` (the
+  /// partitions where the forwarding hook must be installed).
+  bool ProducerRunsOn(size_t p) const;
+};
+
+/// A placed application: a workflow DAG plus a Placement for every node,
+/// the DDL/fragments/OLTP procedures around it, and the channels derived
+/// from placement boundaries. `Cluster::Deploy(topology)` applies each
+/// partition's *slice* — shared DDL everywhere, stage procedures and PE
+/// triggers only where the stage runs, channel plumbing on the partitions a
+/// boundary touches — where the legacy `Cluster::Deploy(plan)` stamps the
+/// identical application onto every partition (the all-kEverywhere special
+/// case).
+class Topology {
+ public:
+  const std::string& name() const { return workflow_.name(); }
+  const Workflow& workflow() const { return workflow_; }
+  /// The non-procedure, non-workflow steps (DDL, seed rows, fragments),
+  /// applied identically to every partition.
+  const DeploymentPlan& plan() const { return plan_; }
+  const std::vector<ChannelSpec>& channels() const { return channels_; }
+
+  Result<Placement> placement_of(const std::string& proc) const;
+
+  /// Applies partition `p`'s slice of this topology to a freshly
+  /// constructed store: every plan step, the procedures whose stage (or
+  /// OLTP registration) runs on `p`, channel consumer support (cursor table
+  /// + delivery procedure), and the workflow slice's PE triggers.
+  /// `num_partitions` sizes channel batch-id encoding and must match the
+  /// deploying cluster.
+  Status ApplyTo(SStore& store, size_t p, size_t num_partitions) const;
+
+  /// One line per plan step, procedure, stage (with placement annotation),
+  /// and channel — the placed counterpart of DeploymentPlan::Describe, for
+  /// logs and deployment diffing.
+  std::string Describe() const;
+
+ private:
+  friend class TopologyBuilder;
+
+  struct ProcedureSpec {
+    std::string name;
+    SpKind kind;
+    DeploymentPlan::ProcedureFactory factory;
+    bool is_stage = false;  // stages deploy per placement; the rest everywhere
+  };
+
+  Workflow workflow_{""};
+  DeploymentPlan plan_;
+  std::vector<ProcedureSpec> procedures_;
+  std::map<std::string, Placement> placements_;
+  std::vector<ChannelSpec> channels_;
+};
+
+/// Fluent builder for a Topology. Subsumes the DeploymentPlan builder: the
+/// DDL steps chain exactly as there, `RegisterProcedure` declares OLTP/
+/// helper procedures (deployed everywhere), and `AddStage` declares a
+/// workflow node together with where it runs. `Build()` validates the DAG
+/// and every placement, and derives the channels.
+///
+///   TopologyBuilder topo("pipeline");
+///   topo.DefineStream("sA", schema).DefineStream("sB", schema)
+///       .CreateTable("sink", schema)
+///       .RegisterProcedure("ingest", SpKind::kBorder, ingest_proc)
+///       .RegisterProcedure("transform", SpKind::kInterior, transform_factory)
+///       .AddStage(ingest_node, Placement::Pinned(0))
+///       .AddStage(transform_node, Placement::Pinned(1));
+///   SSTORE_ASSIGN_OR_RETURN(Topology t, topo.Build());
+///   cluster.Deploy(t);
+class TopologyBuilder {
+ public:
+  explicit TopologyBuilder(std::string name);
+
+  // ---- DeploymentPlan-compatible steps (applied on every partition) ----
+
+  TopologyBuilder& CreateTable(std::string name, Schema schema);
+  TopologyBuilder& CreateIndex(std::string table, std::string index,
+                               std::vector<std::string> columns, bool unique);
+  TopologyBuilder& InsertRow(std::string table, Tuple row);
+  TopologyBuilder& DefineStream(std::string name, Schema schema);
+  TopologyBuilder& DefineWindow(WindowSpec spec);
+  TopologyBuilder& RegisterFragment(std::string name, FragmentFn fn);
+  TopologyBuilder& Custom(std::string description,
+                          std::function<Status(SStore&)> fn);
+
+  /// Registers a procedure. Stage procedures (named by a later AddStage)
+  /// are deployed only where their placement runs; others deploy everywhere.
+  TopologyBuilder& RegisterProcedure(std::string name, SpKind kind,
+                                     DeploymentPlan::ProcedureFactory factory);
+  TopologyBuilder& RegisterProcedure(std::string name, SpKind kind,
+                                     std::shared_ptr<StoredProcedure> proc);
+
+  // ---- Stages and placement ----
+
+  /// Adds a workflow node with its placement.
+  TopologyBuilder& AddStage(WorkflowNode node,
+                            Placement placement = Placement::Everywhere());
+
+  /// Adopts every node of an existing workflow at kEverywhere — the legacy
+  /// replicated deployment, re-expressed as a topology. Combine with
+  /// Place() to pin individual stages afterwards.
+  TopologyBuilder& AddWorkflow(const Workflow& workflow);
+
+  /// Overrides the placement of an already-added stage.
+  TopologyBuilder& Place(const std::string& proc, Placement placement);
+
+  /// Validates (DAG structure, placements, channel constraints) and derives
+  /// the channels. Build errors are deferred here so the fluent chain stays
+  /// unconditional, like DeploymentPlan's.
+  Result<Topology> Build() const;
+
+ private:
+  std::string name_;
+  Topology topology_;
+  std::vector<std::pair<WorkflowNode, Placement>> stages_;
+  Status deferred_error_;  // first AddStage/Place error, reported by Build
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_CLUSTER_TOPOLOGY_H_

@@ -759,4 +759,16 @@ Status Partition::DetachCommandLog() {
   return st;
 }
 
+Status Partition::RotateCommandLog(const std::string& new_path) {
+  if (log_ == nullptr) return Status::OK();
+  CommandLog::Options opts = log_->options();
+  opts.path = new_path;
+  SSTORE_RETURN_NOT_OK(log_->Close());
+  log_.reset();
+  SSTORE_ASSIGN_OR_RETURN(std::unique_ptr<CommandLog> fresh,
+                          CommandLog::Open(opts));
+  log_ = std::move(fresh);
+  return Status::OK();
+}
+
 }  // namespace sstore

@@ -305,6 +305,13 @@ class Partition {
   /// Detaches and closes the current command log (used before replay).
   Status DetachCommandLog();
 
+  /// Flushes and closes the current log, then attaches a fresh one at
+  /// `new_path` with the same group-commit/sync options (log truncation at
+  /// a checkpoint cut). The log is single-writer: call from the worker
+  /// thread, or — as the coordinated checkpoint does — while the worker is
+  /// parked at a barrier or stopped. No-op without an attached log.
+  Status RotateCommandLog(const std::string& new_path);
+
   // ---- Stats ----
 
   struct Stats {

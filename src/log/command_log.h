@@ -86,6 +86,8 @@ class CommandLog {
 
   Status Close();
 
+  const Options& options() const { return options_; }
+
   uint64_t records_appended() const { return records_appended_; }
   uint64_t flush_count() const { return flush_count_; }
   uint64_t bytes_written() const { return bytes_written_; }

@@ -65,6 +65,9 @@ Status RecoveryManager::ReplayLog(const std::string& log_path,
                                   const ReplayOptions& replay) {
   SSTORE_ASSIGN_OR_RETURN(std::vector<LogRecord> records,
                           CommandLog::ReadAll(log_path));
+  // A freshly rotated epoch log can be empty (crash between the rotation
+  // and the first record): nothing committed past the cut, nothing to do.
+  if (records.empty()) return Status::OK();
 
   // Replay starts after the coordinated-checkpoint cut, if one is named.
   size_t start = 0;

@@ -19,12 +19,17 @@ namespace sstore {
 /// windows, EE/PE triggers, the streaming scheduler, and the two recovery
 /// modes. This is the main entry point of the library.
 ///
-/// Typical use:
+/// Typical use — describe the application once with the deployment builder
+/// (cluster/deployment.h; the same plan scales out unchanged through
+/// Cluster::Deploy, or places stages across partitions via
+/// cluster/topology.h), then apply it and inject:
 ///
+///   DeploymentPlan plan;
+///   plan.DefineStream("s1", schema)
+///       .RegisterProcedure("ingest", SpKind::kBorder, proc)
+///       .DeployWorkflow(workflow);   // kEverywhere topology of the DAG
 ///   SStore store;
-///   store.streams().DefineStream("s1", schema);
-///   store.partition().RegisterProcedure("ingest", SpKind::kBorder, proc);
-///   ... build a Workflow, store.DeployWorkflow(wf) ...
+///   plan.ApplyTo(store);
 ///   store.Start();
 ///   StreamInjector injector(&store.partition(), "ingest");
 ///   injector.InjectSync(tuple);

@@ -12,8 +12,22 @@ TriggerManager::TriggerManager(Partition* partition, StreamManager* streams)
 
 Status TriggerManager::DeployWorkflow(const Workflow& workflow) {
   SSTORE_RETURN_NOT_OK(workflow.Validate());
+  // The legacy single-partition entry point is the kEverywhere topology:
+  // every node of the DAG is local, no stream is a channel.
+  WorkflowSliceOptions all_local;
+  for (const WorkflowNode& n : workflow.nodes()) {
+    all_local.local_procs.insert(n.proc);
+  }
+  return DeployWorkflowSlice(workflow, all_local);
+}
+
+Status TriggerManager::DeployWorkflowSlice(const Workflow& workflow,
+                                           const WorkflowSliceOptions& opts) {
+  // Ranks come from the *full* DAG so every partition schedules simultaneous
+  // activations in the same topological order, whatever its slice.
   SSTORE_ASSIGN_OR_RETURN(auto ranks, workflow.TopologicalRanks());
   for (const WorkflowNode& n : workflow.nodes()) {
+    if (opts.local_procs.count(n.proc) == 0) continue;
     if (!partition_->HasProcedure(n.proc)) {
       return Status::NotFound("procedure '" + n.proc +
                               "' not registered on partition");
@@ -31,10 +45,20 @@ Status TriggerManager::DeployWorkflow(const Workflow& workflow) {
       consumers_[n.proc] = std::move(info);
     }
   }
+  for (const auto& [stream, filter] : opts.emitter_filters) {
+    emitter_filters_[stream] = filter;
+  }
+  for (const auto& [stream, count] : opts.consumer_count_overrides) {
+    count_overrides_[stream] = count;
+  }
   // Tell the stream manager how many consumers must commit over a batch
-  // before it can be garbage-collected.
+  // before it can be garbage-collected; channel streams pin the claim count
+  // (each batch there has exactly one consuming party).
   for (const auto& [stream, procs] : stream_consumers_) {
     streams_->SetConsumerCount(stream, procs.size());
+  }
+  for (const auto& [stream, count] : count_overrides_) {
+    streams_->SetConsumerCount(stream, count);
   }
   return Status::OK();
 }
@@ -69,6 +93,15 @@ void TriggerManager::OnCommit(Partition& partition,
   for (const auto& [stream, batch] : te.emitted()) {
     auto sc = stream_consumers_.find(stream);
     if (sc == stream_consumers_.end()) continue;
+    // Channel streams: only the channel's delivery procedure activates the
+    // local consumer; raw emissions are the cross-partition transport's to
+    // forward, not the local trigger's to fire.
+    auto filter = emitter_filters_.find(stream);
+    if (filter != emitter_filters_.end() &&
+        (te.proc_name() != filter->second.proc ||
+         batch < filter->second.min_batch_id)) {
+      continue;
+    }
     for (const std::string& proc : sc->second) {
       ConsumerInfo& info = consumers_[proc];
       if (info.input_streams.size() <= 1) {
@@ -115,7 +148,16 @@ Result<size_t> TriggerManager::FireResidualTriggers() {
     for (const std::string& stream : info.input_streams) {
       SSTORE_ASSIGN_OR_RETURN(std::vector<int64_t> batches,
                               streams_->PendingBatches(stream));
-      for (int64_t b : batches) ++batch_presence[b];
+      // On a channel stream, pending batches below the channel's encoded id
+      // range are raw emissions awaiting forwarding — the channel's recovery
+      // reconciliation owns them, not the local consumer.
+      auto filter = emitter_filters_.find(stream);
+      int64_t min_id = filter == emitter_filters_.end()
+                           ? 0
+                           : filter->second.min_batch_id;
+      for (int64_t b : batches) {
+        if (b >= min_id) ++batch_presence[b];
+      }
     }
     for (const auto& [batch, present] : batch_presence) {
       if (present == info.input_streams.size()) {

@@ -15,6 +15,34 @@
 
 namespace sstore {
 
+/// Placement slice of a workflow on one partition (see cluster/topology.h):
+/// which of the DAG's nodes run here, and how streams that cross a placement
+/// boundary (channels) are wired locally.
+struct WorkflowSliceOptions {
+  /// Nodes of the workflow deployed on this partition. PE triggers are wired
+  /// only for these; the rest of the DAG runs elsewhere.
+  std::set<std::string> local_procs;
+
+  /// Per-stream trigger gate: when a stream is a cross-partition channel,
+  /// only the channel's delivery procedure may activate the local consumer —
+  /// raw local emissions into the stream belong to the channel transport,
+  /// not to the local trigger. `min_batch_id` additionally restricts firing
+  /// (and residual-trigger firing after recovery) to the channel's encoded
+  /// batch-id range, so raw batches awaiting forwarding never reach the
+  /// consumer directly.
+  struct EmitterFilter {
+    std::string proc;
+    int64_t min_batch_id = 0;
+  };
+  std::map<std::string, EmitterFilter> emitter_filters;
+
+  /// Per-stream GC claim override. A channel stream's batches are each
+  /// consumed exactly once on any partition (raw batches by the channel
+  /// forwarder, delivered batches by the local consumer), regardless of how
+  /// many parties are wired — so the claim count is pinned to 1.
+  std::map<std::string, size_t> consumer_count_overrides;
+};
+
 /// Partition-engine triggers (paper §3.2.3/§3.2.4): when a transaction that
 /// appended an atomic batch to a stream commits, the downstream stored
 /// procedures attached to that stream are activated *inside the PE* — no
@@ -35,8 +63,17 @@ class TriggerManager {
   /// Wires up a validated workflow on this partition: one PE trigger per
   /// (stream -> consumer) edge, consumer counts for GC, and topological
   /// ranks for deterministic multi-successor scheduling. Procedures must
-  /// already be registered on the partition.
+  /// already be registered on the partition. Equivalent to deploying a
+  /// slice with every node local (the kEverywhere placement).
   Status DeployWorkflow(const Workflow& workflow);
+
+  /// Wires one partition's slice of a placed workflow. The full DAG provides
+  /// the topological ranks (identical on every partition); triggers and GC
+  /// claims are created only for `opts.local_procs`. The workflow must have
+  /// been validated by the caller (a slice in isolation is allowed to look
+  /// invalid — e.g. an interior-only partition has no border node).
+  Status DeployWorkflowSlice(const Workflow& workflow,
+                             const WorkflowSliceOptions& opts);
 
   /// Disables/enables PE-trigger firing. Strong recovery replays every
   /// logged transaction, so triggers must stay off during replay to avoid
@@ -69,6 +106,11 @@ class TriggerManager {
 
   std::unordered_map<std::string, std::vector<std::string>> stream_consumers_;
   std::unordered_map<std::string, ConsumerInfo> consumers_;
+  /// Channel trigger gates and GC claim overrides, kept across deploys so a
+  /// later workflow on the same partition cannot silently widen a channel
+  /// stream's trigger or claim count.
+  std::map<std::string, WorkflowSliceOptions::EmitterFilter> emitter_filters_;
+  std::map<std::string, size_t> count_overrides_;
   /// Join tracking for multi-input consumers: (proc, batch) -> streams that
   /// have delivered the batch so far.
   std::map<std::pair<std::string, int64_t>, std::set<std::string>> arrivals_;

@@ -63,11 +63,13 @@ std::vector<PositionReport> LinearRoadGenerator::NextSecond() {
   return reports;
 }
 
-DeploymentPlan BuildLinearRoadDeployment(const LinearRoadConfig& config) {
-  DeploymentPlan plan;
+namespace {
 
-  // ---- DDL ----
-  plan.CreateTable("lr_vehicles", VehicleSchema())
+/// The DDL shared by the replicated plan and the placed topology; both
+/// builders expose the same fluent steps.
+template <typename Builder>
+Builder& AddLinearRoadDdl(Builder& b) {
+  b.CreateTable("lr_vehicles", VehicleSchema())
       .CreateIndex("lr_vehicles", "pk", {"vid"}, /*unique=*/true)
       .CreateTable("lr_segstats", Schema({{"xway", ValueType::kBigInt},
                                           {"seg", ValueType::kBigInt},
@@ -92,13 +94,27 @@ DeploymentPlan BuildLinearRoadDeployment(const LinearRoadConfig& config) {
                             {"seg", ValueType::kBigInt},
                             {"toll", ValueType::kDouble},
                             {"accident_ahead", ValueType::kBigInt}}));
+  return b;
+}
 
-  // ---- SP1 — border: per position report. Stateless across partitions
-  // (touches only its own partition's tables through ctx), so one shared
-  // instance serves every partition. ----
-  plan.RegisterProcedure(
-      "position_report", SpKind::kBorder,
-      std::make_shared<LambdaProcedure>([config](ProcContext& ctx) {
+/// The two workflow nodes; placement is the deployment's choice.
+std::pair<WorkflowNode, WorkflowNode> LinearRoadNodes() {
+  WorkflowNode n1, n2;
+  n1.proc = "position_report";
+  n1.kind = SpKind::kBorder;
+  n1.output_streams = {kLinearRoadMinuteStream, kLinearRoadNotificationsStream};
+  n2.proc = "minute_rollup";
+  n2.kind = SpKind::kInterior;
+  n2.input_streams = {kLinearRoadMinuteStream};
+  return {n1, n2};
+}
+
+// ---- SP1 — border: per position report. Stateless across partitions
+// (touches only its own partition's tables through ctx), so one shared
+// instance serves every partition.
+std::shared_ptr<StoredProcedure> MakePositionReportProc(
+    const LinearRoadConfig& config) {
+  return std::make_shared<LambdaProcedure>([config](ProcContext& ctx) {
         const Tuple& p = ctx.params();
         int64_t ts = p[0].as_int64();
         const Value& vid = p[1];
@@ -222,16 +238,21 @@ DeploymentPlan BuildLinearRoadDeployment(const LinearRoadConfig& config) {
                                                 {{Value::BigInt(minute)}}));
         }
         return Status::OK();
-      }));
+      });
+}
 
-  // ---- SP2 — interior: per-minute rollup. Reads its batch through the
-  // partition's own StreamManager, so each partition gets an instance bound
-  // to its store via the factory. ----
-  plan.RegisterProcedure(
-      "minute_rollup", SpKind::kInterior,
-      [config](SStore& store) -> std::shared_ptr<StoredProcedure> {
+// ---- SP2 — interior: per-minute rollup. Reads its batch through the
+// partition's own StreamManager, so each partition gets an instance bound
+// to its store via the factory. With `dedupe_minutes` (the placed variant,
+// where every ingest partition's channel lane delivers its own marker for
+// the same minute), already-rolled-up minutes commit as no-ops against the
+// rollup partition's lr_rollup_meta row.
+DeploymentPlan::ProcedureFactory MakeMinuteRollupFactory(
+    const LinearRoadConfig& config, bool dedupe_minutes) {
+  return [config, dedupe_minutes](
+             SStore& store) -> std::shared_ptr<StoredProcedure> {
         SStore* bound = &store;
-        return std::make_shared<LambdaProcedure>([config,
+        return std::make_shared<LambdaProcedure>([config, dedupe_minutes,
                                                   bound](ProcContext& ctx) {
           SSTORE_ASSIGN_OR_RETURN(
               std::vector<Tuple> batch,
@@ -239,6 +260,19 @@ DeploymentPlan BuildLinearRoadDeployment(const LinearRoadConfig& config) {
                                              ctx.batch_id()));
           if (batch.empty()) return Status::OK();
           int64_t minute = batch[0][0].as_int64();
+          if (dedupe_minutes) {
+            SSTORE_ASSIGN_OR_RETURN(Table * meta,
+                                    ctx.table("lr_rollup_meta"));
+            ScanSpec ms;
+            ms.table = meta;
+            SSTORE_ASSIGN_OR_RETURN(std::vector<Tuple> mrow,
+                                    ctx.exec().Scan(ms));
+            if (minute <= mrow[0][0].as_int64()) return Status::OK();
+            SSTORE_ASSIGN_OR_RETURN(
+                size_t n,
+                ctx.exec().Update(meta, nullptr, {{0, LitInt(minute)}}));
+            (void)n;
+          }
 
           // Congestion per (xway, seg) -> archived stats + next minute's toll.
           SSTORE_ASSIGN_OR_RETURN(Table * vehicles, ctx.table("lr_vehicles"));
@@ -284,22 +318,49 @@ DeploymentPlan BuildLinearRoadDeployment(const LinearRoadConfig& config) {
           (void)n;
           return Status::OK();
         });
-      });
+      };
+}
 
-  // ---- Workflow wiring ----
+}  // namespace
+
+DeploymentPlan BuildLinearRoadDeployment(const LinearRoadConfig& config) {
+  DeploymentPlan plan;
+  AddLinearRoadDdl(plan);
+  plan.RegisterProcedure("position_report", SpKind::kBorder,
+                         MakePositionReportProc(config));
+  plan.RegisterProcedure("minute_rollup", SpKind::kInterior,
+                         MakeMinuteRollupFactory(config,
+                                                 /*dedupe_minutes=*/false));
+
+  // ---- Workflow wiring (every stage everywhere — the replicated shape) ----
   Workflow wf("linear_road");
-  WorkflowNode n1, n2;
-  n1.proc = "position_report";
-  n1.kind = SpKind::kBorder;
-  n1.output_streams = {kLinearRoadMinuteStream, kLinearRoadNotificationsStream};
-  n2.proc = "minute_rollup";
-  n2.kind = SpKind::kInterior;
-  n2.input_streams = {kLinearRoadMinuteStream};
+  auto [n1, n2] = LinearRoadNodes();
   (void)wf.AddNode(n1);
   (void)wf.AddNode(n2);
   plan.DeployWorkflow(std::move(wf));
 
   return plan;
+}
+
+Result<Topology> BuildPlacedLinearRoadTopology(const LinearRoadConfig& config,
+                                               size_t rollup_partition) {
+  TopologyBuilder topo("linear_road_placed");
+  AddLinearRoadDdl(topo);
+  topo.CreateTable("lr_rollup_meta",
+                   Schema({{"last_minute", ValueType::kBigInt}}))
+      .InsertRow("lr_rollup_meta", {Value::BigInt(-1)})
+      .RegisterProcedure("position_report", SpKind::kBorder,
+                         MakePositionReportProc(config))
+      .RegisterProcedure("minute_rollup", SpKind::kInterior,
+                         MakeMinuteRollupFactory(config,
+                                                 /*dedupe_minutes=*/true));
+  auto [n1, n2] = LinearRoadNodes();
+  // Ingest stays on the border partitions, keyed by x-way (column 2 of a
+  // position report — the same column ClusterInjector routes by); the
+  // rollup is pinned downstream, fed through the s_minute channel.
+  topo.AddStage(n1, Placement::Keyed(2))
+      .AddStage(n2, Placement::Pinned(rollup_partition));
+  return topo.Build();
 }
 
 Status LinearRoadApp::Setup() {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cluster/deployment.h"
+#include "cluster/topology.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "streaming/injector.h"
@@ -94,6 +95,22 @@ class LinearRoadGenerator {
 /// and each partition runs the whole workflow for its x-ways);
 /// `LinearRoadApp` applies it to its single store.
 DeploymentPlan BuildLinearRoadDeployment(const LinearRoadConfig& config);
+
+/// The *placed* Linear Road variant (paper §4.7's distributed direction):
+/// the ingest stage `position_report` stays on the border partitions —
+/// keyed by the x-way column, exactly how ClusterInjector routes reports —
+/// while the toll/accident rollup stage is pinned to `rollup_partition`.
+/// Minute-boundary batches emitted into `s_minute` on any ingest partition
+/// cross the placement boundary through a stream channel, so the pinned
+/// rollup sees every partition's minute markers (each lane in batch order)
+/// and deduplicates minutes through its own `lr_rollup_meta` row.
+///
+/// Semantics note: tolls are archived centrally on the rollup partition, so
+/// this variant trades the replicated deployment's per-partition toll
+/// lookups for a single consolidated rollup — the topology the benchmark
+/// compares against replicating every stage everywhere.
+Result<Topology> BuildPlacedLinearRoadTopology(const LinearRoadConfig& config,
+                                               size_t rollup_partition);
 
 class LinearRoadApp {
  public:

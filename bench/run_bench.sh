@@ -22,6 +22,11 @@
 #   bench_placed_workflow:  BM_PlacedPipeline completes with
 #     channel_deliveries == 2x items (both boundaries transported), and the
 #     replicated/placed LinearRoad pair quantifies the channel-hop cost.
+#   bench_rebalance:  BM_SplitCutover reports bounded pauses
+#     (routing_pause_us well under the barrier pause, barrier_pause_us
+#     dominated by the cutover checkpoint) with rows_migrated ~ half the
+#     split partition's rows, and BM_PostSplitIngest's items_per_second is
+#     not below BM_KeyedIngest/2 (the extra partition absorbs load).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +36,7 @@ case "$BENCH" in
   bench_ingest_hotpath)   DEFAULT_OUT=BENCH_pr2.json ;;
   bench_multipart_txn)    DEFAULT_OUT=BENCH_pr3.json ;;
   bench_placed_workflow)  DEFAULT_OUT=BENCH_pr4.json ;;
+  bench_rebalance)        DEFAULT_OUT=BENCH_pr5.json ;;
   *)                      DEFAULT_OUT="BENCH_${BENCH}.json" ;;
 esac
 OUT="${OUT:-$DEFAULT_OUT}"

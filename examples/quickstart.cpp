@@ -9,6 +9,13 @@
 //                               ^
 //        [lookup (OLTP SP)] ----+   (clients query totals transactionally)
 //
+// The DeploymentPlan built below applies unchanged to a single store
+// (here) or to every partition of a Cluster; swap it for a TopologyBuilder
+// (cluster/topology.h — same fluent steps plus per-stage placements) to
+// pin or key stages across partitions, and see docs/ARCHITECTURE.md for
+// where the cluster, coordinator, channel, and rebalancing layers pick up
+// from this program.
+//
 // Build: cmake --build build && ./build/examples/quickstart
 
 #include <cstdio>

@@ -4,11 +4,13 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <mutex>
 #include <set>
 #include <thread>
 #include <utility>
 
 #include "cluster/stream_channel.h"
+#include "common/clock.h"
 #include "log/snapshot.h"
 
 namespace sstore {
@@ -32,9 +34,12 @@ bool FileExists(const std::string& path) {
 /// The manifest names the one complete checkpoint in `dir`; it is written
 /// atomically (temp + rename) after every snapshot is on disk, so a crash
 /// mid-checkpoint leaves the previous manifest — and the previous consistent
-/// cut — intact.
+/// cut — intact. Since the manifest also records the partition map, that
+/// rename is the atomic commit point of a rebalance cutover: recovery lands
+/// on either the pre- or post-rebalance map, never between.
 Status WriteManifest(const std::string& dir, uint64_t checkpoint_id,
-                     size_t partitions, uint64_t log_epoch) {
+                     size_t partitions, uint64_t log_epoch,
+                     const std::string& map_block) {
   std::string tmp = dir + "/" + kManifestName + ".tmp";
   std::string final_path = dir + "/" + kManifestName;
   std::FILE* f = std::fopen(tmp.c_str(), "w");
@@ -46,10 +51,11 @@ Status WriteManifest(const std::string& dir, uint64_t checkpoint_id,
   // good manifest.
   int written = std::fprintf(f, "sstore-cluster-checkpoint 1\n"
                              "checkpoint_id %llu\npartitions %zu\n"
-                             "log_epoch %llu\n",
+                             "log_epoch %llu\n%s",
                              static_cast<unsigned long long>(checkpoint_id),
                              partitions,
-                             static_cast<unsigned long long>(log_epoch));
+                             static_cast<unsigned long long>(log_epoch),
+                             map_block.c_str());
   bool ok = written > 0 && std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
   ok = (std::fclose(f) == 0) && ok;
   if (!ok) {
@@ -64,28 +70,46 @@ Status WriteManifest(const std::string& dir, uint64_t checkpoint_id,
 }
 
 Status ReadManifest(const std::string& dir, uint64_t* checkpoint_id,
-                    size_t* partitions, uint64_t* log_epoch) {
+                    size_t* partitions, uint64_t* log_epoch,
+                    std::optional<PartitionMap>* map) {
   std::string path = dir + "/" + kManifestName;
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) {
     return Status::IOError("no checkpoint manifest at " + path);
   }
+  std::string text;
+  char buf[512];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+
   unsigned long long id = 0;
   size_t n = 0;
   int version = 0;
-  int matched = std::fscanf(f,
+  int matched = std::sscanf(text.c_str(),
                             "sstore-cluster-checkpoint %d\ncheckpoint_id %llu\n"
                             "partitions %zu\n",
                             &version, &id, &n);
+  if (matched != 3 || version != 1) {
+    return Status::Corruption("malformed checkpoint manifest at " + path);
+  }
   // Optional (absent in pre-rotation manifests): which log rotation epoch
   // pairs with this checkpoint.
   unsigned long long epoch = 0;
-  if (matched == 3 && std::fscanf(f, "log_epoch %llu\n", &epoch) != 1) {
-    epoch = 0;
+  size_t at = text.find("log_epoch ");
+  if (at != std::string::npos) {
+    std::sscanf(text.c_str() + at, "log_epoch %llu", &epoch);
   }
-  std::fclose(f);
-  if (matched != 3 || version != 1) {
-    return Status::Corruption("malformed checkpoint manifest at " + path);
+  // Optional (absent in pre-rebalancing manifests): the partition map of
+  // the cut. Recovery adopts it wholesale when present.
+  map->reset();
+  Result<PartitionMap> decoded = PartitionMap::Decode(text);
+  if (decoded.ok()) {
+    *map = std::move(decoded).value();
+  } else if (decoded.status().code() != StatusCode::kNotFound) {
+    return decoded.status();
   }
   *checkpoint_id = id;
   *partitions = n;
@@ -102,20 +126,13 @@ Cluster::Cluster(const Options& options)
                                             options.num_partitions),
            options.routing) {
   size_t n = map_.num_partitions();
-  stores_.reserve(n);
+  // Reserved to the ceiling so Rebalance's push_back never reallocates the
+  // slot array under concurrent partition(p) readers.
+  stores_.reserve(kMaxClusterPartitions);
   for (size_t p = 0; p < n; ++p) {
-    SStore::Options store_opts;
-    store_opts.partition_id = static_cast<int>(p);
-    store_opts.queue_capacity = options_.queue_capacity;
-    if (!options_.log_dir.empty()) {
-      store_opts.log_path =
-          options_.log_dir + "/partition-" + std::to_string(p) + ".log";
-      store_opts.group_commit_size = options_.group_commit_size;
-      store_opts.log_sync = options_.log_sync;
-      store_opts.recovery_mode = options_.recovery_mode;
-    }
-    stores_.push_back(std::make_unique<SStore>(store_opts));
+    stores_.push_back(MakeStore(p, /*attach_log=*/true));
   }
+  num_partitions_.store(n, std::memory_order_release);
   TxnCoordinator::Options coord_opts;
   coord_opts.mode = options_.coordination;
   if (!options_.log_dir.empty()) {
@@ -134,6 +151,19 @@ Cluster::Cluster(int num_partitions) : Cluster(WithPartitions(num_partitions)) {
 
 Cluster::~Cluster() { Stop(); }
 
+std::unique_ptr<SStore> Cluster::MakeStore(size_t p, bool attach_log) const {
+  SStore::Options store_opts;
+  store_opts.partition_id = static_cast<int>(p);
+  store_opts.queue_capacity = options_.queue_capacity;
+  if (attach_log && !options_.log_dir.empty()) {
+    store_opts.log_path = LogPath(options_.log_dir, log_epoch_, p);
+    store_opts.group_commit_size = options_.group_commit_size;
+    store_opts.log_sync = options_.log_sync;
+    store_opts.recovery_mode = options_.recovery_mode;
+  }
+  return std::make_unique<SStore>(store_opts);
+}
+
 Status Cluster::Deploy(const DeploymentPlan& plan) {
   for (size_t p = 0; p < stores_.size(); ++p) {
     Status s = plan.ApplyTo(*stores_[p]);
@@ -142,6 +172,9 @@ Status Cluster::Deploy(const DeploymentPlan& plan) {
                     "partition " + std::to_string(p) + ": " + s.message());
     }
   }
+  // Retained so a partition added by Rebalance (or re-created by Recover
+  // after a split) receives the identical application.
+  deployed_plan_ = plan;
   return Status::OK();
 }
 
@@ -157,7 +190,7 @@ Status Cluster::Deploy(const Topology& topology) {
     }
   }
   for (size_t p = 0; p < stores_.size(); ++p) {
-    Status s = topology.ApplyTo(*stores_[p], p, stores_.size());
+    Status s = topology.ApplyTo(*stores_[p], p);
     if (!s.ok()) {
       return Status(s.code(),
                     "partition " + std::to_string(p) + ": " + s.message());
@@ -167,24 +200,98 @@ Status Cluster::Deploy(const Topology& topology) {
     channels_.push_back(std::make_unique<StreamChannel>(this, spec));
     channels_.back()->InstallHooks();
   }
+  deployed_topology_ = topology;
   return Status::OK();
 }
 
 TicketPtr Cluster::SubmitAsync(Invocation inv, const Value& key) {
-  size_t p = map_.PartitionOf(key);
-  return stores_[p]->partition().SubmitAsync(std::move(inv));
+  // Route + enqueue under one view, spilling instead of blocking (blocking
+  // under the shared routing lock could deadlock the rebalance flip against
+  // a worker commit hook). Backpressure waits happen between views.
+  for (;;) {
+    size_t p;
+    {
+      RoutingView view = LockRouting();
+      p = view.map().PartitionOf(key);
+      Partition& part = stores_[p]->partition();
+      // Not running (a rebalance target before its cutover Start): spill —
+      // WaitForQueueBelow has no worker to wake it and returns immediately.
+      if (!part.running() || part.QueueDepth() < part.queue_capacity()) {
+        return part.SubmitAsync(std::move(inv), EnqueuePolicy::kSpillWhenFull);
+      }
+    }
+    Partition& part = stores_[p]->partition();
+    part.WaitForQueueBelow(part.queue_capacity());
+  }
 }
 
 TicketPtr Cluster::SubmitAsync(Invocation inv) {
-  size_t p = map_.PartitionOfId(inv.batch_id);
-  return stores_[p]->partition().SubmitAsync(std::move(inv));
+  for (;;) {
+    size_t p;
+    {
+      RoutingView view = LockRouting();
+      p = view.map().PartitionOfId(inv.batch_id);
+      Partition& part = stores_[p]->partition();
+      if (!part.running() || part.QueueDepth() < part.queue_capacity()) {
+        return part.SubmitAsync(std::move(inv), EnqueuePolicy::kSpillWhenFull);
+      }
+    }
+    Partition& part = stores_[p]->partition();
+    part.WaitForQueueBelow(part.queue_capacity());
+  }
 }
 
 TxnOutcome Cluster::ExecuteSync(const std::string& proc, Tuple params,
                                 const Value& key, int64_t batch_id) {
-  size_t p = map_.PartitionOf(key);
-  return stores_[p]->partition().ExecuteSync(proc, std::move(params),
-                                             batch_id);
+  for (;;) {
+    size_t p;
+    TicketPtr ticket;
+    bool inline_mode = false;
+    {
+      RoutingView view = LockRouting();
+      p = view.map().PartitionOf(key);
+      Partition& part = stores_[p]->partition();
+      if (!part.running()) {
+        // Inline only when the whole cluster is down (seeding,
+        // single-threaded tests, recovery replay). A single stopped
+        // partition on an otherwise running cluster is the live-rebalance
+        // window — its store is being migrated into and checkpointed from
+        // the control thread, so executing inline here would race that;
+        // spill-enqueue instead and Wait() until the cutover starts it.
+        inline_mode = true;
+        size_t n = view.map().num_partitions();
+        for (size_t q = 0; q < n && inline_mode; ++q) {
+          inline_mode = !stores_[q]->partition().running();
+        }
+      }
+      // A not-running partition on a live cluster (the rebalance window)
+      // has no worker to signal backpressure — spill unconditionally, the
+      // pre-rebalancing overflow semantics for a stopped worker.
+      if (!inline_mode && (!part.running() ||
+                           part.QueueDepth() < part.queue_capacity())) {
+        ticket = part.SubmitAsync(Invocation{proc, std::move(params), batch_id},
+                                  EnqueuePolicy::kSpillWhenFull);
+      }
+    }
+    Partition& part = stores_[p]->partition();
+    if (inline_mode) {
+      // Partition::ExecuteSync runs the invocation inline on this thread
+      // and drains the PE cascades it triggers. No concurrent flip exists
+      // to race — Rebalance on a stopped cluster runs on the control
+      // thread, which is us.
+      return part.ExecuteSync(proc, std::move(params), batch_id);
+    }
+    if (ticket != nullptr) {
+      TxnOutcome outcome = ticket->Wait();
+      // The modeled client<->PE round trip (paper Figures 6/8): a
+      // synchronous cluster client pays it exactly as a single-partition
+      // one does.
+      part.PayClientRoundTrip();
+      return outcome;
+    }
+    // Backpressure outside the view, then re-route.
+    part.WaitForQueueBelow(part.queue_capacity());
+  }
 }
 
 TicketPtr Cluster::SubmitToPartition(size_t p, Invocation inv) {
@@ -193,17 +300,42 @@ TicketPtr Cluster::SubmitToPartition(size_t p, Invocation inv) {
 
 std::vector<BatchTicketPtr> Cluster::SubmitBatchAsync(
     std::vector<Invocation> invs) {
-  std::vector<std::vector<Invocation>> per_partition(stores_.size());
-  for (Invocation& inv : invs) {
-    per_partition[map_.PartitionOfId(inv.batch_id)].push_back(std::move(inv));
+  for (;;) {
+    size_t saturated = static_cast<size_t>(-1);
+    {
+      RoutingView view = LockRouting();
+      size_t n = view.map().num_partitions();
+      // Route by index first; invocations only move on a committing pass.
+      std::vector<std::vector<size_t>> routed(n);
+      for (size_t i = 0; i < invs.size(); ++i) {
+        routed[view.map().PartitionOfId(invs[i].batch_id)].push_back(i);
+      }
+      for (size_t p = 0; p < n && saturated == static_cast<size_t>(-1); ++p) {
+        if (routed[p].empty()) continue;
+        Partition& part = stores_[p]->partition();
+        // Not-running partitions spill regardless (no worker to wait on).
+        if (part.running() && part.QueueDepth() >= part.queue_capacity()) {
+          saturated = p;
+        }
+      }
+      if (saturated == static_cast<size_t>(-1)) {
+        std::vector<BatchTicketPtr> tickets;
+        for (size_t p = 0; p < n; ++p) {
+          if (routed[p].empty()) continue;
+          std::vector<Invocation> batch;
+          batch.reserve(routed[p].size());
+          for (size_t i : routed[p]) batch.push_back(std::move(invs[i]));
+          tickets.push_back(stores_[p]->partition().SubmitBatchAsync(
+              std::move(batch), EnqueuePolicy::kSpillWhenFull));
+        }
+        return tickets;
+      }
+    }
+    // A target is at capacity: wait outside the view, then re-route (the
+    // map may have moved on while we slept).
+    Partition& part = stores_[saturated]->partition();
+    part.WaitForQueueBelow(part.queue_capacity());
   }
-  std::vector<BatchTicketPtr> tickets;
-  for (size_t p = 0; p < per_partition.size(); ++p) {
-    if (per_partition[p].empty()) continue;
-    tickets.push_back(
-        stores_[p]->partition().SubmitBatchAsync(std::move(per_partition[p])));
-  }
-  return tickets;
 }
 
 BatchTicketPtr Cluster::SubmitBatchToPartition(size_t p,
@@ -213,15 +345,22 @@ BatchTicketPtr Cluster::SubmitBatchToPartition(size_t p,
 
 MultiKeyTicketPtr Cluster::SubmitMulti(
     const std::string& proc, std::vector<std::pair<Value, Tuple>> ops) {
-  std::vector<MultiOp> routed;
-  routed.reserve(ops.size());
-  for (auto& [key, params] : ops) {
-    MultiOp op;
-    op.partition = map_.PartitionOf(key);
-    op.inv = Invocation{proc, std::move(params), 0};
-    routed.push_back(std::move(op));
-  }
-  return coordinator_->SubmitMulti(std::move(routed));
+  // Routing happens inside the coordinator's admission gate so a concurrent
+  // Rebalance — which quiesces that gate before flipping the map — can
+  // never interleave between routing and submission.
+  return coordinator_->SubmitMultiRouted(
+      [this, proc, ops = std::move(ops)]() mutable {
+        RoutingView view = LockRouting();
+        std::vector<MultiOp> routed;
+        routed.reserve(ops.size());
+        for (auto& [key, params] : ops) {
+          MultiOp op;
+          op.partition = view.map().PartitionOf(key);
+          op.inv = Invocation{proc, std::move(params), 0};
+          routed.push_back(std::move(op));
+        }
+        return routed;
+      });
 }
 
 std::vector<TxnOutcome> Cluster::ExecuteMulti(
@@ -237,8 +376,9 @@ std::vector<TxnOutcome> Cluster::ExecuteOnAll(const std::string& proc,
   // is partition i's fragment, so the returned outcomes are indexed by
   // partition id. Atomic end to end via the coordinator.
   std::vector<MultiOp> ops;
-  ops.reserve(stores_.size());
-  for (size_t p = 0; p < stores_.size(); ++p) {
+  size_t n = num_partitions();
+  ops.reserve(n);
+  for (size_t p = 0; p < n; ++p) {
     MultiOp op;
     op.partition = p;
     op.inv = Invocation{proc, params, 0};
@@ -262,34 +402,14 @@ std::string Cluster::LogPath(const std::string& log_dir, uint64_t epoch,
          std::to_string(epoch) + ".log";
 }
 
-Status Cluster::Checkpoint(const std::string& dir) {
-  size_t running_count = 0;
-  for (auto& store : stores_) {
-    if (store->partition().running()) ++running_count;
-  }
-  if (running_count != 0 && running_count != stores_.size()) {
-    return Status::Internal(
-        "checkpoint needs a uniformly running or stopped cluster");
-  }
+std::string Cluster::DecisionLogPath(const std::string& log_dir,
+                                     uint64_t epoch) const {
+  if (epoch == 0) return log_dir + "/" + kDecisionLogName;
+  return log_dir + "/coord-decisions.e" + std::to_string(epoch) + ".log";
+}
 
-  // No multi-partition transaction may span the cut: block new submissions
-  // and wait for in-flight rounds to drain. Afterwards no request queue
-  // holds a participant fragment.
-  coordinator_->QuiesceBegin();
+Status Cluster::CheckpointAtBarrier(const std::string& dir) {
   uint64_t checkpoint_id = next_checkpoint_id_++;
-
-  // Stop-the-world barrier: every worker parks at a closure task, so the
-  // per-partition cut is at a transaction boundary and the catalog is safe
-  // to read from this thread. Producers keep enqueueing behind the barrier.
-  std::shared_ptr<WorkerBarrier> barrier;
-  if (running_count != 0) {
-    barrier = std::make_shared<WorkerBarrier>(stores_.size());
-    for (auto& store : stores_) {
-      store->partition().SubmitClosure(
-          [barrier](Partition&) { barrier->ArriveAndWait(); });
-    }
-    barrier->WaitAllArrived();
-  }
 
   // Mark the logs *before* writing snapshots: a crash in between leaves a
   // mark with no manifest pointing at it, which recovery simply ignores
@@ -307,16 +427,17 @@ Status Cluster::Checkpoint(const std::string& dir) {
   }
 
   // Log truncation: with every worker still parked, rotate each partition's
-  // log to a fresh epoch file whose first record is this checkpoint's mark,
-  // so the replayable suffix restarts at the cut instead of accumulating
-  // forever. The manifest naming the new epoch is made durable *first*:
-  // a crash (or error) before/during rotation then leaves the manifest
-  // pointing at epoch files that are absent or end at the mark — both
-  // replay as an empty suffix, which is exactly right because no
-  // transaction can commit until the barrier releases. The reverse order
-  // would let workers keep committing into files no durable manifest
-  // references. Old-epoch files are deleted only after everything above
-  // stuck.
+  // log (and the coordinator's decision log) to a fresh epoch file whose
+  // first record is this checkpoint's mark, so the replayable suffix
+  // restarts at the cut instead of accumulating forever. The manifest
+  // naming the new epoch is made durable *first*: a crash (or error)
+  // before/during rotation then leaves the manifest pointing at epoch files
+  // that are absent or end at the mark — both replay as an empty suffix,
+  // which is exactly right because no transaction can commit (and no
+  // multi-partition decision can be made) until the barrier releases and
+  // the coordinator un-quiesces. The reverse order would let workers keep
+  // committing into files no durable manifest references. Old-epoch files
+  // are deleted only after everything above stuck.
   uint64_t prev_epoch = log_epoch_;
   bool will_rotate = false;
   if (st.ok() && !options_.log_dir.empty()) {
@@ -326,8 +447,15 @@ Status Cluster::Checkpoint(const std::string& dir) {
     }
   }
   if (st.ok()) {
+    // The manifest records the routing table, making the rename above the
+    // atomic commit point of a rebalance cutover.
+    std::string map_block;
+    {
+      std::shared_lock<std::shared_mutex> lock(route_mu_);
+      map_block = map_.Encode();
+    }
     st = WriteManifest(dir, checkpoint_id, stores_.size(),
-                       will_rotate ? checkpoint_id : log_epoch_);
+                       will_rotate ? checkpoint_id : log_epoch_, map_block);
   }
   if (st.ok() && will_rotate) {
     for (size_t p = 0; p < stores_.size() && st.ok(); ++p) {
@@ -337,21 +465,270 @@ Status Cluster::Checkpoint(const std::string& dir) {
           LogPath(options_.log_dir, checkpoint_id, p));
       if (st.ok()) st = partition.AppendCheckpointMark(checkpoint_id);
     }
+    // The decision log rotates with the partition logs: the quiesced
+    // coordinator guarantees no transaction spans the cut, so pre-cut
+    // decisions are subsumed by the snapshots.
+    if (st.ok()) {
+      st = coordinator_->RotateDecisionLog(
+          DecisionLogPath(options_.log_dir, checkpoint_id));
+    }
     if (st.ok()) {
       log_epoch_ = checkpoint_id;
       for (size_t p = 0; p < stores_.size(); ++p) {
         std::remove(LogPath(options_.log_dir, prev_epoch, p).c_str());
       }
+      std::remove(DecisionLogPath(options_.log_dir, prev_epoch).c_str());
     }
     // A rotation failure leaves this partition unable to log (its old file
     // must not be truncated by reopening); the error is returned and the
     // cluster should be treated as needing recovery.
   }
+  return st;
+}
+
+Status Cluster::Checkpoint(const std::string& dir) {
+  std::lock_guard<std::mutex> control(control_mu_);
+  size_t running_count = 0;
+  for (auto& store : stores_) {
+    if (store->partition().running()) ++running_count;
+  }
+  if (running_count != 0 && running_count != stores_.size()) {
+    return Status::Internal(
+        "checkpoint needs a uniformly running or stopped cluster");
+  }
+
+  // No multi-partition transaction may span the cut: block new submissions
+  // and wait for in-flight rounds to drain. Afterwards no request queue
+  // holds a participant fragment.
+  coordinator_->QuiesceBegin();
+
+  // Stop-the-world barrier: every worker parks at a closure task, so the
+  // per-partition cut is at a transaction boundary and the catalog is safe
+  // to read from this thread. Producers keep enqueueing behind the barrier.
+  std::shared_ptr<WorkerBarrier> barrier;
+  if (running_count != 0) {
+    barrier = std::make_shared<WorkerBarrier>(stores_.size());
+    for (auto& store : stores_) {
+      store->partition().SubmitClosure(
+          [barrier](Partition&) { barrier->ArriveAndWait(); });
+    }
+    barrier->WaitAllArrived();
+  }
+
+  Status st = CheckpointAtBarrier(dir);
 
   if (barrier != nullptr) barrier->Release();
   coordinator_->QuiesceEnd();
   if (st.ok()) coordinator_->NoteCheckpoint();
   return st;
+}
+
+Status Cluster::Rebalance(const RebalancePlan& plan,
+                          RebalanceReport* report) {
+  std::lock_guard<std::mutex> control(control_mu_);
+  if (plan.checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "rebalance needs a checkpoint_dir: the cutover is committed through "
+        "the checkpoint manifest");
+  }
+  size_t n = stores_.size();
+  size_t running_count = 0;
+  for (auto& store : stores_) {
+    if (store->partition().running()) ++running_count;
+  }
+  if (running_count != 0 && running_count != n) {
+    return Status::Internal(
+        "rebalance needs a uniformly running or stopped cluster");
+  }
+  bool was_running = running_count != 0;
+  if (plan.source >= n) {
+    return Status::InvalidArgument("rebalance source partition " +
+                                   std::to_string(plan.source) +
+                                   " out of range");
+  }
+  // Validate the migration plan while the old map is still the only map: a
+  // typo'd table name or out-of-range key column must fail here, before
+  // anything is published — an error after the flip leaves a cluster that
+  // needs recovery. (Catalogs are DDL-frozen after Deploy, so reading them
+  // from the control thread is safe.)
+  for (const auto& [table_name, key_column] : plan.keyed_tables) {
+    for (size_t p = 0; p < n; ++p) {
+      Result<Table*> table = stores_[p]->catalog().GetTable(table_name);
+      if (!table.ok()) {
+        return Status(table.status().code(),
+                      "rebalance keyed table '" + table_name +
+                          "' on partition " + std::to_string(p) + ": " +
+                          table.status().message());
+      }
+      if (key_column < 0 || static_cast<size_t>(key_column) >=
+                                (*table)->schema().num_columns()) {
+        return Status::InvalidArgument(
+            "rebalance key column " + std::to_string(key_column) +
+            " out of range for table '" + table_name + "'");
+      }
+    }
+  }
+
+  // ---- Prepare (no pause): successor map, and for a split onto a new
+  // partition, a fully constructed + deployed store. ----
+  size_t target;
+  PartitionMap new_map(1);
+  std::unique_ptr<SStore> new_store;
+  if (plan.kind == RebalancePlan::Kind::kSplit) {
+    target = plan.target == static_cast<size_t>(-1) ? n : plan.target;
+    if (target > n) {
+      return Status::InvalidArgument(
+          "split target " + std::to_string(target) +
+          " beyond the next free partition id " + std::to_string(n));
+    }
+    if (target < n && map_.OwnsKeys(target) && target != plan.source) {
+      return Status::InvalidArgument(
+          "split target " + std::to_string(target) +
+          " still owns keys; only a new or retired partition can receive a "
+          "split");
+    }
+    SSTORE_ASSIGN_OR_RETURN(new_map, map_.WithSplit(plan.source, target));
+    if (target == n) {
+      if (n >= kMaxClusterPartitions) {
+        return Status::InvalidArgument("cluster is at its partition ceiling");
+      }
+      new_store = MakeStore(target, /*attach_log=*/true);
+      Status deployed = Status::OK();
+      if (deployed_topology_.has_value()) {
+        deployed = deployed_topology_->ApplyTo(*new_store, target);
+      } else if (deployed_plan_.has_value()) {
+        deployed = deployed_plan_->ApplyTo(*new_store);
+      }
+      if (!deployed.ok()) {
+        return Status(deployed.code(), "deploying split target partition " +
+                                           std::to_string(target) + ": " +
+                                           deployed.message());
+      }
+    }
+  } else {
+    if (plan.target >= n || plan.target == plan.source) {
+      return Status::InvalidArgument(
+          "merge needs a surviving target distinct from the source");
+    }
+    target = plan.target;
+    SSTORE_ASSIGN_OR_RETURN(new_map, map_.WithMerge(plan.source, target));
+  }
+  uint64_t new_version = new_map.version();
+
+  // ---- Quiesce: no multi-partition transaction spans the flip. ----
+  coordinator_->QuiesceBegin();
+  WallClock clock;
+
+  // ---- The flip: exclusive routing lock for microseconds. Publishing the
+  // barrier closures and the new map under one exclusive section gives the
+  // cutover its ordering guarantee: every task routed with the old map is
+  // ahead of the barrier on its old owner (FIFO), every task routed with
+  // the new map is behind it. Nothing in here blocks: closures spill. ----
+  int64_t flip_start = clock.NowMicros();
+  std::shared_ptr<WorkerBarrier> barrier;
+  bool grew = new_store != nullptr;
+  {
+    std::unique_lock<std::shared_mutex> route(route_mu_);
+    if (grew) {
+      stores_.push_back(std::move(new_store));
+      coordinator_->AddPartition(&stores_.back()->partition());
+      num_partitions_.store(stores_.size(), std::memory_order_release);
+    }
+    if (was_running) {
+      barrier = std::make_shared<WorkerBarrier>(n);
+      for (size_t p = 0; p < n; ++p) {
+        stores_[p]->partition().SubmitClosure(
+            [barrier](Partition&) { barrier->ArriveAndWait(); },
+            EnqueuePolicy::kSpillWhenFull);
+      }
+    }
+    map_ = std::move(new_map);
+  }
+  int64_t flip_end = clock.NowMicros();
+
+  // Workers drain everything routed with the old map, then park. Work for
+  // the new partition queues in its (not yet started) store meanwhile.
+  if (barrier != nullptr) barrier->WaitAllArrived();
+  int64_t barrier_start = clock.NowMicros();
+
+  // ---- At the barrier: extend channels, migrate the moving slice, and
+  // commit the cutover through the coordinated checkpoint. ----
+  if (grew) {
+    for (auto& channel : channels_) channel->OnPartitionAdded(target);
+  }
+  uint64_t rows_moved = 0;
+  Status st = MigrateKeyedRows(plan, &rows_moved);
+  if (st.ok()) st = CheckpointAtBarrier(plan.checkpoint_dir);
+
+  if (barrier != nullptr) barrier->Release();
+  int64_t barrier_end = clock.NowMicros();
+  // The new partition joins the running cluster only after the cutover is
+  // durable; its queued work (routed there since the flip) now drains.
+  // Start it *before* un-quiescing the coordinator, so a multi-partition
+  // transaction admitted right after the gate opens never observes a
+  // part-running/part-stopped cluster.
+  if (st.ok() && grew && was_running) stores_[target]->Start();
+  coordinator_->QuiesceEnd();
+  if (st.ok()) coordinator_->NoteCheckpoint();
+
+  if (report != nullptr) {
+    report->map_version = new_version;
+    report->source = plan.source;
+    report->target = target;
+    report->rows_migrated = rows_moved;
+    report->routing_pause_us = static_cast<uint64_t>(flip_end - flip_start);
+    report->barrier_pause_us =
+        static_cast<uint64_t>(barrier_end - barrier_start);
+  }
+  return st;
+}
+
+Status Cluster::MigrateKeyedRows(const RebalancePlan& plan,
+                                 uint64_t* rows_moved) {
+  *rows_moved = 0;
+  SStore& source = *stores_[plan.source];
+  for (const auto& [table_name, key_column] : plan.keyed_tables) {
+    Result<Table*> src = source.catalog().GetTable(table_name);
+    if (!src.ok()) {
+      return Status(src.status().code(), "rebalance keyed table '" +
+                                             table_name + "': " +
+                                             src.status().message());
+    }
+    Table& src_table = **src;
+    if (key_column < 0 ||
+        static_cast<size_t>(key_column) >= src_table.schema().num_columns()) {
+      return Status::InvalidArgument(
+          "rebalance key column " + std::to_string(key_column) +
+          " out of range for table '" + table_name + "'");
+    }
+    // Collect movers first (mutating mid-ForEach would disturb iteration),
+    // then move row by row. The map was already flipped, so "owner" is the
+    // post-rebalance owner; rows staying put are untouched.
+    std::vector<std::pair<RowId, size_t>> movers;
+    src_table.ForEach(
+        [&](RowId rid, const Tuple& row, const RowMeta&) {
+          size_t owner =
+              map_.PartitionOf(row[static_cast<size_t>(key_column)]);
+          if (owner != plan.source) movers.emplace_back(rid, owner);
+          return true;
+        },
+        /*include_staged=*/true);
+    for (const auto& [rid, owner] : movers) {
+      Result<const RowMeta*> meta = src_table.GetMeta(rid);
+      RowMeta row_meta = meta.ok() ? **meta : RowMeta{};
+      Result<Table*> dst = stores_[owner]->catalog().GetTable(table_name);
+      if (!dst.ok()) {
+        return Status(dst.status().code(),
+                      "rebalance target partition " + std::to_string(owner) +
+                          " lacks table '" + table_name + "'");
+      }
+      SSTORE_ASSIGN_OR_RETURN(Tuple row, src_table.Delete(rid));
+      Result<RowId> inserted = (*dst)->Insert(std::move(row), row_meta);
+      if (!inserted.ok()) return inserted.status();
+      ++*rows_moved;
+    }
+  }
+  return Status::OK();
 }
 
 Status Cluster::Recover(const std::string& dir, const std::string& log_dir) {
@@ -363,13 +740,55 @@ Status Cluster::Recover(const std::string& dir, const std::string& log_dir) {
   uint64_t checkpoint_id = 0;
   size_t manifest_partitions = 0;
   uint64_t manifest_epoch = 0;
+  std::optional<PartitionMap> manifest_map;
   SSTORE_RETURN_NOT_OK(
       ReadManifest(dir, &checkpoint_id, &manifest_partitions,
-                   &manifest_epoch));
-  if (manifest_partitions != stores_.size()) {
+                   &manifest_epoch, &manifest_map));
+  if (manifest_partitions < stores_.size()) {
     return Status::Corruption(
         "checkpoint has " + std::to_string(manifest_partitions) +
         " partitions, cluster has " + std::to_string(stores_.size()));
+  }
+  if (manifest_partitions > stores_.size()) {
+    // The checkpoint was cut after a split grew the cluster: spin up the
+    // missing partitions exactly as Rebalance did — same store options (no
+    // log: recovery must not truncate files about to be replayed), same
+    // deployed slice — before restoring.
+    if (!manifest_map.has_value()) {
+      return Status::Corruption(
+          "checkpoint grew to " + std::to_string(manifest_partitions) +
+          " partitions but records no partition map");
+    }
+    if (!deployed_topology_.has_value() && !deployed_plan_.has_value()) {
+      return Status::InvalidArgument(
+          "recovering a grown cluster needs Deploy() before Recover()");
+    }
+    for (size_t p = stores_.size(); p < manifest_partitions; ++p) {
+      std::unique_ptr<SStore> store = MakeStore(p, /*attach_log=*/false);
+      Status deployed =
+          deployed_topology_.has_value()
+              ? deployed_topology_->ApplyTo(*store, p)
+              : deployed_plan_->ApplyTo(*store);
+      if (!deployed.ok()) {
+        return Status(deployed.code(), "deploying recovered partition " +
+                                           std::to_string(p) + ": " +
+                                           deployed.message());
+      }
+      stores_.push_back(std::move(store));
+      coordinator_->AddPartition(&stores_.back()->partition());
+      num_partitions_.store(stores_.size(), std::memory_order_release);
+      for (auto& channel : channels_) channel->OnPartitionAdded(p);
+    }
+  }
+  if (manifest_map.has_value()) {
+    if (manifest_map->num_partitions() != stores_.size()) {
+      return Status::Corruption(
+          "manifest partition map covers " +
+          std::to_string(manifest_map->num_partitions()) +
+          " partitions, checkpoint has " + std::to_string(stores_.size()));
+    }
+    std::unique_lock<std::shared_mutex> route(route_mu_);
+    map_ = *manifest_map;
   }
 
   // Replaying a producer's log re-fires its commit hooks; the emissions it
@@ -382,7 +801,8 @@ Status Cluster::Recover(const std::string& dir, const std::string& log_dir) {
   if (!log_dir.empty()) {
     SSTORE_ASSIGN_OR_RETURN(
         std::vector<int64_t> gids,
-        TxnCoordinator::ReadCommittedGids(log_dir + "/" + kDecisionLogName));
+        TxnCoordinator::ReadCommittedGids(
+            DecisionLogPath(log_dir, manifest_epoch)));
     for (int64_t gid : gids) {
       committed_gids.insert(gid);
       if (gid > max_gid) max_gid = gid;
@@ -417,9 +837,9 @@ Status Cluster::Recover(const std::string& dir, const std::string& log_dir) {
   log_epoch_ = manifest_epoch;
 
   // Channel reconciliation: any raw boundary-stream batch the replay left
-  // pending is re-routed; sub-deliveries the consumer's durable cursor
-  // already covers are released, the rest are queued for delivery at
-  // Start(). Exactly-once across the crash.
+  // pending is re-routed (against the just-adopted map); sub-deliveries the
+  // consumer's durable cursor already covers are released, the rest are
+  // queued for delivery at Start(). Exactly-once across the crash.
   for (auto& channel : channels_) {
     SSTORE_RETURN_NOT_OK(channel->ReconcileAfterRecovery());
   }
@@ -428,23 +848,27 @@ Status Cluster::Recover(const std::string& dir, const std::string& log_dir) {
 }
 
 void Cluster::Start() {
-  for (auto& store : stores_) store->Start();
+  size_t n = num_partitions();
+  for (size_t p = 0; p < n; ++p) stores_[p]->Start();
 }
 
 void Cluster::Stop() {
-  for (auto& store : stores_) store->Stop();
+  size_t n = num_partitions();
+  for (size_t p = 0; p < n; ++p) stores_[p]->Stop();
 }
 
 bool Cluster::running() const {
-  for (const auto& store : stores_) {
-    if (!const_cast<SStore&>(*store).partition().running()) return false;
+  size_t n = num_partitions();
+  for (size_t p = 0; p < n; ++p) {
+    if (!const_cast<SStore&>(*stores_[p]).partition().running()) return false;
   }
-  return !stores_.empty();
+  return n != 0;
 }
 
 size_t Cluster::TotalQueueDepth() {
+  size_t n = num_partitions();
   size_t total = 0;
-  for (auto& store : stores_) total += store->partition().QueueDepth();
+  for (size_t p = 0; p < n; ++p) total += stores_[p]->partition().QueueDepth();
   return total;
 }
 
@@ -452,8 +876,11 @@ void Cluster::WaitIdle() {
   // One pass suffices without channels: a PE trigger on partition p only
   // ever re-enqueues on p (shared-nothing), so once each partition has been
   // seen idle the cluster is quiescent. Each wait sleeps on that
-  // partition's idle cv.
-  for (auto& store : stores_) store->partition().WaitIdle();
+  // partition's idle cv. Index loops (not iterators) because a concurrent
+  // Rebalance may grow the store vector — the reserved capacity keeps
+  // existing slots stable.
+  size_t n = num_partitions();
+  for (size_t p = 0; p < n; ++p) stores_[p]->partition().WaitIdle();
   if (channels_.empty()) return;
   // Channel deliveries hop partitions: a producer past its idle check may
   // have enqueued onto a consumer already checked. Repeat until a full pass
@@ -463,19 +890,22 @@ void Cluster::WaitIdle() {
   // it), and spinning on depth would never end — e.g. deliveries queued by
   // recovery reconciliation before Start().
   while (running() && TotalQueueDepth() != 0) {
-    for (auto& store : stores_) store->partition().WaitIdle();
+    n = num_partitions();
+    for (size_t p = 0; p < n; ++p) stores_[p]->partition().WaitIdle();
   }
   for (auto& channel : channels_) channel->ScheduleAckDrains();
-  for (auto& store : stores_) store->partition().WaitIdle();
+  n = num_partitions();
+  for (size_t p = 0; p < n; ++p) stores_[p]->partition().WaitIdle();
 }
 
 ClusterStats Cluster::GatherStats() const {
   ClusterStats out;
   out.coord = coordinator_->stats();
-  out.per_partition.reserve(stores_.size());
-  out.per_partition_engine.reserve(stores_.size());
-  for (const auto& store : stores_) {
-    SStore& s = const_cast<SStore&>(*store);
+  size_t n = num_partitions();
+  out.per_partition.reserve(n);
+  out.per_partition_engine.reserve(n);
+  for (size_t p = 0; p < n; ++p) {
+    SStore& s = const_cast<SStore&>(*stores_[p]);
     const Partition::Stats ps = s.partition().stats();
     const EngineStats& es = s.ee().stats();
     out.per_partition.push_back(ps);
@@ -501,9 +931,10 @@ ClusterStats Cluster::GatherStats() const {
 }
 
 void Cluster::ResetStats() {
-  for (auto& store : stores_) {
-    store->partition().ResetStats();
-    store->ee().ResetStats();
+  size_t n = num_partitions();
+  for (size_t p = 0; p < n; ++p) {
+    stores_[p]->partition().ResetStats();
+    stores_[p]->ee().ResetStats();
   }
   coordinator_->ResetStats();
 }

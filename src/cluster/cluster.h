@@ -1,7 +1,12 @@
 #ifndef SSTORE_CLUSTER_CLUSTER_H_
 #define SSTORE_CLUSTER_CLUSTER_H_
 
+#include <atomic>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,6 +22,47 @@
 namespace sstore {
 
 class StreamChannel;
+
+/// One live rebalancing step (see Cluster::Rebalance): split an overloaded
+/// partition's key range in two and migrate the moving half onto a freshly
+/// spun-up partition, or merge a partition's ranges back into an adjacent
+/// owner and retire it.
+struct RebalancePlan {
+  enum class Kind { kSplit, kMerge };
+
+  Kind kind = Kind::kSplit;
+  /// kSplit: the partition whose widest key range is halved.
+  /// kMerge: the partition being drained and retired.
+  size_t source = 0;
+  /// kSplit: the partition receiving the upper half. Defaults (SIZE_MAX) to
+  /// a brand-new partition appended to the cluster; an existing *retired*
+  /// partition id may be named to re-use its slot.
+  /// kMerge: the surviving owner (must already own adjacent ranges).
+  size_t target = static_cast<size_t>(-1);
+  /// Which tables hold key-routed rows, and which column routes each. Rows
+  /// of these tables migrate with their key range; tables not listed
+  /// (replicated reference data, metadata singletons, channel cursors) stay
+  /// where they are.
+  std::map<std::string, int> keyed_tables;
+  /// Where the cutover checkpoint lands. Required: the checkpoint manifest
+  /// — which now records the partition map — is the atomic commit point of
+  /// the whole migration. Recovering from this directory lands on the
+  /// post-rebalance map; a kill before the manifest rename leaves the
+  /// previous checkpoint (and the previous map) intact.
+  std::string checkpoint_dir;
+};
+
+/// Observability record of one completed Rebalance.
+struct RebalanceReport {
+  uint64_t map_version = 0;  // version() of the published map
+  size_t source = 0;
+  size_t target = 0;
+  uint64_t rows_migrated = 0;
+  /// Time the routing table was locked exclusively (producers stalled).
+  uint64_t routing_pause_us = 0;
+  /// Time every worker was parked at the barrier (migration + checkpoint).
+  uint64_t barrier_pause_us = 0;
+};
 
 /// Aggregate statistics snapshot over every partition of a Cluster: the
 /// partition-engine counters (Partition::Stats) and the execution-engine
@@ -88,8 +134,41 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  size_t num_partitions() const { return stores_.size(); }
-  const PartitionMap& partition_map() const { return map_; }
+  /// Current partition count — grows when Rebalance splits. Readable from
+  /// any thread; the count only ever grows, and store slots below it are
+  /// immutable once published.
+  size_t num_partitions() const {
+    return num_partitions_.load(std::memory_order_acquire);
+  }
+
+  /// A stable view of the routing table: holds the shared side of the
+  /// routing lock, so a concurrent Rebalance cannot flip the map while the
+  /// view lives. Every keyed route + enqueue pair must happen under one
+  /// view (the keyed entry points below do this internally). NEVER block
+  /// while holding a view — the rebalance flip waits on it exclusively,
+  /// and workers take views in commit hooks.
+  class RoutingView {
+   public:
+    const PartitionMap& map() const { return *map_; }
+
+   private:
+    friend class Cluster;
+    RoutingView(std::shared_lock<std::shared_mutex> lock,
+                const PartitionMap* map)
+        : lock_(std::move(lock)), map_(map) {}
+    std::shared_lock<std::shared_mutex> lock_;
+    const PartitionMap* map_;
+  };
+  RoutingView LockRouting() const {
+    return RoutingView(std::shared_lock<std::shared_mutex>(route_mu_), &map_);
+  }
+
+  /// Copy of the routing table (stable snapshot for inspection; the live
+  /// table may move on under a concurrent Rebalance).
+  PartitionMap partition_map() const {
+    std::shared_lock<std::shared_mutex> lock(route_mu_);
+    return map_;
+  }
 
   /// The full single-partition engine backing partition `p`.
   SStore& store(size_t p) { return *stores_[p]; }
@@ -120,7 +199,13 @@ class Cluster {
 
   // ---- Keyed routing (any thread) ----
 
-  size_t PartitionOf(const Value& key) const { return map_.PartitionOf(key); }
+  /// Snapshot route of one key (takes the shared routing lock). For a
+  /// route that must stay valid across an enqueue, hold a RoutingView
+  /// instead — a concurrent Rebalance may move the key after this returns.
+  size_t PartitionOf(const Value& key) const {
+    std::shared_lock<std::shared_mutex> lock(route_mu_);
+    return map_.PartitionOf(key);
+  }
 
   /// Routes by the designated key value: hashes `key` to the owning
   /// partition and enqueues there.
@@ -196,17 +281,61 @@ class Cluster {
   /// Restores every partition to the consistent cut of the last checkpoint
   /// in `dir`, then replays each partition's post-checkpoint log suffix
   /// from `log_dir`, resolving in-doubt multi-partition transactions
-  /// against the coordinator's decision log. Call on a freshly constructed
-  /// cluster (same partition count, same Deploy()ed plan or topology, *no*
-  /// log_dir in its Options — attaching logs would truncate the files being
-  /// replayed) before Start(). An empty `log_dir` restores the snapshots
-  /// only. The manifest's log epoch selects which rotation's files are
-  /// replayed. For placed topologies, channels are disabled during replay
-  /// and then reconciled: raw boundary-stream batches the consumer's
-  /// durable cursor does not cover are re-forwarded (queued until Start()),
-  /// covered ones are released — the placed workflow replays to the same
-  /// consistent cut as a replicated one.
+  /// against the coordinator's decision log (the rotation epoch's file, per
+  /// the manifest). Call on a freshly constructed cluster (the *original*
+  /// partition count, same Deploy()ed plan or topology, *no* log_dir in its
+  /// Options — attaching logs would truncate the files being replayed)
+  /// before Start(). An empty `log_dir` restores the snapshots only. The
+  /// manifest's log epoch selects which rotation's files are replayed.
+  ///
+  /// When the checkpoint was cut after a Rebalance split grew the cluster,
+  /// the manifest records more partitions than were constructed: Recover
+  /// spins the missing ones up from the deployed plan/topology and adopts
+  /// the manifest's partition map, so the cluster restarts on exactly the
+  /// routing table the cutover published.
+  ///
+  /// For placed topologies, channels are disabled during replay and then
+  /// reconciled: raw boundary-stream batches the consumer's durable cursor
+  /// does not cover are re-forwarded (queued until Start()), covered ones
+  /// are released — the placed workflow replays to the same consistent cut
+  /// as a replicated one.
   Status Recover(const std::string& dir, const std::string& log_dir);
+
+  // ---- Live rebalancing ----
+
+  /// Splits or merges key ranges of a *running* (or uniformly stopped)
+  /// cluster and live-migrates the moving slice. The protocol:
+  ///
+  ///  1. Prepare: for a split onto a new partition, a complete store is
+  ///     constructed and the deployed plan/topology slice applied to it —
+  ///     outside any pause.
+  ///  2. The coordinator quiesces (in-flight multi-partition transactions
+  ///     drain; new ones block at the admission gate).
+  ///  3. The routing lock is taken exclusively — for microseconds: the new
+  ///     store is published, barrier closures are enqueued on every running
+  ///     partition (spill policy: nothing blocks under this lock), and the
+  ///     new map version is published. Work routed with the old map is, by
+  ///     FIFO order, *ahead* of the barrier on its old owner; work routed
+  ///     with the new map lands behind it (or queues on the not-yet-started
+  ///     new store).
+  ///  4. Workers drain everything routed with the old map, then park.
+  ///  5. At the barrier: channels grow lanes/hooks onto a new partition,
+  ///     rows of `plan.keyed_tables` whose key now routes elsewhere are
+  ///     migrated, and the coordinated checkpoint (marks, snapshots of
+  ///     every partition including the new one, manifest + map, log and
+  ///     decision-log rotation) commits the cutover. The manifest rename is
+  ///     the atomic commit point: a kill before it recovers to the
+  ///     pre-rebalance map and data, after it to the post-rebalance state —
+  ///     never in between, and no key is ever owned by two partitions.
+  ///  6. Release; the new partition's worker starts and consumes whatever
+  ///     queued behind the flip.
+  ///
+  /// A merge is the same cutover with the `source`'s ranges handed to the
+  /// adjacent `target` and every keyed row drained off `source`; the
+  /// retired partition keeps running (channels or pinned stages may still
+  /// live there) but owns no keys.
+  Status Rebalance(const RebalancePlan& plan,
+                   RebalanceReport* report = nullptr);
 
   // ---- Lifecycle ----
 
@@ -242,10 +371,43 @@ class Cluster {
   /// pre-rotation name `partition-<p>.log`).
   std::string LogPath(const std::string& log_dir, uint64_t epoch,
                       size_t p) const;
+  /// Coordinator decision-log path for one rotation epoch (epoch 0 is the
+  /// pre-rotation name `coord-decisions.log`).
+  std::string DecisionLogPath(const std::string& log_dir,
+                              uint64_t epoch) const;
+  /// Constructs the store for partition `p` with the cluster's options.
+  /// `attach_log` false is for Recover, whose stores must not truncate the
+  /// files about to be replayed.
+  std::unique_ptr<SStore> MakeStore(size_t p, bool attach_log) const;
+  /// The checkpoint body: marks, snapshots, manifest (with the current
+  /// map), log + decision-log rotation. Requires every worker parked at a
+  /// barrier or stopped, and the coordinator quiesced.
+  Status CheckpointAtBarrier(const std::string& dir);
+  /// Moves rows of `plan.keyed_tables` off `plan.source` to wherever the
+  /// (already published) map now routes their key. Requires workers parked
+  /// or stopped.
+  Status MigrateKeyedRows(const RebalancePlan& plan, uint64_t* rows_moved);
 
   Options options_;
+  /// Serializes the control plane: Checkpoint and Rebalance compute
+  /// successor state (maps, epochs) outside the routing lock, so two of
+  /// them must not interleave.
+  std::mutex control_mu_;
+  /// The routing table. Guarded by route_mu_: keyed producers hold the
+  /// shared side across their route + (non-blocking) enqueue, Rebalance
+  /// holds the exclusive side for the brief flip.
+  mutable std::shared_mutex route_mu_;
   PartitionMap map_;
+  /// Published partition count; trails stores_.push_back with release order
+  /// so readers of the count see initialized slots.
+  std::atomic<size_t> num_partitions_{0};
+  /// Capacity is reserved to kMaxClusterPartitions at construction, so
+  /// runtime growth never reallocates under concurrent partition(p) calls.
   std::vector<std::unique_ptr<SStore>> stores_;
+  /// What Deploy() applied — retained so Rebalance and Recover can stamp
+  /// the identical slice onto partitions added later.
+  std::optional<DeploymentPlan> deployed_plan_;
+  std::optional<Topology> deployed_topology_;
   /// Declared after stores_ so participant closures (which reference the
   /// coordinator) are drained by Stop() while it is still alive.
   std::unique_ptr<TxnCoordinator> coordinator_;

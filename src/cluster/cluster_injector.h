@@ -1,7 +1,10 @@
 #ifndef SSTORE_CLUSTER_CLUSTER_INJECTOR_H_
 #define SSTORE_CLUSTER_CLUSTER_INJECTOR_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -63,12 +66,19 @@ class ClusterBatchTicket {
 /// border SP — the stream-order constraint, preserved per partition.
 ///
 /// The designated key column (`Options::key_column`) is read from each batch
-/// tuple and hashed through the cluster's PartitionMap; same key, same
-/// partition, every time. Batch ids are allocated per partition under a
-/// per-partition lane lock held across id assignment *and* enqueue, so
-/// concurrent producers cannot invert id order relative to queue order
-/// within a partition (cross-partition order is unconstrained — that is the
-/// shared-nothing bargain).
+/// tuple and routed through the cluster's PartitionMap; same key, same
+/// partition — until a `Cluster::Rebalance` re-homes the key's range. The
+/// injector follows the live map: every injection routes and enqueues under
+/// one `Cluster::RoutingView`, so the owner cannot flip between the two,
+/// and a partition added by a split gets a fresh batch-id lane starting at
+/// 1 — each partition's border SP still sees strictly increasing ids
+/// (§2.2 per-lane order), whichever map version routed them.
+///
+/// Batch ids are allocated per partition under a per-partition lane lock
+/// held across id assignment *and* enqueue, so concurrent producers cannot
+/// invert id order relative to queue order within a partition
+/// (cross-partition order is unconstrained — that is the shared-nothing
+/// bargain).
 ///
 /// `Options::max_queue_depth` bounds each partition's request backlog; in
 /// the default kBlock mode a throttled producer sleeps on the owning
@@ -90,18 +100,38 @@ class ClusterInjector {
   ClusterInjector(Cluster* cluster, std::string border_proc, Options options)
       : cluster_(cluster),
         border_proc_(std::move(border_proc)),
-        options_(options),
-        lanes_(cluster->num_partitions()) {
-    for (auto& lane : lanes_) lane = std::make_unique<Lane>();
-  }
+        options_(options) {}
 
   ClusterInjector(const ClusterInjector&) = delete;
   ClusterInjector& operator=(const ClusterInjector&) = delete;
 
-  /// Non-blocking injection routed by the batch's key column.
+  ~ClusterInjector() {
+    for (auto& slot : lanes_) delete slot.load(std::memory_order_acquire);
+  }
+
+  /// Non-blocking injection routed by the batch's key column against the
+  /// live partition map.
   TicketPtr InjectAsync(Tuple batch) {
-    size_t p = RouteOf(batch);
-    return EnqueueOn(p, std::move(batch));
+    for (;;) {
+      // Throttle against the probable owner first, with no locks held —
+      // backpressure can sleep a long time, and sleeping under the routing
+      // view would stall a rebalance flip.
+      size_t probe = RouteOf(batch);
+      Throttle(cluster_->partition(probe));
+      Cluster::RoutingView view = cluster_->LockRouting();
+      size_t p = RouteOf(batch, view.map());
+      if (p != probe) continue;  // the map moved while we slept; re-throttle
+      Lane& lane = LaneOf(p);
+      std::lock_guard<std::mutex> hold(lane.mu);
+      int64_t batch_id = lane.next_batch_id++;
+      // kSpillWhenFull: never block on a full ring while holding the lane
+      // (other producers for this partition would stall behind the mutex)
+      // or the routing view (the rebalance flip waits on it). Backpressure
+      // for injectors is the Throttle() depth limit above.
+      return cluster_->partition(p).SubmitAsync(
+          Invocation{border_proc_, std::move(batch), batch_id},
+          EnqueuePolicy::kSpillWhenFull);
+    }
   }
 
   /// Batch-at-a-time injection: splits the batch by key, then submits one
@@ -109,28 +139,53 @@ class ClusterInjector {
   /// allocation and one completion signal per partition instead of per
   /// tuple. Per-partition batch ids remain consecutive and ordered.
   ClusterBatchTicket InjectBatchAsync(std::vector<Tuple> batches) {
-    std::vector<std::vector<Invocation>> per_partition(lanes_.size());
-    for (Tuple& batch : batches) {
-      size_t p = RouteOf(batch);
-      per_partition[p].push_back(
-          Invocation{border_proc_, std::move(batch), /*batch_id=*/0});
-    }
-    ClusterBatchTicket ticket;
-    for (size_t p = 0; p < per_partition.size(); ++p) {
-      if (per_partition[p].empty()) continue;
-      Partition& partition = cluster_->partition(p);
-      Throttle(partition);
-      std::lock_guard<std::mutex> hold(lanes_[p]->mu);
-      for (Invocation& inv : per_partition[p]) {
-        inv.batch_id = lanes_[p]->next_batch_id++;
+    for (;;) {
+      // Backpressure pass against the probable owners, before any lock the
+      // enqueue needs. The map version ties the two passes together: if a
+      // rebalance flips routing while we sleep at a throttle, the split
+      // below would hit partitions whose depth was never checked — retry
+      // instead (the same race InjectAsync handles by re-routing).
+      uint64_t throttled_version = 0;
+      if (options_.max_queue_depth != 0) {
+        std::map<size_t, bool> touched;
+        {
+          Cluster::RoutingView view = cluster_->LockRouting();
+          throttled_version = view.map().version();
+          for (const Tuple& batch : batches) {
+            touched[RouteOf(batch, view.map())] = true;
+          }
+        }
+        for (const auto& [p, unused] : touched) {
+          (void)unused;
+          Throttle(cluster_->partition(p));
+        }
       }
-      // kSpillWhenFull: never block on a full ring while holding the lane —
-      // other producers for this partition would stall behind the mutex.
-      // Backpressure for injectors is the Throttle() depth limit above.
-      ticket.tickets_.push_back(partition.SubmitBatchAsync(
-          std::move(per_partition[p]), EnqueuePolicy::kSpillWhenFull));
+      Cluster::RoutingView view = cluster_->LockRouting();
+      if (options_.max_queue_depth != 0 &&
+          view.map().version() != throttled_version) {
+        continue;  // the map moved while we slept; re-route and re-throttle
+      }
+      std::map<size_t, std::vector<Invocation>> per_partition;
+      for (Tuple& batch : batches) {
+        size_t p = RouteOf(batch, view.map());
+        per_partition[p].push_back(
+            Invocation{border_proc_, std::move(batch), /*batch_id=*/0});
+      }
+      ClusterBatchTicket ticket;
+      for (auto& [p, invs] : per_partition) {
+        Partition& partition = cluster_->partition(p);
+        Lane& lane = LaneOf(p);
+        std::lock_guard<std::mutex> hold(lane.mu);
+        for (Invocation& inv : invs) {
+          inv.batch_id = lane.next_batch_id++;
+        }
+        // kSpillWhenFull: see InjectAsync — no blocking under the lane or
+        // the routing view.
+        ticket.tickets_.push_back(partition.SubmitBatchAsync(
+            std::move(invs), EnqueuePolicy::kSpillWhenFull));
+      }
+      return ticket;
     }
-    return ticket;
   }
 
   /// Blocking injection: waits for the border transaction to commit on the
@@ -139,7 +194,8 @@ class ClusterInjector {
     return InjectAsync(std::move(batch))->Wait();
   }
 
-  /// Partition a batch with this key column value would be routed to.
+  /// Partition a batch with this key column value would be routed to (a
+  /// snapshot — a concurrent rebalance may move it).
   size_t RouteOfKey(const Value& key) const {
     return cluster_->PartitionOf(key);
   }
@@ -147,17 +203,18 @@ class ClusterInjector {
   /// Total batches injected across all partitions.
   int64_t batches_injected() const {
     int64_t total = 0;
-    for (const auto& lane : lanes_) {
-      std::lock_guard<std::mutex> hold(lane->mu);
-      total += lane->next_batch_id - 1;
+    for (size_t p = 0; p < kMaxClusterPartitions; ++p) {
+      total += batches_injected(p);
     }
     return total;
   }
 
   /// Batches injected into one partition.
   int64_t batches_injected(size_t p) const {
-    std::lock_guard<std::mutex> hold(lanes_[p]->mu);
-    return lanes_[p]->next_batch_id - 1;
+    const Lane* lane = lanes_[p].load(std::memory_order_acquire);
+    if (lane == nullptr) return 0;
+    std::lock_guard<std::mutex> hold(lane->mu);
+    return lane->next_batch_id - 1;
   }
 
  private:
@@ -166,24 +223,47 @@ class ClusterInjector {
     int64_t next_batch_id = 1;
   };
 
-  size_t RouteOf(const Tuple& batch) const {
+  /// Lanes are created on first touch so the injector follows cluster
+  /// growth: a partition added by Rebalance gets a fresh lane (ids from 1).
+  /// The slot array is fixed at the cluster ceiling, so the common path is
+  /// one acquire load — no shared lock on the ingest hot path; the grow
+  /// mutex is taken once per lane ever. Lane objects are heap-pinned.
+  Lane& LaneOf(size_t p) {
+    Lane* lane = lanes_[p].load(std::memory_order_acquire);
+    if (lane != nullptr) return *lane;
+    std::lock_guard<std::mutex> hold(lanes_grow_mu_);
+    lane = lanes_[p].load(std::memory_order_relaxed);
+    if (lane == nullptr) {
+      lane = new Lane();
+      lanes_[p].store(lane, std::memory_order_release);
+    }
+    return *lane;
+  }
+
+  size_t RouteOf(const Tuple& batch, const PartitionMap& map) const {
     size_t column = static_cast<size_t>(options_.key_column);
     if (column >= batch.size()) {
-      // A batch without the key column routes by its arrival partition 0 —
+      // A batch without the key column routes to partition 0 —
       // deterministic, and visible in skewed per-partition stats rather
       // than silently dropped.
       return 0;
     }
+    return map.PartitionOf(batch[column]);
+  }
+
+  size_t RouteOf(const Tuple& batch) const {
+    size_t column = static_cast<size_t>(options_.key_column);
+    if (column >= batch.size()) return 0;
     return cluster_->PartitionOf(batch[column]);
   }
 
-  // Throttle *before* taking the lane lock: a producer stuck at the limit
-  // must not block stats readers or hold the lane across a long wait.
-  // Concurrent producers racing past the check can overshoot the limit by
-  // at most the producer count — backpressure is a bound on growth, not an
-  // exact ceiling. Order among concurrently-throttled producers is
-  // unspecified either way; the lane lock still guarantees that batch-id
-  // order equals queue order.
+  // Throttle *before* taking the lane lock or the routing view: a producer
+  // stuck at the limit must not block stats readers, the lane, or a
+  // rebalance flip across a long wait. Concurrent producers racing past
+  // the check can overshoot the limit by at most the producer count —
+  // backpressure is a bound on growth, not an exact ceiling. Order among
+  // concurrently-throttled producers is unspecified either way; the lane
+  // lock still guarantees that batch-id order equals queue order.
   void Throttle(Partition& partition) {
     if (options_.max_queue_depth == 0) return;
     if (options_.backpressure == BackpressureMode::kBlock) {
@@ -195,21 +275,14 @@ class ClusterInjector {
     }
   }
 
-  TicketPtr EnqueueOn(size_t p, Tuple batch) {
-    Partition& partition = cluster_->partition(p);
-    Throttle(partition);
-    std::lock_guard<std::mutex> hold(lanes_[p]->mu);
-    int64_t batch_id = lanes_[p]->next_batch_id++;
-    // kSpillWhenFull: see InjectBatchAsync — no blocking under the lane.
-    return partition.SubmitAsync(
-        Invocation{border_proc_, std::move(batch), batch_id},
-        EnqueuePolicy::kSpillWhenFull);
-  }
-
   Cluster* cluster_;
   std::string border_proc_;
   Options options_;
-  std::vector<std::unique_ptr<Lane>> lanes_;
+  /// Serializes lane creation only; lookups are lock-free loads.
+  std::mutex lanes_grow_mu_;
+  /// Slot per possible partition id (8 KiB of pointers), published with
+  /// release order once constructed. Freed in the destructor.
+  std::array<std::atomic<Lane*>, kMaxClusterPartitions> lanes_{};
 };
 
 }  // namespace sstore

@@ -23,8 +23,16 @@ namespace sstore {
 ///
 /// The point of recording instead of executing directly is shared-nothing
 /// scale-out: `Cluster::Deploy` applies one plan to every partition, so all
-/// replicas of the application are provably identical — the same property
-/// recovery relies on when it re-creates a partition before log replay.
+/// replicas of the application are provably identical — the property
+/// recovery relies on when it re-creates a partition before log replay, and
+/// rebalancing relies on when it stamps the application onto a partition
+/// spun up at runtime.
+///
+/// A plan deploys every stage on every partition. To *place* stages
+/// (pin to one partition, spread by key) use TopologyBuilder
+/// (cluster/topology.h), which subsumes this builder — same fluent DDL
+/// steps — and derives the cross-partition stream channels; a plan is the
+/// all-kEverywhere special case.
 ///
 /// Steps apply in the order they were added; a workflow deployment must come
 /// after the procedures and streams it references, exactly as with direct

@@ -15,8 +15,7 @@ std::string ChannelCursorTableName(const std::string& stream) {
   return "__chan_pos_" + stream;
 }
 
-Status InstallChannelConsumerSupport(SStore& store, const ChannelSpec& spec,
-                                     size_t num_partitions) {
+Status InstallChannelConsumerSupport(SStore& store, const ChannelSpec& spec) {
   // Cursor table: one row per producer lane, advanced inside each delivery
   // transaction — the snapshot + log replay restore exactly how far every
   // lane got, which is what ReconcileAfterRecovery keys exactly-once on.
@@ -33,13 +32,12 @@ Status InstallChannelConsumerSupport(SStore& store, const ChannelSpec& spec,
   std::string proc_name = ChannelIngestProcName(spec.stream);
   if (store.partition().HasProcedure(proc_name)) return Status::OK();
   std::string stream = spec.stream;
-  int64_t n = static_cast<int64_t>(num_partitions);
   auto proc = std::make_shared<LambdaProcedure>(
-      [stream, cursor, n](ProcContext& ctx) -> Status {
+      [stream, cursor](ProcContext& ctx) -> Status {
         SSTORE_ASSIGN_OR_RETURN(Table * stream_table, ctx.table(stream));
         size_t width = stream_table->schema().num_columns();
         int64_t id = ctx.batch_id();
-        int64_t lane = (id - kChannelBatchIdBase) % n;
+        int64_t lane = (id - kChannelBatchIdBase) % kChannelLaneStride;
 
         SSTORE_ASSIGN_OR_RETURN(Table * cursor_table, ctx.table(cursor));
         SSTORE_ASSIGN_OR_RETURN(
@@ -95,8 +93,7 @@ StreamChannel::StreamChannel(Cluster* cluster, ChannelSpec spec)
 
 int64_t StreamChannel::EncodeBatchId(int64_t producer_batch,
                                      size_t lane) const {
-  return kChannelBatchIdBase +
-         producer_batch * static_cast<int64_t>(cluster_->num_partitions()) +
+  return kChannelBatchIdBase + producer_batch * kChannelLaneStride +
          static_cast<int64_t>(lane);
 }
 
@@ -108,6 +105,17 @@ void StreamChannel::InstallHooks() {
           OnProducerCommit(p, te);
         });
   }
+}
+
+void StreamChannel::OnPartitionAdded(size_t p) {
+  while (lanes_.size() <= p) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  if (!spec_.ProducerRunsOn(p)) return;
+  cluster_->partition(p).AddCommitHook(
+      [this, p](Partition&, const TransactionExecution& te) {
+        OnProducerCommit(p, te);
+      });
 }
 
 void StreamChannel::OnProducerCommit(size_t lane,
@@ -134,7 +142,7 @@ void StreamChannel::OnProducerCommit(size_t lane,
 }
 
 std::map<size_t, std::vector<Tuple>> StreamChannel::RouteRows(
-    std::vector<Tuple> rows) const {
+    std::vector<Tuple> rows, const PartitionMap& map) const {
   std::map<size_t, std::vector<Tuple>> routed;
   if (spec_.consumer_placement.kind == Placement::Kind::kPinned) {
     routed[spec_.consumer_placement.partition] = std::move(rows);
@@ -144,8 +152,7 @@ std::map<size_t, std::vector<Tuple>> StreamChannel::RouteRows(
   // (and the same missing-column fallback) as ClusterInjector.
   size_t column = static_cast<size_t>(spec_.consumer_placement.key_column);
   for (Tuple& row : rows) {
-    size_t target =
-        column < row.size() ? cluster_->PartitionOf(row[column]) : 0;
+    size_t target = column < row.size() ? map.PartitionOf(row[column]) : 0;
     routed[target].push_back(std::move(row));
   }
   return routed;
@@ -155,7 +162,14 @@ void StreamChannel::ForwardBatch(size_t lane, int64_t producer_batch,
                                  std::vector<Tuple> rows,
                                  const std::map<size_t, int64_t>* cursors) {
   int64_t encoded = EncodeBatchId(producer_batch, lane);
-  std::map<size_t, std::vector<Tuple>> routed = RouteRows(std::move(rows));
+  // The view pins the routing table across route + enqueue, so a
+  // concurrent Rebalance cannot flip ownership between the two — a
+  // delivery either targets the pre-flip owner (and lands ahead of the
+  // rebalance barrier there) or the post-flip one. Everything under it is
+  // non-blocking (spill enqueues, lane mutex).
+  Cluster::RoutingView view = cluster_->LockRouting();
+  std::map<size_t, std::vector<Tuple>> routed =
+      RouteRows(std::move(rows), view.map());
   Delivery delivery;
   delivery.producer_batch = producer_batch;
   for (auto& [target, target_rows] : routed) {
@@ -291,8 +305,8 @@ Status StreamChannel::ReconcileAfterRecovery() {
                             streams.PendingBatches(spec_.stream));
     for (int64_t batch : pending) {
       if (consumer_here && batch >= kChannelBatchIdBase) {
-        size_t lane = static_cast<size_t>(
-            (batch - kChannelBatchIdBase) % static_cast<int64_t>(n));
+        size_t lane = static_cast<size_t>((batch - kChannelBatchIdBase) %
+                                          kChannelLaneStride);
         if (batch <= local_cursor[lane]) continue;  // delivered, not ours
       }
       SSTORE_ASSIGN_OR_RETURN(std::vector<Tuple> rows,

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/partition_map.h"
 #include "cluster/topology.h"
 #include "common/status.h"
 #include "engine/partition.h"
@@ -24,6 +25,15 @@ class Cluster;
 /// trigger layer's emitter filters and recovery reconciliation key on it.
 inline constexpr int64_t kChannelBatchIdBase = int64_t{1} << 40;
 
+/// Stride of the per-lane batch-id encoding: delivered ids are
+/// `kChannelBatchIdBase + producer_batch * stride + lane`. The stride is a
+/// fixed constant — NOT the current partition count — so ids encoded before
+/// a Cluster::Rebalance grows the cluster still decode to the same lane
+/// afterwards; it therefore also caps how many partitions can ever produce
+/// into one channel (the cluster ceiling).
+inline constexpr int64_t kChannelLaneStride =
+    static_cast<int64_t>(kMaxClusterPartitions);
+
 /// Name of the generated border procedure that applies one channel delivery
 /// on a consumer partition.
 std::string ChannelIngestProcName(const std::string& stream);
@@ -34,9 +44,10 @@ std::string ChannelCursorTableName(const std::string& stream);
 
 /// Registers the channel's consumer-side plumbing on one store: the cursor
 /// table and the delivery procedure. Called by Topology::ApplyTo on every
-/// partition where the channel's consumer stage runs.
-Status InstallChannelConsumerSupport(SStore& store, const ChannelSpec& spec,
-                                     size_t num_partitions);
+/// partition where the channel's consumer stage runs (including partitions
+/// spun up later by Cluster::Rebalance — the batch-id encoding is
+/// partition-count independent, so late installs decode identically).
+Status InstallChannelConsumerSupport(SStore& store, const ChannelSpec& spec);
 
 /// The transport of one placement boundary (paper §4.7, streams as the
 /// transport between distributed workflow stages): a commit hook on every
@@ -49,11 +60,11 @@ Status InstallChannelConsumerSupport(SStore& store, const ChannelSpec& spec,
 /// Ordering (paper §2.2, the stream-order constraint): each producer
 /// partition is one *lane*; forwarding happens on that partition's single
 /// worker in commit order, and the channel batch id
-/// `kChannelBatchIdBase + producer_batch * N + lane` is strictly monotonic
-/// per lane — so every consumer sees each lane's batches in the order the
-/// producer committed them. Lanes from different producer partitions
-/// interleave arbitrarily (the shared-nothing bargain, same as keyed
-/// injection).
+/// `kChannelBatchIdBase + producer_batch * kChannelLaneStride + lane` is
+/// strictly monotonic per lane — so every consumer sees each lane's batches
+/// in the order the producer committed them. Lanes from different producer
+/// partitions interleave arbitrarily (the shared-nothing bargain, same as
+/// keyed injection).
 ///
 /// Exactly-once: the delivery transaction appends the batch to the consumer
 /// partition's stream table *and* advances that lane's cursor row in one
@@ -85,6 +96,12 @@ class StreamChannel {
   /// Installs the forwarding commit hook on every producer partition.
   /// Called once by Cluster::Deploy, before Start().
   void InstallHooks();
+
+  /// Extends the channel to a partition added by Cluster::Rebalance: a
+  /// fresh lane, plus the forwarding hook when a producer stage runs there.
+  /// Call only while every worker is parked at the rebalance barrier (or
+  /// stopped, during Recover) — lane storage is grown un-synchronized.
+  void OnPartitionAdded(size_t p);
 
   /// Gate for recovery: replaying a producer's log re-fires its commit
   /// hooks, and those emissions were already transported pre-crash (or will
@@ -127,13 +144,16 @@ class StreamChannel {
   void OnProducerCommit(size_t lane, const TransactionExecution& te);
   /// Routes `rows` by the consumer placement, submits one delivery per
   /// target partition, and records the tickets for deferred GC. `cursors`
-  /// (reconciliation only) suppresses targets already covered.
+  /// (reconciliation only) suppresses targets already covered. Routing and
+  /// enqueue happen under one Cluster::RoutingView so a concurrent
+  /// rebalance flip cannot split them.
   void ForwardBatch(size_t lane, int64_t producer_batch,
                     std::vector<Tuple> rows,
                     const std::map<size_t, int64_t>* cursors);
-  /// Target partition -> rows, per the consumer placement. Deterministic —
-  /// reconciliation replays the same split.
-  std::map<size_t, std::vector<Tuple>> RouteRows(std::vector<Tuple> rows) const;
+  /// Target partition -> rows, per the consumer placement against `map`.
+  /// Deterministic — reconciliation replays the same split.
+  std::map<size_t, std::vector<Tuple>> RouteRows(std::vector<Tuple> rows,
+                                                 const PartitionMap& map) const;
   /// GCs acknowledged deliveries of one lane. Must run on that partition's
   /// worker thread, or with it stopped.
   void DrainLane(size_t lane);

@@ -36,8 +36,7 @@ Result<Placement> Topology::placement_of(const std::string& proc) const {
   return it->second;
 }
 
-Status Topology::ApplyTo(SStore& store, size_t p,
-                         size_t num_partitions) const {
+Status Topology::ApplyTo(SStore& store, size_t p) const {
   // Shared slice: DDL, seed rows, streams, windows, fragments are identical
   // on every partition (recovery re-creates partitions from the same slice,
   // so the slice must be a pure function of the partition id).
@@ -64,8 +63,7 @@ Status Topology::ApplyTo(SStore& store, size_t p,
   // the consumer stage runs.
   for (const ChannelSpec& channel : channels_) {
     if (!channel.consumer_placement.RunsOn(p)) continue;
-    SSTORE_RETURN_NOT_OK(
-        InstallChannelConsumerSupport(store, channel, num_partitions));
+    SSTORE_RETURN_NOT_OK(InstallChannelConsumerSupport(store, channel));
   }
 
   // Workflow slice: PE triggers for the locally running stages, with
@@ -340,6 +338,42 @@ Result<Topology> TopologyBuilder::Build() const {
               "upstream so batch ids stay monotonic per lane");
         }
       }
+    }
+  }
+
+  // Chain-depth bound: a stage fed through a channel inherits a
+  // channel-range batch id and re-encodes it when it feeds the next
+  // boundary, multiplying by the lane stride (~10 bits) per hop on top of
+  // kChannelBatchIdBase. Past two chained boundaries the encoding can
+  // overflow int64 within a realistic batch count, silently breaking
+  // per-lane monotonicity and the cursors' duplicate detection — reject at
+  // build time. (The workflow is already validated acyclic, so the
+  // recursion terminates.)
+  constexpr size_t kMaxChannelChainDepth = 2;
+  std::function<size_t(const ChannelSpec&)> chain_depth =
+      [&](const ChannelSpec& channel) -> size_t {
+    size_t upstream_depth = 0;
+    for (const std::string& producer : channel.producers) {
+      Result<const WorkflowNode*> node = out.workflow_.node(producer);
+      if (!node.ok()) continue;
+      for (const std::string& input : (*node)->input_streams) {
+        for (const ChannelSpec& candidate : out.channels_) {
+          if (candidate.stream == input && candidate.consumer == producer) {
+            upstream_depth = std::max(upstream_depth, chain_depth(candidate));
+          }
+        }
+      }
+    }
+    return 1 + upstream_depth;
+  };
+  for (const ChannelSpec& channel : out.channels_) {
+    if (chain_depth(channel) > kMaxChannelChainDepth) {
+      return Status::InvalidArgument(
+          "stream '" + channel.stream + "' is the " +
+          std::to_string(chain_depth(channel)) +
+          "th chained placement boundary on its path; chains deeper than " +
+          std::to_string(kMaxChannelChainDepth) +
+          " would overflow the per-lane batch-id encoding");
     }
   }
   return out;

@@ -93,10 +93,10 @@ class Topology {
   /// Applies partition `p`'s slice of this topology to a freshly
   /// constructed store: every plan step, the procedures whose stage (or
   /// OLTP registration) runs on `p`, channel consumer support (cursor table
-  /// + delivery procedure), and the workflow slice's PE triggers.
-  /// `num_partitions` sizes channel batch-id encoding and must match the
-  /// deploying cluster.
-  Status ApplyTo(SStore& store, size_t p, size_t num_partitions) const;
+  /// + delivery procedure), and the workflow slice's PE triggers. The slice
+  /// is a pure function of `p`, so Cluster::Rebalance can apply it to a
+  /// partition spun up long after the original deploy.
+  Status ApplyTo(SStore& store, size_t p) const;
 
   /// One line per plan step, procedure, stage (with placement annotation),
   /// and channel — the placed counterpart of DeploymentPlan::Describe, for

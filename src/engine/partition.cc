@@ -294,6 +294,10 @@ void SpendClientRoundTrip(int64_t micros) {
 
 }  // namespace
 
+void Partition::PayClientRoundTrip() const {
+  SpendClientRoundTrip(client_rtt_micros_);
+}
+
 TxnOutcome Partition::ExecuteSync(const std::string& proc, Tuple params,
                                   int64_t batch_id) {
   Invocation inv{proc, std::move(params), batch_id};
@@ -360,11 +364,12 @@ void Partition::EnqueueBack(Invocation inv) {
   PushTaskBack(std::move(task));
 }
 
-void Partition::SubmitClosure(std::function<void(Partition&)> fn) {
+void Partition::SubmitClosure(std::function<void(Partition&)> fn,
+                              EnqueuePolicy policy) {
   Task task;
   task.fn = std::move(fn);
   internal_requests_.fetch_add(1, std::memory_order_relaxed);
-  PushTaskBack(std::move(task));
+  PushTaskBack(std::move(task), policy);
 }
 
 // ---- Multi-partition participation ----------------------------------------

@@ -197,7 +197,11 @@ class Partition {
   /// cross-partition coordinator parks a participant between prepare and
   /// decision here, and the coordinated checkpoint pauses every worker at a
   /// barrier closure). No ticket; completion is whatever the closure signals.
-  void SubmitClosure(std::function<void(Partition&)> fn);
+  /// Callers that must not stall on a full ring — e.g. Cluster::Rebalance
+  /// submitting barrier closures while holding the routing lock every
+  /// producer needs to make progress — pass kSpillWhenFull.
+  void SubmitClosure(std::function<void(Partition&)> fn,
+                     EnqueuePolicy policy = EnqueuePolicy::kBlockWhenFull);
 
   // ---- Multi-partition participation (driven by txn_coord) ----
   //
@@ -257,6 +261,10 @@ class Partition {
   /// Default 0 (pure thread handoff).
   void SetClientRoundTripMicros(int64_t micros) { client_rtt_micros_ = micros; }
   int64_t client_round_trip_micros() const { return client_rtt_micros_; }
+  /// Spends the modeled round trip on the calling thread — what
+  /// Partition::ExecuteSync does after its ticket resolves; cluster-level
+  /// synchronous clients call it for the same modeling after theirs.
+  void PayClientRoundTrip() const;
 
   /// Consulted by ProcContext::table on every lookup; returning non-OK
   /// denies the access. The streaming layer installs window scoping here.

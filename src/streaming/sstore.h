@@ -17,19 +17,22 @@ namespace sstore {
 /// The assembled single-partition S-Store engine (paper Figure 4): an
 /// H-Store partition engine + execution engine, extended with streams,
 /// windows, EE/PE triggers, the streaming scheduler, and the two recovery
-/// modes. This is the main entry point of the library.
+/// modes. This is the building block everything above assembles: a Cluster
+/// owns N of these, and docs/ARCHITECTURE.md tours the layers.
 ///
-/// Typical use — describe the application once with the deployment builder
-/// (cluster/deployment.h; the same plan scales out unchanged through
-/// Cluster::Deploy, or places stages across partitions via
-/// cluster/topology.h), then apply it and inject:
+/// Typical use — describe the application once with TopologyBuilder
+/// (cluster/topology.h; it subsumes the DeploymentPlan builder and adds
+/// per-stage placements, and the same description scales out through
+/// Cluster::Deploy and follows the cluster through Recover and Rebalance).
+/// For a standalone single partition, the plan builder remains the direct
+/// path:
 ///
 ///   DeploymentPlan plan;
 ///   plan.DefineStream("s1", schema)
 ///       .RegisterProcedure("ingest", SpKind::kBorder, proc)
-///       .DeployWorkflow(workflow);   // kEverywhere topology of the DAG
-///   SStore store;
-///   plan.ApplyTo(store);
+///       .DeployWorkflow(workflow);   // every stage local — the
+///   SStore store;                    // all-kEverywhere special case of a
+///   plan.ApplyTo(store);             // placed Topology
 ///   store.Start();
 ///   StreamInjector injector(&store.partition(), "ingest");
 ///   injector.InjectSync(tuple);

@@ -190,13 +190,38 @@ void TxnCoordinator::CompleteTxn(bool commit, int64_t start_us) {
   gate_cv_.notify_all();
 }
 
+void TxnCoordinator::ReleaseGate() {
+  {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    --in_flight_;
+  }
+  gate_cv_.notify_all();
+}
+
 MultiKeyTicketPtr TxnCoordinator::SubmitMulti(std::vector<MultiOp> ops) {
+  return SubmitMultiRouted(
+      [ops = std::move(ops)]() mutable { return std::move(ops); });
+}
+
+MultiKeyTicketPtr TxnCoordinator::SubmitMultiRouted(
+    std::function<std::vector<MultiOp>()> route) {
+  // Admission gate first: checkpoints and rebalances quiesce here, and the
+  // routing callback must observe the partition map only once this
+  // transaction is counted in flight (see the header contract).
+  {
+    std::unique_lock<std::mutex> lock(gate_mu_);
+    gate_cv_.wait(lock, [this] { return !quiescing_; });
+    ++in_flight_;
+  }
+  std::vector<MultiOp> ops = route();
   if (ops.empty()) {
+    ReleaseGate();
     return ErrorTicket(0, Status::InvalidArgument(
                               "multi-partition transaction needs ops"));
   }
   for (const MultiOp& op : ops) {
     if (op.partition >= partitions_.size()) {
+      ReleaseGate();
       return ErrorTicket(ops.size(),
                          Status::InvalidArgument("op targets partition " +
                                                  std::to_string(op.partition) +
@@ -226,6 +251,7 @@ MultiKeyTicketPtr TxnCoordinator::SubmitMulti(std::vector<MultiOp> ops) {
     if (partitions_[p]->running()) ++running;
   }
   if (running != 0 && running != parts.size()) {
+    ReleaseGate();
     return ErrorTicket(ops.size(),
                        Status::Internal("participants are part running, part "
                                         "stopped; multi-partition execution "
@@ -233,12 +259,6 @@ MultiKeyTicketPtr TxnCoordinator::SubmitMulti(std::vector<MultiOp> ops) {
   }
   bool inline_mode = running == 0;
 
-  // Admission gate: checkpoints quiesce here.
-  {
-    std::unique_lock<std::mutex> lock(gate_mu_);
-    gate_cv_.wait(lock, [this] { return !quiescing_; });
-    ++in_flight_;
-  }
   multi_txns_.fetch_add(1, std::memory_order_relaxed);
   int64_t start_us = clock_.NowMicros();
 
@@ -351,6 +371,33 @@ std::vector<TxnOutcome> TxnCoordinator::ExecuteMulti(std::vector<MultiOp> ops) {
   MultiKeyTicketPtr ticket = SubmitMulti(std::move(ops));
   ticket->Wait();
   return ticket->outcomes();
+}
+
+void TxnCoordinator::AddPartition(Partition* partition) {
+  partitions_.push_back(partition);
+}
+
+Status TxnCoordinator::RotateDecisionLog(const std::string& new_path) {
+  std::lock_guard<std::mutex> lock(decision_log_mu_);
+  if (decision_log_ == nullptr && options_.decision_log_path.empty()) {
+    return Status::OK();  // decisions were never durable; nothing to rotate
+  }
+  decision_log_.reset();  // flush + close the finished epoch
+  CommandLog::Options log_opts;
+  log_opts.path = new_path;
+  log_opts.group_size = 1;  // a decision is durable or it does not exist
+  log_opts.sync = options_.log_sync;
+  Result<std::unique_ptr<CommandLog>> log = CommandLog::Open(log_opts);
+  if (!log.ok()) {
+    // Same fail-loud rule as construction: commit decisions now fail
+    // (aborting their transactions) instead of silently losing durability.
+    decision_log_error_ = log.status();
+    return log.status();
+  }
+  decision_log_ = std::move(log).value();
+  decision_log_error_ = Status::OK();
+  options_.decision_log_path = new_path;
+  return Status::OK();
 }
 
 void TxnCoordinator::QuiesceBegin() {

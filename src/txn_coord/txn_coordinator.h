@@ -178,8 +178,23 @@ class TxnCoordinator {
   /// completion). Ops may target any subset of partitions, repeats allowed.
   MultiKeyTicketPtr SubmitMulti(std::vector<MultiOp> ops);
 
+  /// Like SubmitMulti, but the ops are produced by `route` *after* the
+  /// admission gate admits the transaction. Keyed callers (Cluster::
+  /// SubmitMulti) route inside the gate so a concurrent Rebalance — which
+  /// quiesces this gate before flipping the partition map — can never
+  /// interleave between routing and submission: an admitted transaction
+  /// either routed before the quiesce (and fully drains before the flip) or
+  /// after the new map was published.
+  MultiKeyTicketPtr SubmitMultiRouted(
+      std::function<std::vector<MultiOp>()> route);
+
   /// Submit + Wait: outcomes indexed by op submission order.
   std::vector<TxnOutcome> ExecuteMulti(std::vector<MultiOp> ops);
+
+  /// Registers a partition spun up by Cluster::Rebalance. Call only while
+  /// the gate is quiesced (no multi-partition transaction in flight reads
+  /// the participant vector concurrently).
+  void AddPartition(Partition* partition);
 
   // ---- Checkpoint support ----
 
@@ -198,6 +213,14 @@ class TxnCoordinator {
   static Result<std::vector<int64_t>> ReadCommittedGids(
       const std::string& decision_log_path);
 
+  /// Closes the current decision log and starts a fresh one at `new_path`
+  /// (the checkpoint-epoch rotation, mirroring Partition::RotateCommandLog).
+  /// Decisions for transactions that completed before the checkpoint cut
+  /// are subsumed by the snapshots — the quiesced gate guarantees no
+  /// in-flight transaction spans the rotation — so only post-cut decisions
+  /// need the new file. No-op when decisions are not durable.
+  Status RotateDecisionLog(const std::string& new_path);
+
   /// Restart the sequencer above every gid seen in recovered logs so new
   /// transactions never collide with old decision records.
   void SetNextGlobalTxnId(int64_t gid);
@@ -210,6 +233,9 @@ class TxnCoordinator {
 
  private:
   MultiKeyTicketPtr ErrorTicket(size_t num_ops, Status status);
+  /// Undoes the admission gate's in-flight count on paths that error out
+  /// after admission but before a ticket completion would decrement it.
+  void ReleaseGate();
   /// Force-flushes a commit decision for `gid`; OK when decisions are not
   /// durable. Any-thread safe (the last voter runs on a partition worker).
   Status AppendCommitDecision(int64_t gid);

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Checks that every relative markdown link in the given files resolves.
+
+Usage: tools/check_doc_links.py README.md docs/*.md
+
+For each `[text](target)` link whose target is not an absolute URL:
+  - the file part must exist relative to the linking file;
+  - a `#fragment` (on another file or standalone) must match a heading in
+    the target file, using GitHub's anchor-slug rules (lowercase, spaces to
+    dashes, punctuation dropped).
+
+Exits non-zero listing every broken link, so CI fails when docs rot.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def anchors_of(path):
+    anchors = set()
+    with open(path, encoding="utf-8") as f:
+        in_code = False
+        for line in f:
+            if line.lstrip().startswith("```"):
+                in_code = not in_code
+                continue
+            if in_code:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            text = m.group(1).strip()
+            # Strip inline markdown (code spans, links, emphasis).
+            text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+            text = text.replace("`", "")
+            slug = text.lower()
+            slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+            slug = slug.replace(" ", "-")
+            anchors.add(slug)
+    return anchors
+
+
+def check_file(path):
+    errors = []
+    base = os.path.dirname(path)
+    with open(path, encoding="utf-8") as f:
+        in_code = False
+        for lineno, line in enumerate(f, start=1):
+            if line.lstrip().startswith("```"):
+                in_code = not in_code
+                continue
+            if in_code:
+                continue
+            for target in LINK_RE.findall(line):
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                    continue
+                file_part, _, fragment = target.partition("#")
+                dest = path if not file_part else os.path.normpath(
+                    os.path.join(base, file_part))
+                if not os.path.exists(dest):
+                    errors.append(f"{path}:{lineno}: broken link '{target}' "
+                                  f"(no such file: {dest})")
+                    continue
+                if fragment and dest.endswith(".md"):
+                    if fragment not in anchors_of(dest):
+                        errors.append(f"{path}:{lineno}: broken anchor "
+                                      f"'{target}' (no heading "
+                                      f"'#{fragment}' in {dest})")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        if not os.path.exists(path):
+            errors.append(f"{path}: file to check does not exist")
+            continue
+        errors.extend(check_file(path))
+    for e in errors:
+        print(e)
+    if errors:
+        print(f"{len(errors)} broken link(s)")
+        return 1
+    print(f"checked {len(argv) - 1} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,334 @@
+// Wire serving-layer benchmark (PR 6): the binary-protocol event-loop
+// server + pipelined client over loopback, feeding the voter workload's
+// batch hot path.
+//
+// Benchmarks:
+//   BM_WirePerRequest    — the anti-pattern baseline: one request per round
+//                          trip (submit, flush, wait), one connection. Every
+//                          vote pays two syscalls + a loop wakeup + a
+//                          single-invocation BatchTicket.
+//   BM_WirePipelined     — one connection, a window of N in-flight submits
+//                          flushed together; the server coalesces each
+//                          flush's backlog into per-partition batches.
+//                          Reports p50/p99 submit-to-response latency and
+//                          realized frames-per-batch.
+//   BM_WireMultiConn     — C connections × pipelined windows from C client
+//                          threads: sustained multi-connection throughput
+//                          through one I/O loop.
+//   BM_WireGroupCommit   — pipelined wire votes with the command log on;
+//                          /1 vs /64 group-commit size shows the §4.4 knob
+//                          through the whole serving stack (flushes/vote in
+//                          the counters).
+//
+// bench/run_bench.sh writes the results to BENCH_pr6.json:
+//   BENCH=bench_wire_serving bench/run_bench.sh
+// `--smoke` (CI) maps to a short --benchmark_min_time run.
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "server/client.h"
+#include "server/wire_server.h"
+#include "workloads/voter_cluster.h"
+
+namespace {
+
+using sstore::Cluster;
+using sstore::ClusterStats;
+using sstore::PartitionMap;
+using sstore::Value;
+using sstore::VoterClusterConfig;
+using sstore::WireClient;
+using sstore::WireFuturePtr;
+using sstore::WireResult;
+using sstore::WireServer;
+
+constexpr int kPartitions = 2;
+
+VoterClusterConfig BenchConfig() {
+  VoterClusterConfig config;
+  config.num_contestants = 64;
+  config.initial_votes = 1000;
+  return config;
+}
+
+/// A started cluster + server + the workload deployment, torn down in order.
+struct Serving {
+  explicit Serving(Cluster::Options copts) : cluster(copts) {
+    cluster.Deploy(BuildVoterClusterDeployment(BenchConfig())).ok();
+    cluster.Start();
+    server = std::make_unique<WireServer>(&cluster, WireServer::Options{});
+    server->Start().ok();
+  }
+
+  ~Serving() {
+    server->Stop();
+    cluster.Stop();
+  }
+
+  std::unique_ptr<WireClient> Connect() {
+    auto client = WireClient::Connect({"127.0.0.1", server->port()});
+    return client.ok() ? std::move(*client) : nullptr;
+  }
+
+  Cluster cluster;
+  std::unique_ptr<WireServer> server;
+};
+
+Cluster::Options PlainOpts() {
+  Cluster::Options opts;
+  opts.num_partitions = kPartitions;
+  opts.routing = PartitionMap::Mode::kModulo;
+  return opts;
+}
+
+int64_t Percentile(std::vector<int64_t>& samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  return samples[static_cast<size_t>(
+      p * static_cast<double>(samples.size() - 1))];
+}
+
+void BM_WirePerRequest(benchmark::State& state) {
+  Serving serving(PlainOpts());
+  std::unique_ptr<WireClient> client = serving.Connect();
+  if (client == nullptr) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+
+  const int64_t contestants = BenchConfig().num_contestants;
+  std::vector<int64_t> lat_us;
+  int64_t c = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    WireResult r =
+        client->Call("vc_vote", {Value::BigInt(c)}, Value::BigInt(c));
+    lat_us.push_back(std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
+    if (!r.transport.ok() || !r.committed()) {
+      state.SkipWithError("vote failed");
+      break;
+    }
+    c = (c + 1) % contestants;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["p50_us"] = static_cast<double>(Percentile(lat_us, 0.50));
+  state.counters["p99_us"] = static_cast<double>(Percentile(lat_us, 0.99));
+  client->Close();
+}
+// UseRealTime throughout: the work happens on server loop + partition
+// worker threads, so CPU-time-of-the-driving-thread is meaningless here.
+BENCHMARK(BM_WirePerRequest)->UseRealTime();
+
+void BM_WirePipelined(benchmark::State& state) {
+  const size_t kWindow = static_cast<size_t>(state.range(0));
+  Serving serving(PlainOpts());
+  std::unique_ptr<WireClient> client = serving.Connect();
+  if (client == nullptr) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+
+  struct Pending {
+    WireFuturePtr future;
+    std::chrono::steady_clock::time_point t0;
+  };
+  const int64_t contestants = BenchConfig().num_contestants;
+  std::deque<Pending> window;
+  std::vector<int64_t> lat_us;
+  int64_t c = 0;
+  for (auto _ : state) {
+    window.push_back(Pending{
+        client->SubmitAsync("vc_vote", {Value::BigInt(c)}, Value::BigInt(c)),
+        std::chrono::steady_clock::now()});
+    c = (c + 1) % contestants;
+    if (window.size() >= kWindow) {
+      client->Flush();
+      // Retire half the window: the connection always has work in flight.
+      while (window.size() > kWindow / 2) {
+        const WireResult& r = window.front().future->Wait();
+        lat_us.push_back(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - window.front().t0)
+                .count());
+        if (!r.transport.ok()) {
+          state.SkipWithError("transport failed");
+          window.clear();
+          break;
+        }
+        window.pop_front();
+      }
+    }
+  }
+  client->Flush();
+  for (Pending& p : window) p.future->Wait();
+  state.SetItemsProcessed(state.iterations());
+  state.counters["p50_us"] = static_cast<double>(Percentile(lat_us, 0.50));
+  state.counters["p99_us"] = static_cast<double>(Percentile(lat_us, 0.99));
+  WireServer::Stats ss = serving.server->stats();
+  state.counters["frames_per_batch"] =
+      ss.batches_submitted == 0
+          ? 0.0
+          : static_cast<double>(ss.requests_submitted) /
+                static_cast<double>(ss.batches_submitted);
+  client->Close();
+}
+BENCHMARK(BM_WirePipelined)->Arg(32)->Arg(128)->Arg(512)->UseRealTime();
+
+/// range(0) connections, each its own thread pipelining range(1)-deep.
+/// One iteration = every connection completes a 500-vote chunk.
+void BM_WireMultiConn(benchmark::State& state) {
+  const int kConns = static_cast<int>(state.range(0));
+  const size_t kWindow = static_cast<size_t>(state.range(1));
+  constexpr int64_t kChunk = 500;
+  Serving serving(PlainOpts());
+
+  std::vector<std::unique_ptr<WireClient>> clients;
+  for (int i = 0; i < kConns; ++i) {
+    clients.push_back(serving.Connect());
+    if (clients.back() == nullptr) {
+      state.SkipWithError("connect failed");
+      return;
+    }
+  }
+
+  const int64_t contestants = BenchConfig().num_contestants;
+  std::vector<int64_t> lat_us;
+  std::atomic<bool> failed{false};
+  for (auto _ : state) {
+    std::vector<std::vector<int64_t>> lat(static_cast<size_t>(kConns));
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kConns; ++t) {
+      threads.emplace_back([&, t] {
+        WireClient* client = clients[static_cast<size_t>(t)].get();
+        std::deque<std::pair<WireFuturePtr,
+                             std::chrono::steady_clock::time_point>>
+            window;
+        auto retire = [&](size_t down_to) {
+          while (window.size() > down_to) {
+            const WireResult& r = window.front().first->Wait();
+            lat[static_cast<size_t>(t)].push_back(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - window.front().second)
+                    .count());
+            if (!r.transport.ok()) failed.store(true);
+            window.pop_front();
+          }
+        };
+        for (int64_t i = 0; i < kChunk; ++i) {
+          int64_t c = (t * 7 + i) % contestants;
+          window.emplace_back(client->SubmitAsync("vc_vote",
+                                                  {Value::BigInt(c)},
+                                                  Value::BigInt(c)),
+                              std::chrono::steady_clock::now());
+          if (window.size() >= kWindow) {
+            client->Flush();
+            retire(kWindow / 2);
+          }
+        }
+        client->Flush();
+        retire(0);
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (auto& v : lat) lat_us.insert(lat_us.end(), v.begin(), v.end());
+    if (failed.load()) {
+      state.SkipWithError("transport failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kConns * kChunk);
+  state.counters["p50_us"] = static_cast<double>(Percentile(lat_us, 0.50));
+  state.counters["p99_us"] = static_cast<double>(Percentile(lat_us, 0.99));
+  for (auto& client : clients) client->Close();
+}
+BENCHMARK(BM_WireMultiConn)
+    ->Args({2, 128})
+    ->Args({4, 128})
+    ->Args({8, 64})
+    ->UseRealTime();
+
+void BM_WireGroupCommit(benchmark::State& state) {
+  const size_t kGroup = static_cast<size_t>(state.range(0));
+  constexpr size_t kWindow = 128;
+  char tmpl[] = "/tmp/sstore_wire_gc_XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  if (dir == nullptr) {
+    state.SkipWithError("mkdtemp failed");
+    return;
+  }
+  Cluster::Options opts = PlainOpts();
+  opts.log_dir = dir;
+  opts.group_commit_size = kGroup;
+  opts.log_sync = false;
+  Serving serving(opts);
+  std::unique_ptr<WireClient> client = serving.Connect();
+  if (client == nullptr) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+
+  const int64_t contestants = BenchConfig().num_contestants;
+  std::deque<WireFuturePtr> window;
+  int64_t c = 0;
+  for (auto _ : state) {
+    window.push_back(
+        client->SubmitAsync("vc_vote", {Value::BigInt(c)}, Value::BigInt(c)));
+    c = (c + 1) % contestants;
+    if (window.size() >= kWindow) {
+      client->Flush();
+      while (window.size() > kWindow / 2) {
+        window.front()->Wait();
+        window.pop_front();
+      }
+    }
+  }
+  client->Flush();
+  for (auto& f : window) f->Wait();
+  state.SetItemsProcessed(state.iterations());
+  ClusterStats cs = serving.cluster.GatherStats();
+  state.counters["log_flushes_per_kvote"] =
+      cs.log.records_appended == 0
+          ? 0.0
+          : 1000.0 * static_cast<double>(cs.log.flush_count) /
+                static_cast<double>(cs.log.records_appended);
+  client->Close();
+}
+BENCHMARK(BM_WireGroupCommit)->Arg(1)->Arg(64)->UseRealTime();
+
+}  // namespace
+
+// Custom main so CI can ask for a smoke run without knowing google-benchmark
+// flag syntax: `bench_wire_serving --smoke` == a short min_time run.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  static char min_time[] = "--benchmark_min_time=0.05";
+  if (smoke) args.push_back(min_time);
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

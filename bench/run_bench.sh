@@ -27,6 +27,10 @@
 #     dominated by the cutover checkpoint) with rows_migrated ~ half the
 #     split partition's rows, and BM_PostSplitIngest's items_per_second is
 #     not below BM_KeyedIngest/2 (the extra partition absorbs load).
+#   bench_wire_serving:  BM_WirePipelined items_per_second >= 3x
+#     BM_WirePerRequest (the batched wire path vs one request per round
+#     trip), BM_WireMultiConn sustains that under N connections, and
+#     BM_WireGroupCommit/64's log_flushes_per_kvote is far below /1's 1000.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +41,7 @@ case "$BENCH" in
   bench_multipart_txn)    DEFAULT_OUT=BENCH_pr3.json ;;
   bench_placed_workflow)  DEFAULT_OUT=BENCH_pr4.json ;;
   bench_rebalance)        DEFAULT_OUT=BENCH_pr5.json ;;
+  bench_wire_serving)     DEFAULT_OUT=BENCH_pr6.json ;;
   *)                      DEFAULT_OUT="BENCH_${BENCH}.json" ;;
 esac
 OUT="${OUT:-$DEFAULT_OUT}"
@@ -48,9 +53,40 @@ cmake -B "$BUILD_DIR" -S . \
   -DSSTORE_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "$BUILD_DIR" -j --target "$BENCH" >/dev/null
 
+# A stale $OUT from an earlier run must never outlive a failed one: remove
+# it up front, run the binary with its exit code checked explicitly, and
+# delete whatever partial file a crash left behind. A missing/removed $OUT
+# plus a non-zero exit is the loud failure mode consumers can trust.
+rm -f "$OUT"
+set +e
 "$BUILD_DIR/bench/$BENCH" \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json \
   "$@"
+rc=$?
+set -e
+if [ "$rc" -ne 0 ]; then
+  echo "ERROR: $BENCH exited with code $rc; removing $OUT" >&2
+  rm -f "$OUT"
+  exit "$rc"
+fi
 
-echo "wrote $OUT"
+# The file must be parseable google-benchmark JSON with at least one result
+# (an aborted run can exit 0 after writing only the context header).
+python3 - "$OUT" <<'PYEOF'
+import json, sys
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except (OSError, ValueError) as e:
+    sys.exit(f"ERROR: {path} is not valid JSON: {e}")
+benchmarks = doc.get("benchmarks", [])
+if not benchmarks:
+    sys.exit(f"ERROR: {path} contains no benchmark results")
+errors = [b["name"] for b in benchmarks if b.get("error_occurred")]
+if errors:
+    sys.exit(f"ERROR: benchmarks reported errors: {', '.join(errors)}")
+PYEOF
+
+echo "wrote $OUT ($(python3 -c "import json,sys; print(len(json.load(open(sys.argv[1]))['benchmarks']))" "$OUT") results)"

@@ -1,0 +1,322 @@
+// The sharded voter workload end-to-end over the wire: a Cluster behind a
+// WireServer on loopback, hammered by pipelined WireClient connections.
+// This is the serving-layer "front door" demo — the same voter deployment
+// the coordinator tests use, but every vote arrives as a binary frame over
+// TCP, is coalesced with its connection's backlog into per-partition
+// batches, and is answered in batched responses on ticket completion.
+//
+//   ./server_voter                          # defaults: 2 partitions, 4 conns
+//   ./server_voter --partitions 4 --connections 8 --requests 20000
+//   ./server_voter --per-request            # the anti-pattern baseline
+//   ./server_voter --log-dir /tmp/sv --group-commit 64   # durable, batched
+//   ./server_voter --serve --port 7app7     # server only (Ctrl-C to stop)
+//   ./server_voter --connect 127.0.0.1:7777 # clients only
+//
+// The combined run prints sustained throughput, p50/p99 latency, the
+// server's coalescing counters (frames vs batches), BUSY sheds, and — when
+// logging — the realized group-commit ratio; it exits non-zero if the voter
+// invariant breaks or any response is lost or duplicated.
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "server/client.h"
+#include "server/wire_server.h"
+#include "workloads/voter_cluster.h"
+
+namespace {
+
+using sstore::Cluster;
+using sstore::ClusterStats;
+using sstore::Status;
+using sstore::Value;
+using sstore::VoterClusterApp;
+using sstore::VoterClusterConfig;
+using sstore::WireClient;
+using sstore::WireFuturePtr;
+using sstore::WireResult;
+using sstore::WireServer;
+
+struct Args {
+  int partitions = 2;
+  int connections = 4;
+  int io_threads = 1;
+  int64_t requests = 10000;  // per connection
+  size_t pipeline = 128;     // in-flight window per connection
+  bool per_request = false;  // one round trip per vote (baseline)
+  size_t group_commit = 1;
+  std::string log_dir;
+  uint16_t port = 0;
+  bool serve_only = false;
+  std::string connect;  // host:port => client-only mode
+  int64_t contestants = 64;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--partitions") {
+      args->partitions = std::atoi(next("--partitions"));
+    } else if (a == "--connections") {
+      args->connections = std::atoi(next("--connections"));
+    } else if (a == "--io-threads") {
+      args->io_threads = std::atoi(next("--io-threads"));
+    } else if (a == "--requests") {
+      args->requests = std::atoll(next("--requests"));
+    } else if (a == "--pipeline") {
+      args->pipeline = static_cast<size_t>(std::atoll(next("--pipeline")));
+    } else if (a == "--per-request") {
+      args->per_request = true;
+    } else if (a == "--group-commit") {
+      args->group_commit = static_cast<size_t>(std::atoll(next("--group-commit")));
+    } else if (a == "--log-dir") {
+      args->log_dir = next("--log-dir");
+    } else if (a == "--port") {
+      args->port = static_cast<uint16_t>(std::atoi(next("--port")));
+    } else if (a == "--serve") {
+      args->serve_only = true;
+    } else if (a == "--connect") {
+      args->connect = next("--connect");
+    } else if (a == "--contestants") {
+      args->contestants = std::atoll(next("--contestants"));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+struct ClientTotals {
+  std::atomic<int64_t> committed{0};
+  std::atomic<int64_t> busy{0};
+  std::atomic<int64_t> transport_failed{0};
+};
+
+/// One connection's worth of load: `requests` votes for random contestants,
+/// pipelined `window` deep (or one round trip each with --per-request).
+/// BUSY responses are retried — a shed vote is not a lost vote.
+void RunConnection(const std::string& host, uint16_t port, const Args& args,
+                   int seed, ClientTotals* totals,
+                   std::vector<int64_t>* latencies_us) {
+  auto client_or = WireClient::Connect({host, port, 256 * 1024});
+  if (!client_or.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client_or.status().ToString().c_str());
+    totals->transport_failed.fetch_add(args.requests);
+    return;
+  }
+  std::unique_ptr<WireClient> client = std::move(*client_or);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> pick(0, args.contestants - 1);
+
+  int64_t remaining = args.requests;
+  if (args.per_request) {
+    while (remaining > 0) {
+      int64_t c = pick(rng);
+      auto t0 = std::chrono::steady_clock::now();
+      WireResult r = client->Call("vc_vote", {Value::BigInt(c)},
+                                  Value::BigInt(c));
+      auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+      if (!r.transport.ok()) {
+        totals->transport_failed.fetch_add(remaining);
+        return;
+      }
+      if (r.busy) {
+        totals->busy.fetch_add(1);
+        continue;  // retry
+      }
+      latencies_us->push_back(dt);
+      if (r.committed()) totals->committed.fetch_add(1);
+      --remaining;
+    }
+    return;
+  }
+
+  // Pipelined: keep `window` votes in flight; retry sheds.
+  struct Pending {
+    WireFuturePtr future;
+    std::chrono::steady_clock::time_point t0;
+  };
+  std::vector<Pending> window;
+  window.reserve(args.pipeline);
+  int64_t issued = 0;
+  while (remaining > 0) {
+    while (issued < args.requests &&
+           window.size() < args.pipeline) {
+      int64_t c = pick(rng);
+      window.push_back(Pending{
+          client->SubmitAsync("vc_vote", {Value::BigInt(c)}, Value::BigInt(c)),
+          std::chrono::steady_clock::now()});
+      ++issued;
+    }
+    client->Flush();
+    std::vector<Pending> still;
+    still.reserve(window.size());
+    for (Pending& p : window) {
+      const WireResult& r = p.future->Wait();
+      auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - p.t0)
+                    .count();
+      if (!r.transport.ok()) {
+        totals->transport_failed.fetch_add(remaining);
+        return;
+      }
+      if (r.busy) {
+        totals->busy.fetch_add(1);
+        --issued;  // re-issue this vote
+        continue;
+      }
+      latencies_us->push_back(dt);
+      if (r.committed()) totals->committed.fetch_add(1);
+      --remaining;
+    }
+    window.clear();
+  }
+}
+
+int64_t Percentile(std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+int RunClients(const std::string& host, uint16_t port, const Args& args) {
+  ClientTotals totals;
+  std::vector<std::vector<int64_t>> lat_per_conn(
+      static_cast<size_t>(args.connections));
+  std::vector<std::thread> threads;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < args.connections; ++c) {
+    threads.emplace_back(RunConnection, host, port, std::cref(args), 1234 + c,
+                         &totals, &lat_per_conn[static_cast<size_t>(c)]);
+  }
+  for (auto& t : threads) t.join();
+  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0)
+                    .count();
+  std::vector<int64_t> lat;
+  for (auto& v : lat_per_conn) lat.insert(lat.end(), v.begin(), v.end());
+  std::sort(lat.begin(), lat.end());
+
+  int64_t done = totals.committed.load();
+  std::printf("clients: %d connections x %lld requests (%s)\n",
+              args.connections, static_cast<long long>(args.requests),
+              args.per_request ? "one per round trip" : "pipelined");
+  std::printf("  committed %lld, busy-shed-retried %lld, failed %lld\n",
+              static_cast<long long>(done),
+              static_cast<long long>(totals.busy.load()),
+              static_cast<long long>(totals.transport_failed.load()));
+  std::printf("  %.0f votes/s  p50 %lld us  p99 %lld us\n", done / secs,
+              static_cast<long long>(Percentile(lat, 0.50)),
+              static_cast<long long>(Percentile(lat, 0.99)));
+  return totals.transport_failed.load() == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  // Client-only mode: point at an external --serve process.
+  if (!args.connect.empty()) {
+    size_t colon = args.connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--connect expects host:port\n");
+      return 2;
+    }
+    return RunClients(args.connect.substr(0, colon),
+                      static_cast<uint16_t>(
+                          std::atoi(args.connect.c_str() + colon + 1)),
+                      args);
+  }
+
+  Cluster::Options copts;
+  copts.num_partitions = args.partitions;
+  copts.log_dir = args.log_dir;
+  if (!args.log_dir.empty()) ::mkdir(args.log_dir.c_str(), 0755);
+  copts.group_commit_size = args.group_commit;
+  Cluster cluster(copts);
+  VoterClusterConfig vconfig{args.contestants, 1000};
+  Status st = cluster.Deploy(BuildVoterClusterDeployment(vconfig));
+  if (!st.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  cluster.Start();
+
+  WireServer::Options sopts;
+  sopts.port = args.port;
+  sopts.num_io_threads = args.io_threads;
+  WireServer server(&cluster, sopts);
+  st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u (%d partitions, %d io threads)\n",
+              server.port(), args.partitions, args.io_threads);
+
+  if (args.serve_only) {
+    // Park until killed; clients come from --connect processes.
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+
+  int rc = RunClients("127.0.0.1", server.port(), args);
+
+  server.Stop();
+  cluster.WaitIdle();
+
+  WireServer::Stats ss = server.stats();
+  std::printf("server: frames %llu -> batches %llu (%.1f frames/batch), "
+              "busy %llu, max conn in-flight %llu\n",
+              static_cast<unsigned long long>(ss.frames_received),
+              static_cast<unsigned long long>(ss.batches_submitted),
+              ss.batches_submitted == 0
+                  ? 0.0
+                  : static_cast<double>(ss.requests_submitted) /
+                        static_cast<double>(ss.batches_submitted),
+              static_cast<unsigned long long>(ss.busy_shed),
+              static_cast<unsigned long long>(ss.max_conn_inflight));
+
+  ClusterStats cs = cluster.GatherStats();
+  if (cs.log.records_appended > 0) {
+    std::printf("log: %llu records in %llu flushes (group-commit x%.1f)\n",
+                static_cast<unsigned long long>(cs.log.records_appended),
+                static_cast<unsigned long long>(cs.log.flush_count),
+                static_cast<double>(cs.log.records_appended) /
+                    static_cast<double>(cs.log.flush_count));
+  }
+
+  VoterClusterApp app(&cluster, vconfig);
+  Status inv = app.CheckInvariant();
+  cluster.Stop();
+  if (!inv.ok()) {
+    std::fprintf(stderr, "INVARIANT VIOLATED: %s\n", inv.ToString().c_str());
+    return 1;
+  }
+  std::printf("voter invariant holds\n");
+  return rc;
+}

@@ -904,12 +904,16 @@ ClusterStats Cluster::GatherStats() const {
   size_t n = num_partitions();
   out.per_partition.reserve(n);
   out.per_partition_engine.reserve(n);
+  out.per_partition_log.reserve(n);
   for (size_t p = 0; p < n; ++p) {
     SStore& s = const_cast<SStore&>(*stores_[p]);
     const Partition::Stats ps = s.partition().stats();
     const EngineStats& es = s.ee().stats();
+    const LogStats ls = s.partition().log_stats();
     out.per_partition.push_back(ps);
     out.per_partition_engine.push_back(es);
+    out.per_partition_log.push_back(ls);
+    out.log += ls;
 
     out.txn.committed += ps.committed;
     out.txn.aborted += ps.aborted;

@@ -81,11 +81,19 @@ struct ClusterStats {
   /// Cross-partition coordinator counters (prepares, aborts, in-doubt
   /// resolutions, 2PC round latency, checkpoints).
   CoordStats coord;
+  /// Durability counters summed across partitions and rotation epochs
+  /// (all zero when the cluster runs without a log_dir). flush_count vs
+  /// log.records_appended is the realized group-commit amortization of
+  /// Options::group_commit_size (paper §4.4).
+  LogStats log;
   std::vector<Partition::Stats> per_partition;
   std::vector<EngineStats> per_partition_engine;
+  std::vector<LogStats> per_partition_log;
 
   uint64_t committed() const { return txn.committed; }
   uint64_t aborted() const { return txn.aborted; }
+  /// Total durable-flush (fsync) operations across the cluster.
+  uint64_t flush_count() const { return log.flush_count; }
   /// Deepest request backlog any partition saw since the last reset.
   uint64_t max_queue_high_watermark() const {
     return txn.queue_high_watermark;

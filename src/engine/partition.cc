@@ -54,12 +54,26 @@ void BatchTicket::Fulfill(size_t index, TxnOutcome outcome) {
   outcomes_[index] = std::move(outcome);
   (ok ? committed_ : aborted_).fetch_add(1, std::memory_order_release);
   if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::function<void()> callback;
     {
       std::lock_guard<std::mutex> lock(mu_);
       done_ = true;
+      callback = std::move(on_complete_);
     }
     cv_.notify_all();
+    if (callback) callback();
   }
+}
+
+void BatchTicket::SetOnComplete(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!done_) {
+      on_complete_ = std::move(fn);
+      return;
+    }
+  }
+  fn();  // already complete — the registering thread runs it
 }
 
 Partition::Partition(int partition_id, size_t queue_capacity)
@@ -759,6 +773,7 @@ void Partition::AttachCommandLog(std::unique_ptr<CommandLog> log,
 
 Status Partition::DetachCommandLog() {
   if (log_ == nullptr) return Status::OK();
+  RetireLogCounters(*log_);
   Status st = log_->Close();
   log_.reset();
   return st;
@@ -768,12 +783,28 @@ Status Partition::RotateCommandLog(const std::string& new_path) {
   if (log_ == nullptr) return Status::OK();
   CommandLog::Options opts = log_->options();
   opts.path = new_path;
+  RetireLogCounters(*log_);
   SSTORE_RETURN_NOT_OK(log_->Close());
   log_.reset();
   SSTORE_ASSIGN_OR_RETURN(std::unique_ptr<CommandLog> fresh,
                           CommandLog::Open(opts));
   log_ = std::move(fresh);
   return Status::OK();
+}
+
+void Partition::RetireLogCounters(const CommandLog& log) {
+  retired_log_records_.fetch_add(log.records_appended(),
+                                 std::memory_order_relaxed);
+  retired_log_flushes_.fetch_add(log.flush_count(), std::memory_order_relaxed);
+  retired_log_bytes_.fetch_add(log.bytes_written(), std::memory_order_relaxed);
+}
+
+LogStats Partition::log_stats() const {
+  LogStats out{retired_log_records_.load(std::memory_order_relaxed),
+               retired_log_flushes_.load(std::memory_order_relaxed),
+               retired_log_bytes_.load(std::memory_order_relaxed)};
+  if (log_ != nullptr) out += log_->stats();
+  return out;
 }
 
 }  // namespace sstore

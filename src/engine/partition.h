@@ -97,6 +97,15 @@ class BatchTicket {
   const std::vector<TxnOutcome>& outcomes() const { return outcomes_; }
   const TxnOutcome& outcome(size_t i) const { return outcomes_[i]; }
 
+  /// Registers `fn` to run — on the worker thread that fulfills the final
+  /// invocation — once the whole batch is complete; when the batch already
+  /// completed, runs it inline on the caller. At most one callback per
+  /// ticket. This is how completion gets back onto an event loop without a
+  /// waiter thread: the serving layer's hook posts the ticket to the
+  /// connection's I/O loop, so `fn` must not block (it runs inside the
+  /// partition worker's commit path).
+  void SetOnComplete(std::function<void()> fn);
+
  private:
   friend class Partition;
   /// Worker thread, once per invocation; `index` slots are distinct so no
@@ -110,6 +119,7 @@ class BatchTicket {
   std::mutex mu_;
   std::condition_variable cv_;
   bool done_;
+  std::function<void()> on_complete_;
 };
 
 using BatchTicketPtr = std::shared_ptr<BatchTicket>;
@@ -320,6 +330,14 @@ class Partition {
   /// parked at a barrier or stopped. No-op without an attached log.
   Status RotateCommandLog(const std::string& new_path);
 
+  /// Durability counters, cumulative across rotation epochs (the current
+  /// log's live counters plus every previously rotated/detached log's
+  /// totals). All zero when no log was ever attached. Readable from any
+  /// thread; same live-approximation caveat as stats(). The ratio
+  /// records_appended / flush_count is the realized group-commit factor
+  /// (§4.4) — ClusterStats surfaces the cluster-wide sum.
+  LogStats log_stats() const;
+
   // ---- Stats ----
 
   struct Stats {
@@ -432,8 +450,16 @@ class Partition {
 
   std::thread worker_;
 
+  /// Folds a closing log's counters into the retired totals (log_stats()).
+  void RetireLogCounters(const CommandLog& log);
+
   std::unique_ptr<CommandLog> log_;
   RecoveryMode recovery_mode_ = RecoveryMode::kStrong;
+  /// Durability counters of logs already rotated away or detached, so
+  /// log_stats() stays cumulative across checkpoint rotations.
+  std::atomic<uint64_t> retired_log_records_{0};
+  std::atomic<uint64_t> retired_log_flushes_{0};
+  std::atomic<uint64_t> retired_log_bytes_{0};
 
   int64_t next_txn_id_ = 1;
   int64_t client_rtt_micros_ = 0;

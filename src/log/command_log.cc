@@ -61,7 +61,7 @@ Status CommandLog::Append(const LogRecord& record, bool* flushed) {
   }
   EncodeRecord(record, &buffer_);
   ++pending_;
-  ++records_appended_;
+  records_appended_.fetch_add(1, std::memory_order_relaxed);
   bool do_flush = pending_ >= options_.group_size;
   if (flushed != nullptr) *flushed = do_flush;
   if (do_flush) return Flush();
@@ -86,10 +86,10 @@ Status CommandLog::Flush() {
       return Status::IOError("fsync failed on command log");
     }
   }
-  bytes_written_ += bytes.size();
+  bytes_written_.fetch_add(bytes.size(), std::memory_order_relaxed);
   buffer_.Clear();
   pending_ = 0;
-  ++flush_count_;
+  flush_count_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef SSTORE_LOG_COMMAND_LOG_H_
 #define SSTORE_LOG_COMMAND_LOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -55,6 +56,23 @@ struct LogRecord {
   }
 };
 
+/// Durability counters of one log (or, summed, of a partition across its
+/// rotation epochs — Partition::log_stats). flush_count vs records_appended
+/// is the group-commit ratio the paper's §4.4 knob trades durability latency
+/// against: group_size 1 means one fsync per record, larger groups amortize.
+struct LogStats {
+  uint64_t records_appended = 0;
+  uint64_t flush_count = 0;
+  uint64_t bytes_written = 0;
+
+  LogStats& operator+=(const LogStats& other) {
+    records_appended += other.records_appended;
+    flush_count += other.flush_count;
+    bytes_written += other.bytes_written;
+    return *this;
+  }
+};
+
 /// Append-only command log with group commit. Records are buffered by
 /// Append and made durable by Flush (write + fsync). With group_size == 1
 /// every append flushes immediately (the "no group commit" configuration of
@@ -88,9 +106,20 @@ class CommandLog {
 
   const Options& options() const { return options_; }
 
-  uint64_t records_appended() const { return records_appended_; }
-  uint64_t flush_count() const { return flush_count_; }
-  uint64_t bytes_written() const { return bytes_written_; }
+  // Counters are atomics so observability (ClusterStats) can read them live
+  // from other threads while the single writer appends.
+  uint64_t records_appended() const {
+    return records_appended_.load(std::memory_order_relaxed);
+  }
+  uint64_t flush_count() const {
+    return flush_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  LogStats stats() const {
+    return LogStats{records_appended(), flush_count(), bytes_written()};
+  }
   size_t pending() const { return pending_; }
 
   /// Reads every record of a closed log file, validating framing and
@@ -104,9 +133,9 @@ class CommandLog {
   std::FILE* file_ = nullptr;
   ByteWriter buffer_;
   size_t pending_ = 0;
-  uint64_t records_appended_ = 0;
-  uint64_t flush_count_ = 0;
-  uint64_t bytes_written_ = 0;
+  std::atomic<uint64_t> records_appended_{0};
+  std::atomic<uint64_t> flush_count_{0};
+  std::atomic<uint64_t> bytes_written_{0};
 };
 
 }  // namespace sstore

@@ -1,0 +1,284 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace sstore {
+
+const WireResult& WireFuture::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return result_;
+}
+
+bool WireFuture::TryGet(const WireResult** out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!done_) return false;
+  if (out != nullptr) *out = &result_;
+  return true;
+}
+
+void WireFuture::Fulfill(WireResult result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    result_ = std::move(result);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+Result<std::unique_ptr<WireClient>> WireClient::Connect(
+    const Options& options) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  std::string port = std::to_string(options.port);
+  int rc = getaddrinfo(options.host.c_str(), port.c_str(), &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    return Status::IOError("cannot resolve " + options.host + ":" + port);
+  }
+  int fd = ::socket(res->ai_family, res->ai_socktype | SOCK_CLOEXEC,
+                    res->ai_protocol);
+  if (fd < 0) {
+    freeaddrinfo(res);
+    return Status::IOError("socket() failed");
+  }
+  if (::connect(fd, res->ai_addr, res->ai_addrlen) < 0) {
+    freeaddrinfo(res);
+    ::close(fd);
+    return Status::IOError("connect to " + options.host + ":" + port +
+                           " failed: " + std::strerror(errno));
+  }
+  freeaddrinfo(res);
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::unique_ptr<WireClient> client(new WireClient(fd));
+  client->auto_flush_bytes_ = options.auto_flush_bytes;
+  client->reader_ = std::thread([raw = client.get()] { raw->ReaderLoop(); });
+  return client;
+}
+
+WireClient::WireClient(int fd) : fd_(fd) {}
+
+WireClient::~WireClient() { Close(); }
+
+void WireClient::Close() {
+  if (fd_ < 0) return;
+  // closed_ may already be set by FailAllPending (reader saw EOF or a send
+  // failed); the fd still needs the half-close handshake so the server's
+  // drain sees our EOF.
+  if (!closed_.exchange(true, std::memory_order_acq_rel)) {
+    // Push out anything still buffered so the server can answer it before
+    // we shut the socket down.
+    std::lock_guard<std::mutex> lock(send_mu_);
+    FlushLocked().ok();
+  }
+  ::shutdown(fd_, SHUT_WR);
+  if (reader_.joinable()) reader_.join();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+WireFuturePtr WireClient::SubmitAsync(const std::string& proc, Tuple params,
+                                      int64_t batch_id) {
+  return SubmitInternal(proc, params, nullptr, batch_id);
+}
+
+WireFuturePtr WireClient::SubmitAsync(const std::string& proc, Tuple params,
+                                      const Value& key, int64_t batch_id) {
+  return SubmitInternal(proc, params, &key, batch_id);
+}
+
+WireFuturePtr WireClient::SubmitInternal(const std::string& proc,
+                                         const Tuple& params, const Value* key,
+                                         int64_t batch_id) {
+  uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto future = std::make_shared<WireFuture>();
+  // Register BEFORE the bytes can hit the wire: the reader may see the
+  // response the instant a flush (ours or a concurrent one) writes it. The
+  // closed_ check shares pending_mu_ with FailAllPending so a future can
+  // never slip into the map after the sweep (it would hang forever).
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (closed_.load(std::memory_order_acquire)) {
+      future->Fulfill(
+          WireResult{Status::IOError("client is closed"), false, {}});
+      return future;
+    }
+    pending_.emplace(id, future);
+  }
+  bool flush_now = false;
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    EncodeSubmit(&send_buf_, id, proc, params, key, batch_id);
+    flush_now =
+        auto_flush_bytes_ != 0 && send_buf_.size() >= auto_flush_bytes_;
+    if (flush_now) {
+      Status st = FlushLocked();
+      if (!st.ok()) FailAllPending(st);
+    }
+  }
+  return future;
+}
+
+Status WireClient::Flush() {
+  // A dead reader means responses can no longer arrive; telling the caller
+  // via a failed Flush (instead of silently writing into a socket the
+  // server is discarding) is what lets pipelining loops stop promptly when
+  // the server drains.
+  if (closed_.load(std::memory_order_acquire)) {
+    return Status::IOError("client is closed");
+  }
+  std::lock_guard<std::mutex> lock(send_mu_);
+  Status st = FlushLocked();
+  if (!st.ok()) FailAllPending(st);
+  return st;
+}
+
+Status WireClient::FlushLocked() {
+  const std::vector<uint8_t>& buf = send_buf_.data();
+  size_t off = 0;
+  while (off < buf.size()) {
+    ssize_t n =
+        ::send(fd_, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError(std::string("send failed: ") +
+                           std::strerror(errno));
+  }
+  send_buf_.Clear();
+  return Status::OK();
+}
+
+WireResult WireClient::Call(const std::string& proc, Tuple params) {
+  WireFuturePtr f = SubmitInternal(proc, params, nullptr, 0);
+  Flush();
+  return f->Wait();
+}
+
+WireResult WireClient::Call(const std::string& proc, Tuple params,
+                            const Value& key) {
+  WireFuturePtr f = SubmitInternal(proc, params, &key, 0);
+  Flush();
+  return f->Wait();
+}
+
+Status WireClient::Ping() {
+  uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto future = std::make_shared<WireFuture>();
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::IOError("client is closed");
+    }
+    pending_.emplace(id, future);
+  }
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    EncodePing(&send_buf_, id);
+    Status st = FlushLocked();
+    if (!st.ok()) {
+      FailAllPending(st);
+      return st;
+    }
+  }
+  return future->Wait().transport;
+}
+
+size_t WireClient::pending() const {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return pending_.size();
+}
+
+void WireClient::ReaderLoop() {
+  WireFrameBuffer frames;
+  uint8_t chunk[64 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      FailAllPending(Status::IOError("connection closed by server"));
+      return;
+    }
+    frames.Feed(chunk, static_cast<size_t>(n));
+    const uint8_t* payload;
+    size_t len;
+    for (;;) {
+      Result<bool> has = frames.Next(&payload, &len);
+      if (!has.ok()) {
+        FailAllPending(has.status());
+        return;
+      }
+      if (!*has) break;
+      WireResponse resp;
+      Status st = DecodeResponse(payload, len, &resp);
+      if (!st.ok()) {
+        FailAllPending(st);
+        return;
+      }
+      WireFuturePtr future;
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        auto it = pending_.find(resp.request_id);
+        if (it != pending_.end()) {
+          future = std::move(it->second);
+          pending_.erase(it);
+        }
+      }
+      if (future == nullptr) {
+        unmatched_responses_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      responses_received_.fetch_add(1, std::memory_order_relaxed);
+      WireResult result;
+      switch (resp.type) {
+        case WireResponseType::kBusy:
+          busy_received_.fetch_add(1, std::memory_order_relaxed);
+          result.busy = true;
+          break;
+        case WireResponseType::kPong:
+          break;  // transport OK is the whole payload
+        case WireResponseType::kResult:
+          result.outcome.status = resp.status;
+          result.outcome.txn_id = resp.txn_id;
+          result.outcome.output = std::move(resp.output);
+          break;
+        case WireResponseType::kError:
+          result.transport = resp.status.ok()
+                                 ? Status::IOError("server protocol error")
+                                 : resp.status;
+          break;
+      }
+      future->Fulfill(std::move(result));
+    }
+  }
+}
+
+void WireClient::FailAllPending(const Status& error) {
+  std::unordered_map<uint64_t, WireFuturePtr> orphaned;
+  {
+    // closed_ flips under pending_mu_ so SubmitInternal's register-or-fail
+    // decision is atomic with this sweep.
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    closed_.store(true, std::memory_order_release);
+    orphaned.swap(pending_);
+  }
+  for (auto& [id, future] : orphaned) {
+    future->Fulfill(WireResult{error, false, {}});
+  }
+}
+
+}  // namespace sstore

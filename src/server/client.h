@@ -1,0 +1,163 @@
+#ifndef SSTORE_SERVER_CLIENT_H_
+#define SSTORE_SERVER_CLIENT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "server/wire_protocol.h"
+
+namespace sstore {
+
+/// The resolution of one wire request. Exactly one of three shapes:
+///  - transport failure (`!transport.ok()`): the connection closed or broke
+///    before a response arrived — the request may or may not have executed;
+///  - shed (`busy`): the server's admission control refused it before
+///    execution; safe to retry;
+///  - outcome: the transaction's commit/abort status, txn id, and output.
+struct WireResult {
+  Status transport;
+  bool busy = false;
+  TxnOutcome outcome;
+
+  bool committed() const {
+    return transport.ok() && !busy && outcome.committed();
+  }
+};
+
+/// Completion handle for one pipelined request; fulfilled by the client's
+/// reader thread when the matching response frame arrives (or the
+/// connection dies).
+class WireFuture {
+ public:
+  const WireResult& Wait();
+  bool TryGet(const WireResult** out);
+
+ private:
+  friend class WireClient;
+  void Fulfill(WireResult result);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  WireResult result_;
+};
+
+using WireFuturePtr = std::shared_ptr<WireFuture>;
+
+/// Pipelined client for the WireServer protocol.
+///
+/// SubmitAsync encodes the request into an in-memory send buffer and
+/// returns a future immediately — nothing touches the socket until Flush()
+/// (or the buffer passes `auto_flush_bytes`), which writes every buffered
+/// frame with one syscall. Pipelining depth is the caller's choice: submit
+/// W requests, Flush(), keep submitting while earlier futures resolve. A
+/// background reader thread matches response frames to futures by
+/// request id, so responses arriving in any order (and batched by the
+/// server) resolve correctly.
+///
+/// Call() is the deliberate anti-pattern the bench baselines against: one
+/// request, one flush, one blocking wait — a full round trip per request.
+///
+/// Thread safety: SubmitAsync/Flush/Call may be called from multiple
+/// threads (the send buffer is internally locked); futures are
+/// independently waitable anywhere.
+class WireClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    /// Flush automatically once the send buffer holds this many bytes
+    /// (0 = only explicit Flush). Bounds client-side buffering when a
+    /// producer pipelines without pause.
+    size_t auto_flush_bytes = 256 * 1024;
+  };
+
+  static Result<std::unique_ptr<WireClient>> Connect(const Options& options);
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  // ---- Pipelined async path ----
+
+  /// Unkeyed (routed by batch id on the server).
+  WireFuturePtr SubmitAsync(const std::string& proc, Tuple params,
+                            int64_t batch_id = 0);
+  /// Keyed: the server routes to `key`'s owning partition.
+  WireFuturePtr SubmitAsync(const std::string& proc, Tuple params,
+                            const Value& key, int64_t batch_id = 0);
+
+  /// Writes every buffered frame in one syscall.
+  Status Flush();
+
+  // ---- Synchronous paths ----
+
+  /// One request per round trip (submit + flush + wait).
+  WireResult Call(const std::string& proc, Tuple params);
+  WireResult Call(const std::string& proc, Tuple params, const Value& key);
+
+  /// Liveness probe round trip.
+  Status Ping();
+
+  /// Closes the socket; every unresolved future fails with a transport
+  /// error. Idempotent; also run by the destructor.
+  void Close();
+
+  bool connected() const { return !closed_.load(std::memory_order_acquire); }
+
+  // ---- Counters (cumulative) ----
+
+  uint64_t responses_received() const {
+    return responses_received_.load(std::memory_order_relaxed);
+  }
+  uint64_t busy_received() const {
+    return busy_received_.load(std::memory_order_relaxed);
+  }
+  /// Response frames whose request id matched no pending future — a
+  /// duplicate or corrupt response. Always 0 against a correct server.
+  uint64_t unmatched_responses() const {
+    return unmatched_responses_.load(std::memory_order_relaxed);
+  }
+  /// Requests still awaiting a response.
+  size_t pending() const;
+
+ private:
+  explicit WireClient(int fd);
+
+  WireFuturePtr SubmitInternal(const std::string& proc, const Tuple& params,
+                               const Value* key, int64_t batch_id);
+  Status FlushLocked();
+  void ReaderLoop();
+  /// Fails every pending future with `error` and marks the client closed.
+  void FailAllPending(const Status& error);
+
+  int fd_;
+  std::atomic<bool> closed_{false};
+  std::atomic<uint64_t> next_id_{1};
+
+  std::mutex send_mu_;
+  ByteWriter send_buf_;
+  size_t auto_flush_bytes_ = 0;
+
+  mutable std::mutex pending_mu_;
+  std::unordered_map<uint64_t, WireFuturePtr> pending_;
+
+  std::thread reader_;
+
+  std::atomic<uint64_t> responses_received_{0};
+  std::atomic<uint64_t> busy_received_{0};
+  std::atomic<uint64_t> unmatched_responses_{0};
+};
+
+}  // namespace sstore
+
+#endif  // SSTORE_SERVER_CLIENT_H_

@@ -1,0 +1,189 @@
+#include "server/wire_protocol.h"
+
+#include <cstring>
+
+namespace sstore {
+
+namespace {
+
+constexpr uint8_t kFlagHasKey = 1u << 0;
+
+/// Reserves the length prefix, returns the payload start offset.
+size_t BeginFrame(ByteWriter* out) {
+  out->PutU32(0);  // patched by EndFrame
+  return out->size();
+}
+
+void EndFrame(ByteWriter* out, size_t payload_start) {
+  uint32_t len = static_cast<uint32_t>(out->size() - payload_start);
+  // Patch the reserved prefix in place (ByteWriter is contiguous).
+  std::memcpy(const_cast<uint8_t*>(out->data().data()) + payload_start -
+                  sizeof(uint32_t),
+              &len, sizeof(len));
+}
+
+}  // namespace
+
+void EncodeSubmit(ByteWriter* out, uint64_t request_id, const std::string& proc,
+                  const Tuple& params, const Value* key, int64_t batch_id) {
+  size_t start = BeginFrame(out);
+  out->PutU8(static_cast<uint8_t>(WireRequestType::kSubmit));
+  out->PutU64(request_id);
+  out->PutU8(key != nullptr ? kFlagHasKey : 0);
+  out->PutString(proc);
+  out->PutI64(batch_id);
+  if (key != nullptr) out->PutValue(*key);
+  out->PutTuple(params);
+  EndFrame(out, start);
+}
+
+void EncodePing(ByteWriter* out, uint64_t request_id) {
+  size_t start = BeginFrame(out);
+  out->PutU8(static_cast<uint8_t>(WireRequestType::kPing));
+  out->PutU64(request_id);
+  EndFrame(out, start);
+}
+
+void EncodeResult(ByteWriter* out, uint64_t request_id,
+                  const TxnOutcome& outcome) {
+  size_t start = BeginFrame(out);
+  out->PutU8(static_cast<uint8_t>(WireResponseType::kResult));
+  out->PutU64(request_id);
+  out->PutU8(static_cast<uint8_t>(outcome.status.code()));
+  out->PutString(outcome.status.ok() ? std::string() : outcome.status.message());
+  out->PutI64(outcome.txn_id);
+  out->PutTuples(outcome.output);
+  EndFrame(out, start);
+}
+
+void EncodeBusy(ByteWriter* out, uint64_t request_id) {
+  size_t start = BeginFrame(out);
+  out->PutU8(static_cast<uint8_t>(WireResponseType::kBusy));
+  out->PutU64(request_id);
+  EndFrame(out, start);
+}
+
+void EncodeError(ByteWriter* out, uint64_t request_id, const Status& error) {
+  size_t start = BeginFrame(out);
+  out->PutU8(static_cast<uint8_t>(WireResponseType::kError));
+  out->PutU64(request_id);
+  out->PutU8(static_cast<uint8_t>(error.code()));
+  out->PutString(error.message());
+  EndFrame(out, start);
+}
+
+void EncodePong(ByteWriter* out, uint64_t request_id) {
+  size_t start = BeginFrame(out);
+  out->PutU8(static_cast<uint8_t>(WireResponseType::kPong));
+  out->PutU64(request_id);
+  EndFrame(out, start);
+}
+
+void WireFrameBuffer::Feed(const uint8_t* data, size_t len) {
+  // Reclaim consumed prefix before appending so the buffer stays bounded by
+  // the backlog, not the connection's lifetime traffic.
+  if (consumed_ > 0 && (consumed_ >= buf_.size() || consumed_ > (64u << 10))) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+Result<bool> WireFrameBuffer::Next(const uint8_t** payload, size_t* len) {
+  size_t avail = buf_.size() - consumed_;
+  if (avail < sizeof(uint32_t)) return false;
+  uint32_t frame_len;
+  std::memcpy(&frame_len, buf_.data() + consumed_, sizeof(frame_len));
+  if (frame_len > kWireMaxFrameBytes) {
+    return Status::Corruption("wire frame length " + std::to_string(frame_len) +
+                              " exceeds limit");
+  }
+  if (avail < sizeof(uint32_t) + frame_len) return false;
+  *payload = buf_.data() + consumed_ + sizeof(uint32_t);
+  *len = frame_len;
+  consumed_ += sizeof(uint32_t) + frame_len;
+  return true;
+}
+
+Status DecodeRequest(const uint8_t* payload, size_t len, WireRequest* out,
+                     bool* is_ping) {
+  ByteReader r(payload, len);
+  auto type = r.GetU8();
+  if (!type.ok()) return type.status();
+  auto id = r.GetU64();
+  if (!id.ok()) return id.status();
+  out->request_id = *id;
+  if (*type == static_cast<uint8_t>(WireRequestType::kPing)) {
+    *is_ping = true;
+    return Status::OK();
+  }
+  if (*type != static_cast<uint8_t>(WireRequestType::kSubmit)) {
+    return Status::Corruption("unknown wire request type " +
+                              std::to_string(*type));
+  }
+  *is_ping = false;
+  auto flags = r.GetU8();
+  if (!flags.ok()) return flags.status();
+  auto proc = r.GetString();
+  if (!proc.ok()) return proc.status();
+  out->proc = std::move(*proc);
+  auto batch_id = r.GetI64();
+  if (!batch_id.ok()) return batch_id.status();
+  out->batch_id = *batch_id;
+  if (*flags & kFlagHasKey) {
+    auto key = r.GetValue();
+    if (!key.ok()) return key.status();
+    out->key = std::move(*key);
+  } else {
+    out->key.reset();
+  }
+  auto params = r.GetTuple();
+  if (!params.ok()) return params.status();
+  out->params = std::move(*params);
+  return Status::OK();
+}
+
+Status DecodeResponse(const uint8_t* payload, size_t len, WireResponse* out) {
+  ByteReader r(payload, len);
+  auto type = r.GetU8();
+  if (!type.ok()) return type.status();
+  auto id = r.GetU64();
+  if (!id.ok()) return id.status();
+  out->request_id = *id;
+  out->status = Status::OK();
+  out->txn_id = 0;
+  out->output.clear();
+  switch (*type) {
+    case static_cast<uint8_t>(WireResponseType::kBusy):
+      out->type = WireResponseType::kBusy;
+      return Status::OK();
+    case static_cast<uint8_t>(WireResponseType::kPong):
+      out->type = WireResponseType::kPong;
+      return Status::OK();
+    case static_cast<uint8_t>(WireResponseType::kResult):
+    case static_cast<uint8_t>(WireResponseType::kError): {
+      out->type = static_cast<WireResponseType>(*type);
+      auto code = r.GetU8();
+      if (!code.ok()) return code.status();
+      auto msg = r.GetString();
+      if (!msg.ok()) return msg.status();
+      if (static_cast<StatusCode>(*code) != StatusCode::kOk) {
+        out->status = Status(static_cast<StatusCode>(*code), std::move(*msg));
+      }
+      if (out->type == WireResponseType::kResult) {
+        auto txn_id = r.GetI64();
+        if (!txn_id.ok()) return txn_id.status();
+        out->txn_id = *txn_id;
+        auto output = r.GetTuples();
+        if (!output.ok()) return output.status();
+        out->output = std::move(*output);
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::Corruption("unknown wire response type " +
+                                std::to_string(*type));
+  }
+}
+
+}  // namespace sstore

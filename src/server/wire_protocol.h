@@ -1,0 +1,132 @@
+#ifndef SSTORE_SERVER_WIRE_PROTOCOL_H_
+#define SSTORE_SERVER_WIRE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "engine/txn.h"
+
+namespace sstore {
+
+/// The binary wire format of the serving layer (src/server/wire_server.h).
+///
+/// Every frame — both directions — is length-prefixed:
+///
+///   u32 length    payload byte count (little-endian, host order: the
+///                 protocol is same-architecture loopback/cluster interconnect,
+///                 like the command log and snapshot formats)
+///   u8  type      WireRequestType / WireResponseType
+///   u64 request_id  client-assigned, echoed verbatim in the response
+///   ...           type-specific body (ByteWriter/ByteReader encoding)
+///
+/// The unit of work is deliberately a *batch of frames*, not a frame: the
+/// client buffers encoded requests until Flush() and writes them with one
+/// syscall; the server decodes a connection's whole readable backlog and
+/// submits it as one BatchTicket per touched partition, then writes all the
+/// responses of a completed ticket back with one syscall. The framing is
+/// self-delimiting, so neither side needs to know where the other's batch
+/// boundaries fell.
+///
+/// kSubmit body:
+///   u8    flags        bit 0: a routing key follows
+///   str   proc         stored-procedure name
+///   i64   batch_id     stream batch id (0 for plain OLTP)
+///   [val] key          present iff flags bit 0 — routes to the key's owner
+///   tuple params
+///
+/// kResult body:
+///   u8    status_code  StatusCode of the transaction outcome
+///   str   message      empty on commit
+///   i64   txn_id
+///   tuples output      rows the stored procedure returned
+///
+/// kBusy / kPong carry no body. kError carries u8 code + str message and the
+/// server closes the connection after writing it (protocol-level failure,
+/// not a transaction abort).
+struct WireFrame;
+
+/// Hard ceiling on a single frame's payload. A peer announcing more is
+/// treated as protocol corruption (likely desynchronized framing) and the
+/// connection is closed — never buffered.
+constexpr uint32_t kWireMaxFrameBytes = 16u << 20;
+
+enum class WireRequestType : uint8_t {
+  kSubmit = 1,  // execute one stored procedure, respond when decided
+  kPing = 2,    // liveness/ordering probe, answered in-line with kPong
+};
+
+enum class WireResponseType : uint8_t {
+  kResult = 1,  // transaction outcome (committed or aborted)
+  kBusy = 2,    // shed by admission control before execution; safe to retry
+  kError = 3,   // protocol failure; the server closes after sending
+  kPong = 4,
+};
+
+/// One decoded kSubmit request.
+struct WireRequest {
+  uint64_t request_id = 0;
+  std::string proc;
+  Tuple params;
+  int64_t batch_id = 0;
+  /// Routes to the owning partition when set; otherwise the batch-id rule.
+  std::optional<Value> key;
+};
+
+/// One decoded response frame.
+struct WireResponse {
+  WireResponseType type = WireResponseType::kResult;
+  uint64_t request_id = 0;
+  /// kResult: the transaction outcome. kError: code+message of the
+  /// protocol failure (output empty).
+  Status status;
+  int64_t txn_id = 0;
+  std::vector<Tuple> output;
+};
+
+// ---- Encoding (appends one complete length-prefixed frame) ----
+
+void EncodeSubmit(ByteWriter* out, uint64_t request_id, const std::string& proc,
+                  const Tuple& params, const Value* key, int64_t batch_id);
+void EncodePing(ByteWriter* out, uint64_t request_id);
+void EncodeResult(ByteWriter* out, uint64_t request_id,
+                  const TxnOutcome& outcome);
+void EncodeBusy(ByteWriter* out, uint64_t request_id);
+void EncodeError(ByteWriter* out, uint64_t request_id, const Status& error);
+void EncodePong(ByteWriter* out, uint64_t request_id);
+
+/// Incremental frame splitter over a connection's receive buffer. Feed()
+/// appends raw bytes; Next() yields complete payloads (without the length
+/// prefix) until the buffer holds only a partial frame. The payload view
+/// returned by Next() is valid until the following Next()/Feed() call.
+class WireFrameBuffer {
+ public:
+  void Feed(const uint8_t* data, size_t len);
+
+  /// kOk + true: `*payload`/`*len` hold one complete frame payload.
+  /// kOk + false: no complete frame buffered yet.
+  /// kCorruption: oversized/garbage length prefix — close the connection.
+  Result<bool> Next(const uint8_t** payload, size_t* len);
+
+  size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;
+};
+
+/// Decodes one request payload (either kSubmit or kPing). For kPing,
+/// `*is_ping` is set and only request_id of `*out` is meaningful.
+Status DecodeRequest(const uint8_t* payload, size_t len, WireRequest* out,
+                     bool* is_ping);
+
+/// Decodes one response payload.
+Status DecodeResponse(const uint8_t* payload, size_t len, WireResponse* out);
+
+}  // namespace sstore
+
+#endif  // SSTORE_SERVER_WIRE_PROTOCOL_H_

@@ -1,0 +1,634 @@
+#include "server/wire_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+namespace sstore {
+namespace server_internal {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError("fcntl(O_NONBLOCK) failed");
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+/// Per-connection state. Owned by exactly one EventLoop thread; the only
+/// cross-thread access is the shared_ptr held by in-flight completions
+/// (created on the loop, consumed back on the loop) — every field below is
+/// touched on the loop thread only.
+struct Connection {
+  int fd = -1;
+  WireFrameBuffer rdbuf;
+  /// Encoded-but-unwritten responses; cleared (capacity retained) once the
+  /// socket accepts everything — the per-connection reuse the hot path needs.
+  ByteWriter wrbuf;
+  size_t wr_off = 0;
+  /// kSubmit frames handed to a partition ring and not yet answered.
+  size_t inflight = 0;
+  bool read_open = true;
+  bool want_write = false;
+  bool closed = false;
+  /// Peer sent FIN: its receive direction is exhausted, so closing our fd
+  /// cannot destroy undelivered responses.
+  bool peer_eof = false;
+  /// Drain half-close sent (shutdown(SHUT_WR)); incoming bytes are being
+  /// discarded until the peer's EOF, at which point the fd closes. Closing
+  /// outright with unread bytes in the receive buffer would RST the
+  /// connection and destroy responses still in flight to the peer — the
+  /// exact loss drain-and-stop promises not to have.
+  bool wr_shutdown = false;
+};
+
+using ConnectionPtr = std::shared_ptr<Connection>;
+
+/// One completed per-(connection, partition) batch traveling from the
+/// partition worker back to the connection's loop.
+struct Completion {
+  ConnectionPtr conn;
+  BatchTicketPtr ticket;
+  std::vector<uint64_t> request_ids;  // aligned with ticket->outcomes()
+};
+
+class EventLoop {
+ public:
+  EventLoop(WireServer* server, Cluster* cluster)
+      : server_(server), cluster_(cluster) {}
+
+  ~EventLoop() {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+  }
+
+  Status Init() {
+    epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) return Status::IOError("epoll_create1 failed");
+    wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd_ < 0) return Status::IOError("eventfd failed");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+      return Status::IOError("epoll_ctl(wakeup) failed");
+    }
+    return Status::OK();
+  }
+
+  void StartThread() {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  /// Any thread: hand a prepared (non-blocking, NODELAY) socket to this loop.
+  void Adopt(int fd) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      adopted_.push_back(fd);
+    }
+    Wake();
+  }
+
+  /// Partition worker threads: a batch submitted by this loop completed.
+  void PostCompletion(Completion completion) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      completions_.push_back(std::move(completion));
+    }
+    Wake();
+  }
+
+  /// Any thread: stop reading; keep flushing until nothing is in flight.
+  void BeginDrain() {
+    draining_.store(true, std::memory_order_release);
+    Wake();
+  }
+
+  /// True once every connection has zero in-flight frames and an empty
+  /// write buffer (drained connections are closed as they empty).
+  bool Drained() const { return drained_.load(std::memory_order_acquire); }
+
+  void StopAndJoin() {
+    stop_.store(true, std::memory_order_release);
+    Wake();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void Wake() {
+    uint64_t one = 1;
+    ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+    (void)n;  // EAGAIN means a wake is already pending — exactly as good.
+  }
+
+  void Run() {
+    std::vector<epoll_event> events(64);
+    while (!stop_.load(std::memory_order_acquire)) {
+      int n = epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), 100);
+      if (n < 0 && errno != EINTR) break;
+      DrainWakeups();
+      AdoptPending();
+      for (int i = 0; i < n; ++i) {
+        if (events[i].data.fd == wake_fd_) continue;
+        auto it = conns_.find(events[i].data.fd);
+        if (it == conns_.end()) continue;
+        ConnectionPtr conn = it->second;
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          // Peer vanished: in-flight tickets still complete, their
+          // responses are dropped at the closed check.
+          CloseConn(conn);
+          continue;
+        }
+        if (events[i].events & EPOLLIN) {
+          if (conn->read_open) {
+            HandleReadable(conn);
+          } else if (conn->wr_shutdown && !conn->closed) {
+            DiscardReadable(conn);
+          }
+        }
+        if ((events[i].events & EPOLLOUT) && !conn->closed) {
+          FlushWrites(conn);
+        }
+      }
+      ProcessCompletions();
+      if (draining_.load(std::memory_order_acquire)) {
+        EnterDrain();
+        UpdateDrained();
+      }
+    }
+    // Fail-safe on shutdown: drop whatever is left.
+    for (auto& [fd, conn] : conns_) {
+      conn->closed = true;
+      ::close(conn->fd);
+      server_->connections_active_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    conns_.clear();
+  }
+
+  void DrainWakeups() {
+    uint64_t buf;
+    while (::read(wake_fd_, &buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  void AdoptPending() {
+    std::vector<int> fds;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fds.swap(adopted_);
+    }
+    for (int fd : fds) {
+      if (draining_.load(std::memory_order_acquire)) {
+        ::close(fd);  // raced with Stop(): refuse, nothing in flight yet
+        continue;
+      }
+      auto conn = std::make_shared<Connection>();
+      conn->fd = fd;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+        ::close(fd);
+        continue;
+      }
+      conns_.emplace(fd, std::move(conn));
+      server_->connections_active_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Drains the socket's whole readable backlog, then submits every decoded
+  /// frame in one pass — the coalescing step: M frames that arrived while
+  /// this loop was busy become one BatchTicket per touched partition.
+  void HandleReadable(const ConnectionPtr& conn) {
+    uint8_t chunk[64 * 1024];
+    bool eof = false;
+    for (;;) {
+      ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        conn->rdbuf.Feed(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        eof = true;
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // backlog drained
+      } else if (errno == EINTR) {
+        continue;
+      } else {
+        CloseConn(conn);
+        return;
+      }
+      break;
+    }
+
+    std::vector<WireRequest> submits;
+    const uint8_t* payload;
+    size_t len;
+    for (;;) {
+      Result<bool> has = conn->rdbuf.Next(&payload, &len);
+      if (!has.ok()) {
+        ProtocolError(conn, 0, has.status());
+        return;
+      }
+      if (!*has) break;
+      server_->frames_received_.fetch_add(1, std::memory_order_relaxed);
+      WireRequest req;
+      bool is_ping = false;
+      Status st = DecodeRequest(payload, len, &req, &is_ping);
+      if (!st.ok()) {
+        ProtocolError(conn, req.request_id, st);
+        return;
+      }
+      if (is_ping) {
+        EncodePong(&conn->wrbuf, req.request_id);
+        server_->responses_sent_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        submits.push_back(std::move(req));
+      }
+    }
+    if (!submits.empty()) SubmitRequests(conn, std::move(submits));
+    FlushWrites(conn);
+    if (eof && !conn->closed) {
+      // Half-close: the peer is gone for reads. Anything already submitted
+      // still completes and is written best-effort; close once drained.
+      conn->peer_eof = true;
+      conn->read_open = false;
+      UpdateInterest(conn);
+      MaybeCloseDrained(conn);
+    }
+  }
+
+  /// Admission control + batched submit. Routing and enqueues happen under
+  /// ONE RoutingView, with the spill policy — this loop must never block on
+  /// a full ring (the view blocks a concurrent Rebalance flip, and blocking
+  /// here would head-of-line-block every connection pinned to the loop).
+  /// Bounded memory comes from shedding instead: a frame is answered kBusy
+  /// when the connection is over its in-flight cap or the target partition's
+  /// ring is already at capacity (the queue-depth signal behind the blocking
+  /// backpressure stats), so the overflow lane never holds more than the
+  /// admitted in-flight frames.
+  void SubmitRequests(const ConnectionPtr& conn,
+                      std::vector<WireRequest> reqs) {
+    struct Group {
+      std::vector<Invocation> invs;
+      std::vector<uint64_t> ids;
+    };
+    std::unordered_map<size_t, Group> groups;
+    size_t admitted = 0;
+    {
+      Cluster::RoutingView view = cluster_->LockRouting();
+      for (WireRequest& req : reqs) {
+        if (conn->inflight + admitted >=
+            server_->options_.max_inflight_per_conn) {
+          Busy(conn, req.request_id);
+          continue;
+        }
+        size_t p = req.key.has_value()
+                       ? view.map().PartitionOf(*req.key)
+                       : view.map().PartitionOfId(req.batch_id);
+        Partition& part = cluster_->partition(p);
+        // Saturation counts what this very pass is already adding: a whole
+        // coalesced backlog lands at once, and admitting it all against the
+        // ring's pre-pass depth would push the overflow lane unboundedly.
+        auto git = groups.find(p);
+        size_t building = git == groups.end() ? 0 : git->second.invs.size();
+        if (part.QueueDepth() + building >= part.queue_capacity()) {
+          Busy(conn, req.request_id);
+          continue;
+        }
+        Group& g = groups[p];
+        g.invs.push_back(
+            Invocation{std::move(req.proc), std::move(req.params),
+                       req.batch_id});
+        g.ids.push_back(req.request_id);
+        ++admitted;
+      }
+      conn->inflight += admitted;
+      NoteInflightWatermark(conn->inflight);
+      for (auto& [p, g] : groups) {
+        size_t count = g.invs.size();
+        BatchTicketPtr ticket = cluster_->partition(p).SubmitBatchAsync(
+            std::move(g.invs), EnqueuePolicy::kSpillWhenFull);
+        Completion completion{conn, ticket, std::move(g.ids)};
+        ticket->SetOnComplete(
+            [this, completion = std::move(completion)]() mutable {
+              PostCompletion(std::move(completion));
+            });
+        server_->batches_submitted_.fetch_add(1, std::memory_order_relaxed);
+        server_->requests_submitted_.fetch_add(count,
+                                               std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void ProcessCompletions() {
+    std::vector<Completion> done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done.swap(completions_);
+    }
+    for (Completion& completion : done) {
+      ConnectionPtr& conn = completion.conn;
+      conn->inflight -= completion.request_ids.size();
+      if (conn->closed) continue;  // peer gone; outcomes are discarded
+      const std::vector<TxnOutcome>& outcomes =
+          completion.ticket->outcomes();
+      for (size_t i = 0; i < completion.request_ids.size(); ++i) {
+        EncodeResult(&conn->wrbuf, completion.request_ids[i], outcomes[i]);
+      }
+      server_->responses_sent_.fetch_add(completion.request_ids.size(),
+                                         std::memory_order_relaxed);
+      FlushWrites(conn);
+      MaybeCloseDrained(conn);
+    }
+  }
+
+  void Busy(const ConnectionPtr& conn, uint64_t request_id) {
+    EncodeBusy(&conn->wrbuf, request_id);
+    server_->busy_shed_.fetch_add(1, std::memory_order_relaxed);
+    server_->responses_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void ProtocolError(const ConnectionPtr& conn, uint64_t request_id,
+                     const Status& error) {
+    server_->protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    EncodeError(&conn->wrbuf, request_id, error);
+    server_->responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    FlushWrites(conn);  // best effort; framing is lost either way
+    CloseConn(conn);
+  }
+
+  void FlushWrites(const ConnectionPtr& conn) {
+    if (conn->closed) return;
+    const std::vector<uint8_t>& buf = conn->wrbuf.data();
+    while (conn->wr_off < buf.size()) {
+      ssize_t n = ::send(conn->fd, buf.data() + conn->wr_off,
+                         buf.size() - conn->wr_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->wr_off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      CloseConn(conn);  // EPIPE/ECONNRESET: drop the rest
+      return;
+    }
+    if (conn->wr_off == buf.size()) {
+      conn->wrbuf.Clear();  // keeps capacity — the buffer-reuse fast path
+      conn->wr_off = 0;
+      if (conn->want_write) {
+        conn->want_write = false;
+        UpdateInterest(conn);
+      }
+    } else if (!conn->want_write) {
+      conn->want_write = true;
+      UpdateInterest(conn);
+    }
+  }
+
+  void UpdateInterest(const ConnectionPtr& conn) {
+    epoll_event ev{};
+    ev.events = ((conn->read_open || conn->wr_shutdown) ? EPOLLIN : 0u) |
+                (conn->want_write ? EPOLLOUT : 0u);
+    ev.data.fd = conn->fd;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+
+  /// Read-and-drop after the drain half-close: the peer may still be
+  /// pipelining frames it doesn't know will go unanswered. Consuming them
+  /// keeps the receive buffer empty so the eventual close() cannot RST away
+  /// responses the peer hasn't read yet; its EOF is the signal to close.
+  void DiscardReadable(const ConnectionPtr& conn) {
+    uint8_t chunk[64 * 1024];
+    for (;;) {
+      ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+      if (n > 0) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      conn->peer_eof = n == 0;
+      CloseConn(conn);
+      return;
+    }
+  }
+
+  /// A connection that can no longer produce work (reads closed by EOF or
+  /// drain) ends as soon as its last response is on the wire: immediately
+  /// when the peer already EOFed (nothing unread can remain), otherwise via
+  /// shutdown(SHUT_WR) — our FIN unblocks the peer's reader, and its EOF in
+  /// DiscardReadable completes the handshake.
+  void MaybeCloseDrained(const ConnectionPtr& conn) {
+    if (conn->closed || conn->read_open) return;
+    if (conn->inflight != 0 || conn->wrbuf.size() != conn->wr_off) return;
+    if (conn->peer_eof) {
+      CloseConn(conn);
+    } else if (!conn->wr_shutdown) {
+      conn->wr_shutdown = true;
+      ::shutdown(conn->fd, SHUT_WR);
+      UpdateInterest(conn);
+      DiscardReadable(conn);  // whatever piled up while reads were off
+    }
+  }
+
+  void CloseConn(const ConnectionPtr& conn) {
+    if (conn->closed) return;
+    conn->closed = true;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+    conns_.erase(conn->fd);
+    server_->connections_active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void EnterDrain() {
+    if (drain_entered_) return;
+    drain_entered_ = true;
+    // Snapshot: conns_ mutates under MaybeCloseDrained.
+    std::vector<ConnectionPtr> open;
+    open.reserve(conns_.size());
+    for (auto& [fd, conn] : conns_) open.push_back(conn);
+    for (ConnectionPtr& conn : open) {
+      if (conn->read_open) {
+        conn->read_open = false;
+        UpdateInterest(conn);
+      }
+      MaybeCloseDrained(conn);
+    }
+  }
+
+  void UpdateDrained() {
+    // Every connection fully closed — which requires the half-close
+    // handshake above to have finished, i.e. the peer read everything we
+    // flushed and hung up. Only then is an abrupt stop loss-free.
+    if (conns_.empty()) drained_.store(true, std::memory_order_release);
+  }
+
+  void NoteInflightWatermark(size_t inflight) {
+    uint64_t cur = server_->max_conn_inflight_.load(std::memory_order_relaxed);
+    while (inflight > cur && !server_->max_conn_inflight_.compare_exchange_weak(
+                                 cur, inflight, std::memory_order_relaxed)) {
+    }
+  }
+
+  WireServer* server_;
+  Cluster* cluster_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+
+  /// Loop-thread-only state.
+  std::unordered_map<int, ConnectionPtr> conns_;
+  bool drain_entered_ = false;
+
+  /// Cross-thread mailboxes (acceptor adopts, workers complete).
+  std::mutex mu_;
+  std::vector<int> adopted_;
+  std::vector<Completion> completions_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drained_{false};
+};
+
+}  // namespace server_internal
+
+using server_internal::EventLoop;
+
+WireServer::WireServer(Cluster* cluster, Options options)
+    : cluster_(cluster), options_(options) {
+  if (options_.num_io_threads < 1) options_.num_io_threads = 1;
+  if (options_.max_inflight_per_conn == 0) options_.max_inflight_per_conn = 1;
+}
+
+WireServer::~WireServer() { Stop(); }
+
+Status WireServer::Start() {
+  if (running()) return Status::InvalidArgument("server already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::IOError("socket() failed");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  addr.sin_addr.s_addr =
+      options_.loopback_only ? htonl(INADDR_LOOPBACK) : htonl(INADDR_ANY);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("bind to port " + std::to_string(options_.port) +
+                           " failed: " + std::strerror(errno));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("getsockname failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("listen failed");
+  }
+
+  loops_.clear();
+  for (int i = 0; i < options_.num_io_threads; ++i) {
+    auto loop = std::make_unique<EventLoop>(this, cluster_);
+    Status st = loop->Init();
+    if (!st.ok()) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      loops_.clear();
+      return st;
+    }
+    loops_.push_back(std::move(loop));
+  }
+  running_.store(true, std::memory_order_release);
+  for (auto& loop : loops_) loop->StartThread();
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void WireServer::AcceptLoop() {
+  while (running()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int r = ::poll(&pfd, 1, 50);
+    if (r <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (!server_internal::SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    server_internal::SetNoDelay(fd);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    loops_[next_loop_]->Adopt(fd);
+    next_loop_ = (next_loop_ + 1) % loops_.size();
+  }
+}
+
+void WireServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Drain: reads stop, in-flight batches complete and their responses go
+  // out, drained connections half-close and wait for the peer's EOF.
+  // Partition workers make the progress here, so this cannot be waited for
+  // on a partition worker thread. The deadline bounds Stop() against peers
+  // that never hang up; past it the fail-safe close may drop responses the
+  // peer had not read.
+  for (auto& loop : loops_) loop->BeginDrain();
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.drain_timeout_ms);
+  for (auto& loop : loops_) {
+    while (!loop->Drained() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  for (auto& loop : loops_) loop->StopAndJoin();
+  loops_.clear();
+}
+
+WireServer::Stats WireServer::stats() const {
+  Stats out;
+  out.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  out.connections_active = connections_active_.load(std::memory_order_relaxed);
+  out.frames_received = frames_received_.load(std::memory_order_relaxed);
+  out.responses_sent = responses_sent_.load(std::memory_order_relaxed);
+  out.busy_shed = busy_shed_.load(std::memory_order_relaxed);
+  out.batches_submitted = batches_submitted_.load(std::memory_order_relaxed);
+  out.requests_submitted = requests_submitted_.load(std::memory_order_relaxed);
+  out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  out.max_conn_inflight = max_conn_inflight_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace sstore

@@ -73,20 +73,28 @@ WireClient::WireClient(int fd) : fd_(fd) {}
 WireClient::~WireClient() { Close(); }
 
 void WireClient::Close() {
-  if (fd_ < 0) return;
-  // closed_ may already be set by FailAllPending (reader saw EOF or a send
-  // failed); the fd still needs the half-close handshake so the server's
-  // drain sees our EOF.
-  if (!closed_.exchange(true, std::memory_order_acq_rel)) {
-    // Push out anything still buffered so the server can answer it before
-    // we shut the socket down.
+  if (close_begun_.exchange(true, std::memory_order_acq_rel)) return;
+  {
     std::lock_guard<std::mutex> lock(send_mu_);
-    FlushLocked().ok();
+    // closed_ may already be set by FailAllPending (reader saw EOF or a
+    // send failed); the fd still needs the half-close handshake so the
+    // server's drain sees our EOF. Otherwise push out anything still
+    // buffered so the server can answer it before we shut the socket down.
+    if (!closed_.load(std::memory_order_acquire)) FlushLocked().ok();
+    // Gate sends before the fd goes away: SubmitAsync/Flush are documented
+    // multi-thread safe, and a send() racing the close below could hit a
+    // closed or kernel-reused descriptor. Everything from here on, any
+    // FlushLocked fails under this same lock instead of touching fd_.
+    send_open_ = false;
+    closed_.store(true, std::memory_order_release);
+    ::shutdown(fd_, SHUT_WR);
   }
-  ::shutdown(fd_, SHUT_WR);
   if (reader_.joinable()) reader_.join();
-  ::close(fd_);
-  fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    ::close(fd_);
+    fd_ = -1;
+  }
 }
 
 WireFuturePtr WireClient::SubmitAsync(const std::string& proc, Tuple params,
@@ -146,6 +154,7 @@ Status WireClient::Flush() {
 }
 
 Status WireClient::FlushLocked() {
+  if (!send_open_) return Status::IOError("client is closed");
   const std::vector<uint8_t>& buf = send_buf_.data();
   size_t off = 0;
   while (off < buf.size()) {

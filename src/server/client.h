@@ -142,11 +142,18 @@ class WireClient {
 
   int fd_;
   std::atomic<bool> closed_{false};
+  /// First Close() caller wins; later callers (incl. the destructor after an
+  /// explicit Close) return immediately.
+  std::atomic<bool> close_begun_{false};
   std::atomic<uint64_t> next_id_{1};
 
   std::mutex send_mu_;
   ByteWriter send_buf_;
   size_t auto_flush_bytes_ = 0;
+  /// Guarded by send_mu_. Cleared by Close() before it shuts down / closes
+  /// fd_, so no concurrent FlushLocked can send() on a closed (or
+  /// kernel-reused) descriptor.
+  bool send_open_ = true;
 
   mutable std::mutex pending_mu_;
   std::unordered_map<uint64_t, WireFuturePtr> pending_;

@@ -73,25 +73,51 @@ struct Completion {
   std::vector<uint64_t> request_ids;  // aligned with ticket->outcomes()
 };
 
+/// The loop's cross-thread mailbox, shared-owned so a ticket completion can
+/// outlive the EventLoop: a connection that dies with frames in flight
+/// (EPOLLHUP, read error, protocol error) lets the loop drain and be
+/// destroyed while its BatchTickets are still pending on partition workers.
+/// Those late callbacks hold only a weak_ptr to this struct — never a raw
+/// EventLoop — so they either deliver into a live mailbox or drop the
+/// completion, and `stopped` (flipped under `mu` before the eventfd closes)
+/// keeps them from writing a closed or kernel-reused descriptor.
+struct LoopMailbox {
+  std::mutex mu;
+  std::vector<int> adopted;
+  std::vector<Completion> completions;
+  int wake_fd = -1;
+  bool stopped = false;
+};
+
 class EventLoop {
  public:
   EventLoop(WireServer* server, Cluster* cluster)
       : server_(server), cluster_(cluster) {}
 
   ~EventLoop() {
+    if (mailbox_ != nullptr) {
+      // Late ticket completions may still resolve this mailbox; make them
+      // no-ops before the eventfd number can be closed (and reused).
+      std::lock_guard<std::mutex> lock(mailbox_->mu);
+      mailbox_->stopped = true;
+      if (mailbox_->wake_fd >= 0) {
+        ::close(mailbox_->wake_fd);
+        mailbox_->wake_fd = -1;
+      }
+    }
     if (epoll_fd_ >= 0) ::close(epoll_fd_);
-    if (wake_fd_ >= 0) ::close(wake_fd_);
   }
 
   Status Init() {
     epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
     if (epoll_fd_ < 0) return Status::IOError("epoll_create1 failed");
-    wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-    if (wake_fd_ < 0) return Status::IOError("eventfd failed");
+    mailbox_ = std::make_shared<LoopMailbox>();
+    mailbox_->wake_fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (mailbox_->wake_fd < 0) return Status::IOError("eventfd failed");
     epoll_event ev{};
     ev.events = EPOLLIN;
-    ev.data.fd = wake_fd_;
-    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    ev.data.fd = mailbox_->wake_fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, mailbox_->wake_fd, &ev) < 0) {
       return Status::IOError("epoll_ctl(wakeup) failed");
     }
     return Status::OK();
@@ -104,19 +130,25 @@ class EventLoop {
   /// Any thread: hand a prepared (non-blocking, NODELAY) socket to this loop.
   void Adopt(int fd) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      adopted_.push_back(fd);
+      std::lock_guard<std::mutex> lock(mailbox_->mu);
+      mailbox_->adopted.push_back(fd);
     }
     Wake();
   }
 
-  /// Partition worker threads: a batch submitted by this loop completed.
-  void PostCompletion(Completion completion) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      completions_.push_back(std::move(completion));
-    }
-    Wake();
+  /// Partition worker threads: a batch submitted by some loop completed.
+  /// Static and addressed by weak mailbox — the EventLoop itself may be gone
+  /// by the time a ticket for a dead connection fires.
+  static void PostCompletion(const std::weak_ptr<LoopMailbox>& weak,
+                             Completion completion) {
+    std::shared_ptr<LoopMailbox> mailbox = weak.lock();
+    if (mailbox == nullptr) return;  // loop destroyed; outcomes are dropped
+    std::lock_guard<std::mutex> lock(mailbox->mu);
+    if (mailbox->stopped) return;  // eventfd closed; outcomes are dropped
+    mailbox->completions.push_back(std::move(completion));
+    uint64_t one = 1;
+    ssize_t n = ::write(mailbox->wake_fd, &one, sizeof(one));
+    (void)n;  // EAGAIN means a wake is already pending — exactly as good.
   }
 
   /// Any thread: stop reading; keep flushing until nothing is in flight.
@@ -138,7 +170,7 @@ class EventLoop {
  private:
   void Wake() {
     uint64_t one = 1;
-    ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+    ssize_t n = ::write(mailbox_->wake_fd, &one, sizeof(one));
     (void)n;  // EAGAIN means a wake is already pending — exactly as good.
   }
 
@@ -151,7 +183,7 @@ class EventLoop {
       DrainWakeups();
       AdoptPending();
       for (int i = 0; i < n; ++i) {
-        if (events[i].data.fd == wake_fd_) continue;
+        if (events[i].data.fd == mailbox_->wake_fd) continue;
         auto it = conns_.find(events[i].data.fd);
         if (it == conns_.end()) continue;
         ConnectionPtr conn = it->second;
@@ -189,15 +221,15 @@ class EventLoop {
 
   void DrainWakeups() {
     uint64_t buf;
-    while (::read(wake_fd_, &buf, sizeof(buf)) > 0) {
+    while (::read(mailbox_->wake_fd, &buf, sizeof(buf)) > 0) {
     }
   }
 
   void AdoptPending() {
     std::vector<int> fds;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      fds.swap(adopted_);
+      std::lock_guard<std::mutex> lock(mailbox_->mu);
+      fds.swap(mailbox_->adopted);
     }
     for (int fd : fds) {
       if (draining_.load(std::memory_order_acquire)) {
@@ -218,16 +250,25 @@ class EventLoop {
     }
   }
 
-  /// Drains the socket's whole readable backlog, then submits every decoded
-  /// frame in one pass — the coalescing step: M frames that arrived while
-  /// this loop was busy become one BatchTicket per touched partition.
+  static constexpr size_t kMaxReadPerPass = 1 << 20;
+
+  /// Drains the socket's readable backlog — capped at kMaxReadPerPass per
+  /// pass — then submits every decoded frame in one go: the coalescing step,
+  /// M frames that arrived while this loop was busy become one BatchTicket
+  /// per touched partition. The cap keeps one fast pipeliner from growing
+  /// rdbuf ahead of admission control without bound and head-of-line
+  /// starving the loop's other connections; level-triggered EPOLLIN
+  /// re-reports the socket on the next epoll_wait, so the remainder is
+  /// picked up after everyone else gets a turn.
   void HandleReadable(const ConnectionPtr& conn) {
     uint8_t chunk[64 * 1024];
     bool eof = false;
-    for (;;) {
+    size_t consumed = 0;
+    while (consumed < kMaxReadPerPass) {
       ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
       if (n > 0) {
         conn->rdbuf.Feed(chunk, static_cast<size_t>(n));
+        consumed += static_cast<size_t>(n);
         continue;
       }
       if (n == 0) {
@@ -332,9 +373,13 @@ class EventLoop {
         BatchTicketPtr ticket = cluster_->partition(p).SubmitBatchAsync(
             std::move(g.invs), EnqueuePolicy::kSpillWhenFull);
         Completion completion{conn, ticket, std::move(g.ids)};
+        // Weak capture: the partition worker may fire this after the
+        // connection died and the drained loop was destroyed (see
+        // LoopMailbox) — it must never dereference the EventLoop.
         ticket->SetOnComplete(
-            [this, completion = std::move(completion)]() mutable {
-              PostCompletion(std::move(completion));
+            [weak = std::weak_ptr<LoopMailbox>(mailbox_),
+             completion = std::move(completion)]() mutable {
+              PostCompletion(weak, std::move(completion));
             });
         server_->batches_submitted_.fetch_add(1, std::memory_order_relaxed);
         server_->requests_submitted_.fetch_add(count,
@@ -346,8 +391,8 @@ class EventLoop {
   void ProcessCompletions() {
     std::vector<Completion> done;
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      done.swap(completions_);
+      std::lock_guard<std::mutex> lock(mailbox_->mu);
+      done.swap(mailbox_->completions);
     }
     for (Completion& completion : done) {
       ConnectionPtr& conn = completion.conn;
@@ -405,6 +450,15 @@ class EventLoop {
     } else if (!conn->want_write) {
       conn->want_write = true;
       UpdateInterest(conn);
+    }
+    // The in-flight cap bounds kResult bytes, but kBusy/kPong never consume
+    // an in-flight slot — a peer that keeps writing requests without reading
+    // responses would grow this buffer without bound. Past the threshold the
+    // peer is overloading us: close instead of buffering.
+    if (!conn->closed &&
+        buf.size() - conn->wr_off > server_->options_.max_unflushed_bytes) {
+      server_->overload_closed_.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(conn);
     }
   }
 
@@ -493,17 +547,15 @@ class EventLoop {
   WireServer* server_;
   Cluster* cluster_;
   int epoll_fd_ = -1;
-  int wake_fd_ = -1;
   std::thread thread_;
 
   /// Loop-thread-only state.
   std::unordered_map<int, ConnectionPtr> conns_;
   bool drain_entered_ = false;
 
-  /// Cross-thread mailboxes (acceptor adopts, workers complete).
-  std::mutex mu_;
-  std::vector<int> adopted_;
-  std::vector<Completion> completions_;
+  /// Cross-thread mailbox (acceptor adopts, workers complete); shared-owned
+  /// because ticket completions can outlive the loop — see LoopMailbox.
+  std::shared_ptr<LoopMailbox> mailbox_;
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> draining_{false};
@@ -627,6 +679,7 @@ WireServer::Stats WireServer::stats() const {
   out.batches_submitted = batches_submitted_.load(std::memory_order_relaxed);
   out.requests_submitted = requests_submitted_.load(std::memory_order_relaxed);
   out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  out.overload_closed = overload_closed_.load(std::memory_order_relaxed);
   out.max_conn_inflight = max_conn_inflight_.load(std::memory_order_relaxed);
   return out;
 }

@@ -69,6 +69,12 @@ class WireServer {
     int num_io_threads = 1;
     /// Frames per connection submitted but not yet answered before kBusy.
     size_t max_inflight_per_conn = 1024;
+    /// Unflushed response bytes a connection may accumulate before it is
+    /// closed as overloaded. The in-flight cap bounds kResult responses, but
+    /// kBusy/kPong are generated without consuming an in-flight slot — a
+    /// peer that writes requests and never reads responses would otherwise
+    /// grow the write buffer without bound.
+    size_t max_unflushed_bytes = 4 << 20;
     int listen_backlog = 128;
     /// Stop() waits this long for the loss-free drain handshake (responses
     /// flushed, peers hang up) before closing abruptly. A peer that never
@@ -86,6 +92,9 @@ class WireServer {
     uint64_t batches_submitted = 0;  // BatchTickets handed to partitions
     uint64_t requests_submitted = 0;  // kSubmit frames that reached a ring
     uint64_t protocol_errors = 0;
+    /// Connections closed because their unflushed write buffer exceeded
+    /// Options::max_unflushed_bytes (peer stopped reading responses).
+    uint64_t overload_closed = 0;
     /// Highest submitted-but-unanswered count any connection reached —
     /// never exceeds Options::max_inflight_per_conn.
     uint64_t max_conn_inflight = 0;
@@ -136,6 +145,7 @@ class WireServer {
   std::atomic<uint64_t> batches_submitted_{0};
   std::atomic<uint64_t> requests_submitted_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> overload_closed_{0};
   std::atomic<uint64_t> max_conn_inflight_{0};
 };
 

@@ -470,6 +470,56 @@ TEST(WireServerTest, DrainStopLosesNoResponses) {
   EXPECT_GT(committed.load(), 0);
 }
 
+// Regression: a peer that resets its connection with frames in flight gets
+// its Connection torn down immediately, so the loop can report drained — and
+// be destroyed by Stop() — while the partition worker still holds the batch
+// ticket. The late completion must be dropped safely (weak mailbox), not
+// delivered into a destroyed loop's mutex/eventfd.
+TEST(WireServerTest, AbruptPeerResetWithInflightThenStopIsSafe) {
+  Harness h(1);
+  // Hold the partition busy so the submitted votes stay in flight past the
+  // peer's reset and the server's Stop().
+  h.cluster.partition(0).SubmitClosure([](Partition&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  });
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(h.server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  ByteWriter w;
+  for (uint64_t id = 1; id <= 8; ++id) {
+    Value key = Value::BigInt(1);
+    EncodeSubmit(&w, id, "vc_vote", {Value::BigInt(1)}, &key, 0);
+  }
+  const std::vector<uint8_t>& buf = w.data();
+  ASSERT_EQ(::send(fd, buf.data(), buf.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(buf.size()));
+
+  // Give the loop a moment to read + submit, then RST away (SO_LINGER 0):
+  // the server closes the connection with inflight > 0.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  linger lin{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lin, sizeof(lin));
+  ::close(fd);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Stop() sees an empty, drained loop and destroys it; the ticket is still
+  // ~100ms from completing on the partition worker.
+  h.server.Stop();
+  WireServer::Stats ss = h.server.stats();
+  EXPECT_GT(ss.requests_submitted, 0u);
+
+  // The late completion fires during this wait — dropped, not crashed.
+  h.cluster.WaitIdle();
+  EXPECT_TRUE(h.app.CheckInvariant().ok());
+}
+
 // ---- Protocol robustness ----
 
 TEST(WireServerTest, GarbageFrameClosesConnection) {

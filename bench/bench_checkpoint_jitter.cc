@@ -1,0 +1,242 @@
+// Background-checkpoint jitter benchmark (PR 7): does ingest keep flowing
+// while the Checkpointer cuts transaction-consistent snapshots underneath
+// it, and what does the delta-snapshot optimization buy the barrier pause?
+//
+// Benchmarks:
+//   BM_IngestNoCheckpoint         — baseline: blocking voter ingest with the
+//                                   command log on and no checkpoints; the
+//                                   latency distribution everything else is
+//                                   judged against.
+//   BM_IngestThroughCheckpoints   — the same loop with the background
+//                                   Checkpointer self-triggering on a tight
+//                                   cadence. Reports ingest p50/p99/max
+//                                   latency plus checkpoints completed and
+//                                   the worst barrier pause: the jitter a
+//                                   client sees is bounded by that pause,
+//                                   not by the full snapshot-write time.
+//   BM_CheckpointPause/full       — every partition's tables dirty between
+//                                   cuts: each checkpoint copies all rows.
+//   BM_CheckpointPause/delta      — only partition 0's tables dirty: the
+//                                   quiet partition's tables are written as
+//                                   references to the base epoch, shrinking
+//                                   the pause (tables_delta > 0 confirms
+//                                   the path was exercised).
+//
+// bench/run_bench.sh writes the results to BENCH_pr7.json:
+//   BENCH=bench_checkpoint_jitter bench/run_bench.sh
+// `--smoke` (CI) maps to a short --benchmark_min_time run.
+
+#include <benchmark/benchmark.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "workloads/voter_cluster.h"
+
+namespace {
+
+using sstore::CheckpointReport;
+using sstore::Checkpointer;
+using sstore::Cluster;
+using sstore::PartitionMap;
+using sstore::Status;
+using sstore::Value;
+using sstore::VoterClusterApp;
+using sstore::VoterClusterConfig;
+
+constexpr int kPartitions = 2;
+
+std::string BenchDir(const std::string& name) {
+  static const std::string pid = std::to_string(::getpid());
+  std::string path = "/tmp/sstore_bench_ckpt_" + pid + "_" + name;
+  ::mkdir(path.c_str(), 0755);
+  return path;
+}
+
+VoterClusterConfig BenchConfig(int64_t contestants) {
+  VoterClusterConfig config;
+  config.num_contestants = contestants;
+  config.initial_votes = 1000;
+  return config;
+}
+
+Cluster::Options DurableOpts(const std::string& log_dir) {
+  Cluster::Options opts;
+  opts.num_partitions = kPartitions;
+  opts.routing = PartitionMap::Mode::kModulo;
+  opts.log_dir = log_dir;
+  opts.log_sync = false;  // measure barrier jitter, not fsync latency
+  return opts;
+}
+
+int64_t Percentile(std::vector<int64_t>& samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  return samples[static_cast<size_t>(
+      p * static_cast<double>(samples.size() - 1))];
+}
+
+/// The shared ingest loop: blocking votes, per-vote latency samples.
+void RunIngest(benchmark::State& state, bool background_checkpoints) {
+  const std::string tag = background_checkpoints ? "bg" : "nockpt";
+  std::string log_dir = BenchDir(tag + "_logs");
+  std::string ckpt_dir = BenchDir(tag + "_ckpt");
+  VoterClusterConfig config = BenchConfig(64);
+  Cluster cluster(DurableOpts(log_dir));
+  VoterClusterApp app(&cluster, config);
+  Status st = cluster.Deploy(BuildVoterClusterDeployment(config));
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  cluster.Start();
+  if (background_checkpoints) {
+    Checkpointer::Options copts;
+    copts.dir = ckpt_dir;
+    copts.interval_ms = 10;  // several cuts even inside a smoke run
+    copts.poll_ms = 2;
+    st = cluster.StartCheckpointer(copts);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+
+  std::vector<int64_t> lat_us;
+  int64_t c = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    if (!app.Vote(c).committed()) {
+      state.SkipWithError("vote aborted");
+      break;
+    }
+    lat_us.push_back(std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
+    c = (c + 1) % config.num_contestants;
+  }
+
+  state.SetItemsProcessed(state.iterations());
+  state.counters["p50_us"] = static_cast<double>(Percentile(lat_us, 0.50));
+  state.counters["p99_us"] = static_cast<double>(Percentile(lat_us, 0.99));
+  state.counters["max_us"] = static_cast<double>(Percentile(lat_us, 1.0));
+  if (background_checkpoints) {
+    // At least one self-triggered cut must land inside the measured window
+    // for the jitter numbers to mean anything.
+    cluster.checkpointer()->WaitForCompletions(1, 10000);
+    Checkpointer::Stats cs = cluster.checkpointer()->stats();
+    state.counters["checkpoints"] = static_cast<double>(cs.completed);
+    state.counters["max_barrier_pause_us"] =
+        static_cast<double>(cs.max_barrier_pause_us);
+    state.counters["busy_deferred"] = static_cast<double>(cs.busy_deferred);
+    if (cs.completed == 0) {
+      state.SkipWithError("no background checkpoint completed");
+    }
+  }
+  cluster.Stop();
+}
+
+void BM_IngestNoCheckpoint(benchmark::State& state) {
+  RunIngest(state, /*background_checkpoints=*/false);
+}
+// UseRealTime throughout: commits happen on partition worker threads (and
+// cuts on the checkpointer thread), so driving-thread CPU time is
+// meaningless here.
+BENCHMARK(BM_IngestNoCheckpoint)->UseRealTime();
+
+void BM_IngestThroughCheckpoints(benchmark::State& state) {
+  RunIngest(state, /*background_checkpoints=*/true);
+}
+BENCHMARK(BM_IngestThroughCheckpoints)->UseRealTime();
+
+/// Manual checkpoints over a large table set; arg: 0 = every partition
+/// dirty between cuts (all-full snapshots), 1 = only partition 0 dirty
+/// (the quiet partition's tables become delta refs).
+void BM_CheckpointPause(benchmark::State& state) {
+  const bool delta = state.range(0) == 1;
+  const std::string tag = delta ? "delta" : "full";
+  std::string log_dir = BenchDir("pause_" + tag + "_logs");
+  std::string ckpt_dir = BenchDir("pause_" + tag + "_ckpt");
+  // Enough rows that copying them dominates the barrier pause.
+  VoterClusterConfig config = BenchConfig(20000);
+  Cluster cluster(DurableOpts(log_dir));
+  VoterClusterApp app(&cluster, config);
+  Status st = cluster.Deploy(BuildVoterClusterDeployment(config));
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  cluster.Start();
+  // Seed the baseline cut so delta iterations have a base epoch to
+  // reference.
+  if (!cluster.Checkpoint(ckpt_dir).ok()) {
+    state.SkipWithError("seed checkpoint failed");
+    return;
+  }
+
+  uint64_t pause_us_total = 0, tables_full = 0, tables_delta = 0, cuts = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Contestant 0 lives on partition 0, contestant 1 on partition 1
+    // (modulo routing): dirty one partition or both.
+    app.Vote(0);
+    if (!delta) app.Vote(1);
+    cluster.WaitIdle();
+    state.ResumeTiming();
+
+    CheckpointReport report;
+    st = cluster.Checkpoint(ckpt_dir, &report);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      break;
+    }
+    pause_us_total += report.barrier_pause_us;
+    tables_full += report.tables_full;
+    tables_delta += report.tables_delta;
+    ++cuts;
+  }
+  if (cuts > 0) {
+    state.counters["pause_us"] =
+        static_cast<double>(pause_us_total) / static_cast<double>(cuts);
+    state.counters["tables_full_per_cut"] =
+        static_cast<double>(tables_full) / static_cast<double>(cuts);
+    state.counters["tables_delta_per_cut"] =
+        static_cast<double>(tables_delta) / static_cast<double>(cuts);
+  }
+  cluster.Stop();
+}
+BENCHMARK(BM_CheckpointPause)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("delta")
+    ->UseRealTime();
+
+}  // namespace
+
+// Custom main so CI can ask for a smoke run without knowing google-benchmark
+// flag syntax: `bench_checkpoint_jitter --smoke` == a short min_time run.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  static char min_time[] = "--benchmark_min_time=0.05";
+  if (smoke) args.push_back(min_time);
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

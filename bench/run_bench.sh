@@ -31,6 +31,12 @@
 #     BM_WirePerRequest (the batched wire path vs one request per round
 #     trip), BM_WireMultiConn sustains that under N connections, and
 #     BM_WireGroupCommit/64's log_flushes_per_kvote is far below /1's 1000.
+#   bench_checkpoint_jitter:  BM_IngestThroughCheckpoints completes with
+#     checkpoints >= 1 (ingest flowed through self-triggered background
+#     cuts) and its p99_us within a small multiple of BM_IngestNoCheckpoint
+#     (jitter bounded by max_barrier_pause_us, not snapshot-write time);
+#     BM_CheckpointPause/delta:1 pause_us below /delta:0 with
+#     tables_delta_per_cut > 0 (unchanged tables ride as references).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +48,7 @@ case "$BENCH" in
   bench_placed_workflow)  DEFAULT_OUT=BENCH_pr4.json ;;
   bench_rebalance)        DEFAULT_OUT=BENCH_pr5.json ;;
   bench_wire_serving)     DEFAULT_OUT=BENCH_pr6.json ;;
+  bench_checkpoint_jitter) DEFAULT_OUT=BENCH_pr7.json ;;
   *)                      DEFAULT_OUT="BENCH_${BENCH}.json" ;;
 esac
 OUT="${OUT:-$DEFAULT_OUT}"

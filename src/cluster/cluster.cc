@@ -11,6 +11,7 @@
 
 #include "cluster/stream_channel.h"
 #include "common/clock.h"
+#include "common/failpoint.h"
 #include "log/snapshot.h"
 
 namespace sstore {
@@ -42,6 +43,7 @@ Status WriteManifest(const std::string& dir, uint64_t checkpoint_id,
                      const std::string& map_block) {
   std::string tmp = dir + "/" + kManifestName + ".tmp";
   std::string final_path = dir + "/" + kManifestName;
+  SSTORE_RETURN_NOT_OK(failpoint::Check("manifest.write"));
   std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) {
     return Status::IOError("cannot write checkpoint manifest at " + tmp);
@@ -62,6 +64,9 @@ Status WriteManifest(const std::string& dir, uint64_t checkpoint_id,
     std::remove(tmp.c_str());
     return Status::IOError("cannot flush checkpoint manifest at " + tmp);
   }
+  // A crash here (failpoint or real) leaves a complete temp file that is
+  // never renamed: recovery still reads the previous manifest.
+  SSTORE_RETURN_NOT_OK(failpoint::Check("manifest.rename"));
   if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
     return Status::IOError("cannot publish checkpoint manifest at " +
                            final_path);
@@ -408,8 +413,22 @@ std::string Cluster::DecisionLogPath(const std::string& log_dir,
   return log_dir + "/coord-decisions.e" + std::to_string(epoch) + ".log";
 }
 
-Status Cluster::CheckpointAtBarrier(const std::string& dir) {
+Status Cluster::CheckpointAtBarrier(const std::string& dir,
+                                    CheckpointReport* report) {
+  // A simulated kill while every worker sits parked: nothing of this
+  // checkpoint is durable yet, so recovery lands on the previous cut.
+  SSTORE_RETURN_NOT_OK(failpoint::Check("checkpoint.barrier"));
+
   uint64_t checkpoint_id = next_checkpoint_id_++;
+
+  // Delta tracking is per-directory: a reference entry resolves against an
+  // earlier checkpoint file in the *same* directory, so checkpointing
+  // somewhere new restarts from full copies.
+  if (dir != snapshot_baseline_dir_) {
+    snapshot_baselines_.clear();
+    snapshot_baseline_dir_ = dir;
+  }
+  snapshot_baselines_.resize(stores_.size());
 
   // Mark the logs *before* writing snapshots: a crash in between leaves a
   // mark with no manifest pointing at it, which recovery simply ignores
@@ -419,10 +438,41 @@ Status Cluster::CheckpointAtBarrier(const std::string& dir) {
     st = store->partition().AppendCheckpointMark(checkpoint_id);
     if (!st.ok()) break;
   }
+  CheckpointReport local;
+  local.checkpoint_id = checkpoint_id;
+  // Versions captured at write time; the baselines advance only once the
+  // whole checkpoint (manifest + rotation) committed, so a failed attempt
+  // never leaves a future checkpoint referencing files recovery ignores.
+  std::vector<std::map<std::string, uint64_t>> versions(stores_.size());
+  std::vector<SnapshotDeltaSpec> specs(stores_.size());
   if (st.ok()) {
     for (size_t p = 0; p < stores_.size() && st.ok(); ++p) {
-      st = SnapshotManager::WriteSnapshot(
-          SnapshotPath(dir, checkpoint_id, p), stores_[p]->catalog());
+      const std::map<std::string, TableBaseline>& base =
+          snapshot_baselines_[p];
+      for (const std::string& name : stores_[p]->catalog().TableNames()) {
+        Result<Table*> table = stores_[p]->catalog().GetTable(name);
+        if (!table.ok()) {
+          st = table.status();
+          break;
+        }
+        uint64_t v = (*table)->version();
+        versions[p][name] = v;
+        auto it = base.find(name);
+        // Unchanged since its last full copy: write a reference instead of
+        // re-serializing — this is what shrinks the barrier pause for cold
+        // tables.
+        if (it != base.end() && it->second.version == v) {
+          specs[p].unchanged[name] = it->second.checkpoint_id;
+        }
+      }
+      if (!st.ok()) break;
+      SnapshotWriteStats ws;
+      st = SnapshotManager::WriteSnapshot(SnapshotPath(dir, checkpoint_id, p),
+                                          stores_[p]->catalog(), &specs[p],
+                                          &ws);
+      local.tables_full += ws.tables_full;
+      local.tables_delta += ws.tables_delta;
+      local.snapshot_bytes += ws.bytes;
     }
   }
 
@@ -457,6 +507,11 @@ Status Cluster::CheckpointAtBarrier(const std::string& dir) {
     st = WriteManifest(dir, checkpoint_id, stores_.size(),
                        will_rotate ? checkpoint_id : log_epoch_, map_block);
   }
+  // A kill between the manifest rename and the rotation below: the durable
+  // manifest names epoch files that do not exist yet, which replay as an
+  // empty suffix — correct, since nothing can commit until the barrier
+  // releases.
+  if (st.ok()) st = failpoint::Check("checkpoint.after_manifest");
   if (st.ok() && will_rotate) {
     for (size_t p = 0; p < stores_.size() && st.ok(); ++p) {
       Partition& partition = stores_[p]->partition();
@@ -483,30 +538,49 @@ Status Cluster::CheckpointAtBarrier(const std::string& dir) {
     // must not be truncated by reopening); the error is returned and the
     // cluster should be treated as needing recovery.
   }
+  if (st.ok()) {
+    for (size_t p = 0; p < stores_.size(); ++p) {
+      for (const auto& [name, v] : versions[p]) {
+        if (specs[p].unchanged.find(name) == specs[p].unchanged.end()) {
+          snapshot_baselines_[p][name] = TableBaseline{checkpoint_id, v};
+        }
+      }
+    }
+    if (report != nullptr) *report = local;
+  }
   return st;
 }
 
-Status Cluster::Checkpoint(const std::string& dir) {
-  std::lock_guard<std::mutex> control(control_mu_);
+Status Cluster::CheckUniformlyRunning(size_t* running_count) const {
+  size_t count = 0;
+  for (const auto& store : stores_) {
+    if (const_cast<SStore&>(*store).partition().running()) ++count;
+  }
+  if (count != 0 && count != stores_.size()) {
+    return Status::Internal(
+        "checkpoint needs a uniformly running or stopped cluster");
+  }
+  *running_count = count;
+  return Status::OK();
+}
+
+Status Cluster::CheckpointQuiesced(const std::string& dir,
+                                   CheckpointReport* report) {
   size_t running_count = 0;
   for (auto& store : stores_) {
     if (store->partition().running()) ++running_count;
   }
-  if (running_count != 0 && running_count != stores_.size()) {
-    return Status::Internal(
-        "checkpoint needs a uniformly running or stopped cluster");
-  }
 
-  // No multi-partition transaction may span the cut: block new submissions
-  // and wait for in-flight rounds to drain. Afterwards no request queue
-  // holds a participant fragment.
-  coordinator_->QuiesceBegin();
-
+  WallClock clock;
+  int64_t pause_start = clock.NowMicros();
   // Stop-the-world barrier: every worker parks at a closure task, so the
   // per-partition cut is at a transaction boundary and the catalog is safe
-  // to read from this thread. Producers keep enqueueing behind the barrier.
+  // to read from this thread. Producers keep enqueueing behind the barrier
+  // — except the wire server, which watches the gate flag and sheds kBusy
+  // instead of growing the backlog while the cluster is paused.
   std::shared_ptr<WorkerBarrier> barrier;
   if (running_count != 0) {
+    checkpoint_gate_closed_.store(true, std::memory_order_release);
     barrier = std::make_shared<WorkerBarrier>(stores_.size());
     for (auto& store : stores_) {
       store->partition().SubmitClosure(
@@ -515,12 +589,49 @@ Status Cluster::Checkpoint(const std::string& dir) {
     barrier->WaitAllArrived();
   }
 
-  Status st = CheckpointAtBarrier(dir);
+  Status st = CheckpointAtBarrier(dir, report);
 
   if (barrier != nullptr) barrier->Release();
+  checkpoint_gate_closed_.store(false, std::memory_order_release);
+  int64_t pause_end = clock.NowMicros();
+  if (st.ok() && report != nullptr) {
+    report->barrier_pause_us = static_cast<uint64_t>(pause_end - pause_start);
+  }
   coordinator_->QuiesceEnd();
   if (st.ok()) coordinator_->NoteCheckpoint();
   return st;
+}
+
+Status Cluster::Checkpoint(const std::string& dir, CheckpointReport* report) {
+  std::lock_guard<std::mutex> control(control_mu_);
+  size_t running_count = 0;
+  SSTORE_RETURN_NOT_OK(CheckUniformlyRunning(&running_count));
+
+  // No multi-partition transaction may span the cut: block new submissions
+  // and wait for in-flight rounds to drain. Afterwards no request queue
+  // holds a participant fragment.
+  coordinator_->QuiesceBegin();
+  return CheckpointQuiesced(dir, report);
+}
+
+Status Cluster::TryCheckpoint(const std::string& dir, CheckpointReport* report,
+                              int quiesce_timeout_ms) {
+  // The background checkpointer's entry point: never blocks behind another
+  // control-plane operation, never stalls waiting for a long transaction —
+  // both report kUnavailable and the caller retries after backoff.
+  std::unique_lock<std::mutex> control(control_mu_, std::try_to_lock);
+  if (!control.owns_lock()) {
+    return Status::Unavailable(
+        "control plane busy (checkpoint or rebalance in progress)");
+  }
+  size_t running_count = 0;
+  SSTORE_RETURN_NOT_OK(CheckUniformlyRunning(&running_count));
+  if (!coordinator_->TryQuiesceBegin(quiesce_timeout_ms)) {
+    return Status::Unavailable(
+        "coordinator did not quiesce within " +
+        std::to_string(quiesce_timeout_ms) + "ms");
+  }
+  return CheckpointQuiesced(dir, report);
 }
 
 Status Cluster::Rebalance(const RebalancePlan& plan,
@@ -635,6 +746,9 @@ Status Cluster::Rebalance(const RebalancePlan& plan,
       num_partitions_.store(stores_.size(), std::memory_order_release);
     }
     if (was_running) {
+      // Same serving-layer gate as a checkpoint barrier: the wire server
+      // sheds kBusy while the workers are parked for the cutover.
+      checkpoint_gate_closed_.store(true, std::memory_order_release);
       barrier = std::make_shared<WorkerBarrier>(n);
       for (size_t p = 0; p < n; ++p) {
         stores_[p]->partition().SubmitClosure(
@@ -658,9 +772,10 @@ Status Cluster::Rebalance(const RebalancePlan& plan,
   }
   uint64_t rows_moved = 0;
   Status st = MigrateKeyedRows(plan, &rows_moved);
-  if (st.ok()) st = CheckpointAtBarrier(plan.checkpoint_dir);
+  if (st.ok()) st = CheckpointAtBarrier(plan.checkpoint_dir, nullptr);
 
   if (barrier != nullptr) barrier->Release();
+  checkpoint_gate_closed_.store(false, std::memory_order_release);
   int64_t barrier_end = clock.NowMicros();
   // The new partition joins the running cluster only after the cutover is
   // durable; its queued work (routed there since the flip) now drains.
@@ -820,6 +935,11 @@ Status Cluster::Recover(const std::string& dir, const std::string& log_dir) {
     RecoveryManager::ReplayOptions replay;
     replay.from_checkpoint_id = checkpoint_id;
     replay.committed_gids = &committed_gids;
+    // Delta snapshots: a reference entry names the checkpoint whose file
+    // (in the same directory) holds the table's last full copy.
+    replay.snapshot_base_resolver = [this, &dir, p](uint64_t base_id) {
+      return SnapshotPath(dir, base_id, p);
+    };
     SSTORE_RETURN_NOT_OK(
         stores_[p]->Recover(SnapshotPath(dir, checkpoint_id, p), log_path,
                             options_.recovery_mode, replay));
@@ -835,6 +955,81 @@ Status Cluster::Recover(const std::string& dir, const std::string& log_dir) {
   coordinator_->SetNextGlobalTxnId(max_gid + 1);
   next_checkpoint_id_ = checkpoint_id + 1;
   log_epoch_ = manifest_epoch;
+  // Restored table versions bear no relation to the tracked baselines (and
+  // the baselines may point at another directory's files): start the delta
+  // tracking over from full copies.
+  snapshot_baselines_.clear();
+  snapshot_baseline_dir_.clear();
+
+  // ---- Re-arm durability (composable recovery). ----
+  // Without this, a recovered cluster would run with no logs attached: the
+  // first kill-recover works, the second loses everything since. Cut a
+  // fresh checkpoint of the exact replayed state (before channel
+  // reconciliation mutates anything), attach fresh epoch command logs and
+  // a fresh decision log, and only then delete the epoch just replayed.
+  if (!log_dir.empty()) {
+    uint64_t new_epoch = next_checkpoint_id_++;
+    Status st;
+    for (size_t p = 0; p < stores_.size() && st.ok(); ++p) {
+      st = SnapshotManager::WriteSnapshot(SnapshotPath(dir, new_epoch, p),
+                                          stores_[p]->catalog());
+    }
+    if (st.ok()) {
+      std::string map_block;
+      {
+        std::shared_lock<std::shared_mutex> lock(route_mu_);
+        map_block = map_.Encode();
+      }
+      st = WriteManifest(dir, new_epoch, stores_.size(), new_epoch,
+                         map_block);
+    }
+    // The manifest naming the new epoch is durable; a kill from here on
+    // recovers from the fresh cut (with an absent or mark-only log suffix,
+    // which replays as empty — nothing has committed since).
+    if (st.ok()) {
+      for (size_t p = 0; p < stores_.size() && st.ok(); ++p) {
+        CommandLog::Options log_opts;
+        log_opts.path = LogPath(log_dir, new_epoch, p);
+        log_opts.group_size = options_.group_commit_size;
+        log_opts.sync = options_.log_sync;
+        Result<std::unique_ptr<CommandLog>> log = CommandLog::Open(log_opts);
+        if (!log.ok()) {
+          st = log.status();
+          break;
+        }
+        stores_[p]->partition().AttachCommandLog(std::move(log).value(),
+                                                 options_.recovery_mode);
+        st = stores_[p]->partition().AppendCheckpointMark(new_epoch);
+      }
+    }
+    if (st.ok()) {
+      st = coordinator_->AttachDecisionLog(DecisionLogPath(log_dir, new_epoch),
+                                           options_.log_sync);
+    }
+    if (!st.ok()) {
+      return Status(st.code(),
+                    "re-arming durability after recovery: " + st.message());
+    }
+    // The replayed epoch is subsumed by the fresh cut.
+    for (size_t p = 0; p < stores_.size(); ++p) {
+      std::remove(LogPath(log_dir, manifest_epoch, p).c_str());
+    }
+    std::remove(DecisionLogPath(log_dir, manifest_epoch).c_str());
+    log_epoch_ = new_epoch;
+    options_.log_dir = log_dir;
+    // Seed the delta tracking: this cut wrote every table in full, so the
+    // next checkpoint can already reference cold tables.
+    snapshot_baseline_dir_ = dir;
+    snapshot_baselines_.assign(stores_.size(), {});
+    for (size_t p = 0; p < stores_.size(); ++p) {
+      for (const std::string& name : stores_[p]->catalog().TableNames()) {
+        Result<Table*> table = stores_[p]->catalog().GetTable(name);
+        if (!table.ok()) continue;
+        snapshot_baselines_[p][name] =
+            TableBaseline{new_epoch, (*table)->version()};
+      }
+    }
+  }
 
   // Channel reconciliation: any raw boundary-stream batch the replay left
   // pending is re-routed (against the just-adopted map); sub-deliveries the
@@ -853,8 +1048,33 @@ void Cluster::Start() {
 }
 
 void Cluster::Stop() {
+  // The checkpointer goes first: its barrier needs running workers to
+  // drain, so stopping partitions under an in-flight background checkpoint
+  // would deadlock the shutdown.
+  StopCheckpointer();
   size_t n = num_partitions();
   for (size_t p = 0; p < n; ++p) stores_[p]->Stop();
+}
+
+Status Cluster::StartCheckpointer(const Checkpointer::Options& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("checkpointer needs a directory");
+  }
+  if (options.interval_ms == 0 && options.log_bytes_threshold == 0) {
+    return Status::InvalidArgument(
+        "checkpointer needs a cadence or a log-bytes threshold (it would "
+        "otherwise only fire on Request())");
+  }
+  if (checkpointer_ != nullptr && checkpointer_->running()) {
+    return Status::AlreadyExists("checkpointer already running");
+  }
+  checkpointer_ = std::make_unique<Checkpointer>(this, options);
+  checkpointer_->Start();
+  return Status::OK();
+}
+
+void Cluster::StopCheckpointer() {
+  if (checkpointer_ != nullptr) checkpointer_->Stop();
 }
 
 bool Cluster::running() const {

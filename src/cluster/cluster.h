@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/checkpointer.h"
 #include "cluster/deployment.h"
 #include "cluster/partition_map.h"
 #include "cluster/topology.h"
@@ -62,6 +63,21 @@ struct RebalanceReport {
   uint64_t routing_pause_us = 0;
   /// Time every worker was parked at the barrier (migration + checkpoint).
   uint64_t barrier_pause_us = 0;
+};
+
+/// Observability record of one completed coordinated checkpoint.
+struct CheckpointReport {
+  uint64_t checkpoint_id = 0;
+  /// Time every worker was parked at the barrier (marks + snapshots +
+  /// manifest + rotation) — the ingest pause the checkpoint cost.
+  uint64_t barrier_pause_us = 0;
+  /// Tables serialized in full across all partitions.
+  uint64_t tables_full = 0;
+  /// Tables written as delta references to an earlier checkpoint (their
+  /// version counter did not move since their last full copy).
+  uint64_t tables_delta = 0;
+  /// Snapshot bytes written across all partitions.
+  uint64_t snapshot_bytes = 0;
 };
 
 /// Aggregate statistics snapshot over every partition of a Cluster: the
@@ -284,7 +300,51 @@ class Cluster {
   /// the manifest records the epoch, and the previous epoch's files are
   /// deleted once the manifest is durable — so logs no longer grow without
   /// bound across checkpoints.
-  Status Checkpoint(const std::string& dir);
+  ///
+  /// Tables whose mutation counter (Table::version) did not move since
+  /// their last full copy *into the same directory* are written as delta
+  /// references to that earlier checkpoint's snapshot file, shrinking the
+  /// barrier pause for cold tables. Recovery resolves the references
+  /// transparently.
+  Status Checkpoint(const std::string& dir) {
+    return Checkpoint(dir, nullptr);
+  }
+  Status Checkpoint(const std::string& dir, CheckpointReport* report);
+
+  /// Non-blocking Checkpoint for the background checkpointer: fails fast
+  /// with kUnavailable instead of waiting when another control-plane
+  /// operation (Rebalance, Checkpoint) holds the control mutex, or when the
+  /// coordinator's in-flight multi-partition transactions do not drain
+  /// within `quiesce_timeout_ms`. Any other error is a real checkpoint
+  /// failure. Safe from any thread.
+  Status TryCheckpoint(const std::string& dir,
+                       CheckpointReport* report = nullptr,
+                       int quiesce_timeout_ms = 50);
+
+  /// True while a checkpoint/rebalance barrier holds every worker parked
+  /// (between the barrier closures being posted and their release). The
+  /// serving layer sheds load with kBusy instead of queueing behind the
+  /// barrier — clients retry instead of piling onto the paused cluster.
+  bool CheckpointBarrierClosed() const {
+    return checkpoint_gate_closed_.load(std::memory_order_acquire);
+  }
+
+  /// Test hook: forces the serving-layer gate without running a checkpoint,
+  /// so the wire server's shed path is testable deterministically (a real
+  /// barrier pause is microseconds wide).
+  void SetCheckpointGateClosedForTest(bool closed) {
+    checkpoint_gate_closed_.store(closed, std::memory_order_release);
+  }
+
+  // ---- Background checkpointer ----
+
+  /// Starts the background checkpoint thread (see cluster/checkpointer.h).
+  /// Call after Start(); Stop()/~Cluster stop it first, before the workers,
+  /// so a barrier never races shutdown.
+  Status StartCheckpointer(const Checkpointer::Options& options);
+  void StopCheckpointer();
+  /// Null when StartCheckpointer was never called.
+  Checkpointer* checkpointer() { return checkpointer_.get(); }
 
   /// Restores every partition to the consistent cut of the last checkpoint
   /// in `dir`, then replays each partition's post-checkpoint log suffix
@@ -307,6 +367,14 @@ class Cluster {
   /// does not cover are re-forwarded (queued until Start()), covered ones
   /// are released — the placed workflow replays to the same consistent cut
   /// as a replicated one.
+  ///
+  /// Recovery is *composable*: after replay, a non-empty `log_dir` is
+  /// re-armed — a fresh checkpoint of the recovered state is cut into
+  /// `dir`, fresh epoch command logs and a fresh decision log are attached
+  /// (with the Options' group_commit_size / log_sync / recovery_mode), and
+  /// the replayed epoch's files are deleted. The recovered cluster is again
+  /// fully durable: kill -> Recover -> kill -> Recover converges instead of
+  /// losing everything after the first cut.
   Status Recover(const std::string& dir, const std::string& log_dir);
 
   // ---- Live rebalancing ----
@@ -387,10 +455,17 @@ class Cluster {
   /// `attach_log` false is for Recover, whose stores must not truncate the
   /// files about to be replayed.
   std::unique_ptr<SStore> MakeStore(size_t p, bool attach_log) const;
+  /// Shared Checkpoint/TryCheckpoint body: expects control_mu_ held and the
+  /// coordinator quiesced; parks the workers, runs CheckpointAtBarrier,
+  /// releases, un-quiesces. Always ends the quiesce.
+  Status CheckpointQuiesced(const std::string& dir, CheckpointReport* report);
+  /// Returns non-OK unless every partition is running or every partition is
+  /// stopped (a mixed cluster has no consistent barrier).
+  Status CheckUniformlyRunning(size_t* running_count) const;
   /// The checkpoint body: marks, snapshots, manifest (with the current
   /// map), log + decision-log rotation. Requires every worker parked at a
   /// barrier or stopped, and the coordinator quiesced.
-  Status CheckpointAtBarrier(const std::string& dir);
+  Status CheckpointAtBarrier(const std::string& dir, CheckpointReport* report);
   /// Moves rows of `plan.keyed_tables` off `plan.source` to wherever the
   /// (already published) map now routes their key. Requires workers parked
   /// or stopped.
@@ -429,6 +504,29 @@ class Cluster {
   /// rotation; the previous epoch's files are deleted once the manifest
   /// naming the new epoch is durable).
   uint64_t log_epoch_ = 0;
+
+  /// Delta-snapshot tracking: for partition p and table name, the last
+  /// checkpoint that wrote the table in full and the table's version at
+  /// that moment. Valid only for checkpoints into snapshot_baseline_dir_;
+  /// checkpointing into a different directory resets the tracking (a ref
+  /// must resolve inside its own directory). Guarded by control_mu_ /
+  /// the barrier (only checkpoint code touches it).
+  struct TableBaseline {
+    uint64_t checkpoint_id = 0;
+    uint64_t version = 0;
+  };
+  std::vector<std::map<std::string, TableBaseline>> snapshot_baselines_;
+  std::string snapshot_baseline_dir_;
+
+  /// Set while barrier closures hold (or are about to hold) every worker
+  /// parked, for Checkpoint and Rebalance alike; the wire server sheds
+  /// kBusy while it is up instead of queueing behind the barrier.
+  std::atomic<bool> checkpoint_gate_closed_{false};
+
+  /// Background checkpoint thread; declared last so it is destroyed first
+  /// (its loop references everything above). Stop() halts it before the
+  /// workers so an in-flight barrier completes or aborts cleanly.
+  std::unique_ptr<Checkpointer> checkpointer_;
 };
 
 }  // namespace sstore

@@ -68,6 +68,14 @@ class ByteReader {
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }
 
+  /// Advances past `n` bytes without decoding them (length-prefixed entries
+  /// a reader does not care about, e.g. skipped snapshot tables).
+  Status Skip(size_t n) {
+    SSTORE_RETURN_NOT_OK(Need(n));
+    pos_ += n;
+    return Status::OK();
+  }
+
  private:
   Status Need(size_t n) {
     if (pos_ + n > size_) {

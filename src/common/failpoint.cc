@@ -1,0 +1,185 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace sstore {
+namespace failpoint {
+
+namespace {
+
+struct SiteState {
+  Action action = Action::kOff;
+  int skip = 0;        // hits left to pass through before firing
+  int remaining = 0;   // fires left; -1 = unlimited
+  uint64_t hits = 0;   // evaluations, armed or not
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState> sites;
+  bool env_loaded = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: sites outlive static dtors
+  return *r;
+}
+
+// Fast-path gate: sites armed right now. Zero => Evaluate is one relaxed
+// load plus (rarely) the hit-counter path.
+std::atomic<int> g_armed{0};
+std::atomic<bool> g_crashed{false};
+// Flipped after the first SSTORE_FAILPOINTS parse so the fast path can skip
+// the registry lock without skipping env-armed sites forever.
+std::atomic<bool> g_env_checked{false};
+
+size_t InitFromEnvLocked(Registry& reg) {
+  if (reg.env_loaded) return 0;
+  reg.env_loaded = true;
+  g_env_checked.store(true, std::memory_order_release);
+  const char* env = std::getenv("SSTORE_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return 0;
+  size_t armed = 0;
+  std::string spec(env);
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    std::string site = entry.substr(0, eq);
+    std::string rhs = entry.substr(eq + 1);
+    // rhs = action[@skip][xcount]
+    int skip = 0;
+    int count = 1;
+    size_t at = rhs.find('@');
+    size_t x = rhs.find('x', at == std::string::npos ? 0 : at);
+    if (x != std::string::npos) {
+      count = std::atoi(rhs.c_str() + x + 1);
+      if (count == 0) count = 1;
+    }
+    if (at != std::string::npos) skip = std::atoi(rhs.c_str() + at + 1);
+    std::string name = rhs.substr(0, at != std::string::npos
+                                         ? at
+                                         : (x != std::string::npos
+                                                ? x
+                                                : rhs.size()));
+    Action action;
+    if (name == "error") {
+      action = Action::kError;
+    } else if (name == "torn") {
+      action = Action::kTornWrite;
+    } else if (name == "crash") {
+      action = Action::kCrash;
+    } else {
+      continue;  // unknown action: ignore the entry
+    }
+    SiteState& s = reg.sites[site];
+    if (s.action == Action::kOff) g_armed.fetch_add(1);
+    s.action = action;
+    s.skip = skip;
+    s.remaining = count;
+    ++armed;
+  }
+  return armed;
+}
+
+}  // namespace
+
+void Activate(const std::string& site, Action action, int skip, int count) {
+  if (action == Action::kOff) {
+    Deactivate(site);
+    return;
+  }
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  SiteState& s = reg.sites[site];
+  if (s.action == Action::kOff) g_armed.fetch_add(1);
+  s.action = action;
+  s.skip = skip;
+  s.remaining = count;
+}
+
+void Deactivate(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(site);
+  if (it != reg.sites.end() && it->second.action != Action::kOff) {
+    it->second.action = Action::kOff;
+    g_armed.fetch_sub(1);
+  }
+}
+
+void ResetAll() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, s] : reg.sites) {
+    if (s.action != Action::kOff) g_armed.fetch_sub(1);
+    s = SiteState{};
+  }
+  g_crashed.store(false);
+}
+
+size_t InitFromEnv() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return InitFromEnvLocked(reg);
+}
+
+Action Evaluate(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  InitFromEnvLocked(reg);
+  SiteState& s = reg.sites[site];
+  ++s.hits;
+  if (s.action == Action::kOff) return Action::kOff;
+  if (s.skip > 0) {
+    --s.skip;
+    return Action::kOff;
+  }
+  Action fired = s.action;
+  if (s.remaining > 0 && --s.remaining == 0) {
+    s.action = Action::kOff;
+    g_armed.fetch_sub(1);
+  }
+  if (fired == Action::kCrash) g_crashed.store(true);
+  return fired;
+}
+
+Status Check(const std::string& site) {
+  if (g_env_checked.load(std::memory_order_acquire) &&
+      g_armed.load(std::memory_order_relaxed) == 0) {
+    return Status::OK();
+  }
+  Action a = Evaluate(site);
+  switch (a) {
+    case Action::kOff:
+      return Status::OK();
+    case Action::kError:
+      return Status::IOError("failpoint '" + site + "' injected error");
+    case Action::kTornWrite:  // caller should have used Evaluate(); treat as
+    case Action::kCrash:      // a crash so the fault is never silently lost
+      g_crashed.store(true);
+      return Status::IOError("failpoint '" + site + "' injected crash");
+  }
+  return Status::OK();
+}
+
+bool CrashRequested() { return g_crashed.load(std::memory_order_relaxed); }
+
+uint64_t Hits(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+bool AnyActive() { return g_armed.load(std::memory_order_relaxed) != 0; }
+
+}  // namespace failpoint
+}  // namespace sstore

@@ -1,0 +1,82 @@
+#ifndef SSTORE_COMMON_FAILPOINT_H_
+#define SSTORE_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace sstore {
+namespace failpoint {
+
+/// Deterministic fault injection for the durability paths (log append/fsync,
+/// snapshot write/rename, manifest commit, decision-log append, checkpoint
+/// barrier). A *site* is a stable string name compiled into the code and
+/// passed to failpoint::Check / failpoint::Evaluate at the instrumented
+/// operation; tests (or the SSTORE_FAILPOINTS environment variable) arm a
+/// site with an action and a trigger, and the site fires deterministically
+/// on the chosen hit.
+///
+/// Actions:
+///  - kError: the instrumented operation returns Status::IOError. The
+///    component stays usable where retrying is safe (e.g. a snapshot write),
+///    or goes sticky-failed where it is not (a command log whose buffer
+///    half-wrote).
+///  - kTornWrite: the instrumented write persists only a prefix, then the
+///    component freezes (poisons) exactly as if the process died mid-write.
+///    Recovery must treat the torn tail as a normal crash outcome.
+///  - kCrash: a *simulated* kill at the site. Nothing after the failure
+///    instant — not even destructor-time flushes — may reach disk, so
+///    instrumented components poison themselves and every later operation
+///    returns the crash status. The test then discards the live objects and
+///    recovers from what is on disk, which is byte-identical to a real
+///    SIGKILL at that instant. (In-process simulation keeps the torture
+///    suite deterministic and fast; no fork/exec per scenario.)
+///
+/// Sites are process-global. Tests must ResetAll() between scenarios.
+/// Overhead when nothing is armed: one relaxed atomic load per site hit.
+enum class Action : uint8_t {
+  kOff = 0,
+  kError,
+  kTornWrite,
+  kCrash,
+};
+
+/// Arms `site`. The site passes through `skip` hits, then fires `count`
+/// times (-1 = every hit from then on), then disarms itself.
+void Activate(const std::string& site, Action action, int skip = 0,
+              int count = 1);
+void Deactivate(const std::string& site);
+
+/// Disarms every site, clears hit counters and the crashed flag.
+void ResetAll();
+
+/// Parses SSTORE_FAILPOINTS ("site=error;other=crash@3;third=torn@0x2":
+/// `@N` skips N hits first, `xM` fires M times, default once) and arms each
+/// entry. Returns the number of sites armed. Called lazily on the first site
+/// hit, so binaries need no explicit init.
+size_t InitFromEnv();
+
+/// The action `site` should perform *now* (advances the trigger state).
+/// kOff when the site is unarmed or its trigger has not come up.
+Action Evaluate(const std::string& site);
+
+/// Convenience for error/crash sites: non-OK when the site fires. kCrash
+/// additionally sets the global crashed flag. Callers that can tear a write
+/// must use Evaluate() and handle kTornWrite themselves.
+Status Check(const std::string& site);
+
+/// True once any kCrash site fired (cleared by ResetAll): the simulated
+/// process is dead and components refuse further durable work.
+bool CrashRequested();
+
+/// Total times `site` was evaluated (armed or not, fired or not).
+uint64_t Hits(const std::string& site);
+
+/// True when at least one site is armed (the fast-path gate).
+bool AnyActive();
+
+}  // namespace failpoint
+}  // namespace sstore
+
+#endif  // SSTORE_COMMON_FAILPOINT_H_

@@ -23,6 +23,7 @@ enum class StatusCode {
   kCorruption,         // malformed on-disk or in-flight data
   kNotSupported,
   kInternal,
+  kUnavailable,        // transient: resource busy, retry later
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -77,6 +78,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -90,6 +94,7 @@ class Status {
   bool IsPermissionDenied() const {
     return code_ == StatusCode::kPermissionDenied;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

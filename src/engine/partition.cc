@@ -464,6 +464,10 @@ void Partition::CommitMulti(PreparedMulti& prepared, int64_t global_txn_id,
     LogRecord mark;
     mark.record_type = static_cast<uint8_t>(LogRecordType::kCommitMark);
     mark.global_txn_id = global_txn_id;
+    // Deliberate discard: the global decision is already durable in the
+    // coordinator's decision log; this mark only speeds up replay. A failed
+    // append freezes the log (sticky error), so the next LogCommit/Flush on
+    // this partition surfaces the fault — it is delayed, never lost.
     log_->Append(mark).ok();
   }
   for (auto& te : prepared.tes) {
@@ -497,6 +501,9 @@ void Partition::AbortMulti(PreparedMulti& prepared, int64_t global_txn_id) {
     LogRecord mark;
     mark.record_type = static_cast<uint8_t>(LogRecordType::kAbortMark);
     mark.global_txn_id = global_txn_id;
+    // Deliberate discard (presumed abort): replay treats an undecided
+    // prepare as aborted anyway, and a failed append leaves the log with a
+    // sticky error the next durable operation reports.
     log_->Append(mark).ok();
   }
 }
@@ -550,9 +557,9 @@ void Partition::WorkerLoop() {
       NotifyBackpressure();
       // Idle moment: group-commit boundary. Flush the log so no durable
       // record is delayed past the queue running dry. Fall through to park
-      // either way: a *failing* flush (disk full, fsync error) must not
-      // become a busy retry loop — the timed park retries it at a low rate
-      // until new work or shutdown.
+      // either way: a *failing* flush (disk full, fsync error) freezes the
+      // log with a sticky error — the next transaction's LogCommit reports
+      // it and aborts, so the worker never busy-loops on a dead disk.
       if (log_ != nullptr && log_->pending() > 0) {
         log_->Flush().ok();
       }

@@ -4,6 +4,8 @@
 
 #include <cstring>
 
+#include "common/failpoint.h"
+
 namespace sstore {
 
 namespace {
@@ -56,8 +58,27 @@ Result<std::unique_ptr<CommandLog>> CommandLog::Open(Options options) {
 CommandLog::~CommandLog() { Close().ok(); }
 
 Status CommandLog::Append(const LogRecord& record, bool* flushed) {
+  if (flushed != nullptr) *flushed = false;
+  if (!error_.ok()) return error_;
   if (file_ == nullptr) {
     return Status::IOError("command log is closed");
+  }
+  if (failpoint::AnyActive()) {
+    failpoint::Action a =
+        failpoint::Evaluate(options_.failpoint_scope + ".append");
+    if (a == failpoint::Action::kError) {
+      // Transient refusal: the record was not buffered; the caller aborts
+      // this transaction but the log stays usable.
+      return Status::IOError("failpoint " + options_.failpoint_scope +
+                             ".append injected error");
+    }
+    if (a != failpoint::Action::kOff) {
+      // Simulated kill at the append site: freeze before buffering, so
+      // nothing of this record can ever reach disk.
+      error_ = Status::IOError("failpoint " + options_.failpoint_scope +
+                               ".append injected crash");
+      return error_;
+    }
   }
   EncodeRecord(record, &buffer_);
   ++pending_;
@@ -69,21 +90,52 @@ Status CommandLog::Append(const LogRecord& record, bool* flushed) {
 }
 
 Status CommandLog::Flush() {
+  if (!error_.ok()) return error_;
   if (file_ == nullptr) {
     return Status::IOError("command log is closed");
   }
   if (pending_ == 0) return Status::OK();
   const std::vector<uint8_t>& bytes = buffer_.data();
+  if (failpoint::AnyActive()) {
+    failpoint::Action a =
+        failpoint::Evaluate(options_.failpoint_scope + ".flush");
+    if (a == failpoint::Action::kTornWrite) {
+      // The kill landed mid-write: persist a prefix (half the group, torn
+      // inside a frame for any realistic record size), then freeze. Replay
+      // must ReadTolerant past this tail.
+      size_t torn = bytes.size() / 2;
+      std::fwrite(bytes.data(), 1, torn, file_);
+      std::fflush(file_);
+      error_ = Status::IOError("failpoint " + options_.failpoint_scope +
+                               ".flush injected torn write");
+      return error_;
+    }
+    if (a == failpoint::Action::kCrash) {
+      error_ = Status::IOError("failpoint " + options_.failpoint_scope +
+                               ".flush injected crash");
+      return error_;
+    }
+    if (a == failpoint::Action::kError) {
+      // Even an injected "clean" error is sticky: the group-commit contract
+      // (class comment) cannot tell how much of a failed flush persisted.
+      error_ = Status::IOError("failpoint " + options_.failpoint_scope +
+                               ".flush injected error");
+      return error_;
+    }
+  }
   size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file_);
   if (written != bytes.size()) {
-    return Status::IOError("short write to command log");
+    error_ = Status::IOError("short write to command log");
+    return error_;
   }
   if (std::fflush(file_) != 0) {
-    return Status::IOError("fflush failed on command log");
+    error_ = Status::IOError("fflush failed on command log");
+    return error_;
   }
   if (options_.sync) {
     if (fsync(fileno(file_)) != 0) {
-      return Status::IOError("fsync failed on command log");
+      error_ = Status::IOError("fsync failed on command log");
+      return error_;
     }
   }
   bytes_written_.fetch_add(bytes.size(), std::memory_order_relaxed);
@@ -94,14 +146,22 @@ Status CommandLog::Flush() {
 }
 
 Status CommandLog::Close() {
-  if (file_ == nullptr) return Status::OK();
-  Status st = Flush();
-  std::fclose(file_);
+  if (file_ == nullptr) return error_;
+  // A frozen log must not write its buffered tail — the on-disk state is
+  // the crash/fault instant and stays that way.
+  Status st = error_.ok() ? Flush() : error_;
+  int closed = std::fclose(file_);
   file_ = nullptr;
+  if (st.ok() && closed != 0) {
+    st = Status::IOError("fclose failed on command log");
+    error_ = st;
+  }
   return st;
 }
 
-Result<std::vector<LogRecord>> CommandLog::ReadAll(const std::string& path) {
+namespace {
+
+Result<std::vector<uint8_t>> ReadLogBytes(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IOError("cannot open command log at " + path);
@@ -115,25 +175,38 @@ Result<std::vector<LogRecord>> CommandLog::ReadAll(const std::string& path) {
     return Status::IOError("short read from command log");
   }
   std::fclose(f);
+  return bytes;
+}
 
+// Parses frames until the end of `bytes` or the first invalid byte.
+// `torn_tail` reports whether parsing stopped early; strict callers turn
+// that into kCorruption, tolerant callers accept it as the crash tail.
+Result<std::vector<LogRecord>> ParseRecords(const std::vector<uint8_t>& bytes,
+                                            bool* torn_tail,
+                                            std::string* tail_reason) {
+  *torn_tail = false;
   std::vector<LogRecord> records;
   ByteReader reader(bytes);
   while (!reader.AtEnd()) {
-    SSTORE_ASSIGN_OR_RETURN(uint32_t magic, reader.GetU32());
-    if (magic != kRecordMagic) {
-      return Status::Corruption("bad record magic in command log");
+    Result<uint32_t> magic = reader.GetU32();
+    if (!magic.ok() || *magic != kRecordMagic) {
+      *torn_tail = true;
+      *tail_reason = "bad record magic in command log";
+      return records;
     }
-    SSTORE_ASSIGN_OR_RETURN(uint32_t len, reader.GetU32());
-    SSTORE_ASSIGN_OR_RETURN(uint32_t checksum, reader.GetU32());
-    if (reader.remaining() < len) {
-      return Status::Corruption("truncated record in command log");
+    Result<uint32_t> len = reader.GetU32();
+    Result<uint32_t> checksum = reader.GetU32();
+    if (!len.ok() || !checksum.ok() || reader.remaining() < *len) {
+      *torn_tail = true;
+      *tail_reason = "truncated record in command log";
+      return records;
     }
-    std::vector<uint8_t> payload(len);
-    for (uint32_t i = 0; i < len; ++i) {
-      SSTORE_ASSIGN_OR_RETURN(payload[i], reader.GetU8());
-    }
-    if (Checksum(payload.data(), payload.size()) != checksum) {
-      return Status::Corruption("checksum mismatch in command log");
+    std::vector<uint8_t> payload(*len);
+    for (uint32_t i = 0; i < *len; ++i) payload[i] = *reader.GetU8();
+    if (Checksum(payload.data(), payload.size()) != *checksum) {
+      *torn_tail = true;
+      *tail_reason = "checksum mismatch in command log";
+      return records;
     }
     ByteReader pr(payload);
     LogRecord r;
@@ -147,6 +220,28 @@ Result<std::vector<LogRecord>> CommandLog::ReadAll(const std::string& path) {
     records.push_back(std::move(r));
   }
   return records;
+}
+
+}  // namespace
+
+Result<std::vector<LogRecord>> CommandLog::ReadAll(const std::string& path) {
+  SSTORE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadLogBytes(path));
+  bool torn = false;
+  std::string reason;
+  SSTORE_ASSIGN_OR_RETURN(std::vector<LogRecord> records,
+                          ParseRecords(bytes, &torn, &reason));
+  if (torn) return Status::Corruption(reason);
+  return records;
+}
+
+Result<CommandLog::TolerantRead> CommandLog::ReadTolerant(
+    const std::string& path) {
+  SSTORE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadLogBytes(path));
+  TolerantRead out;
+  std::string reason;
+  SSTORE_ASSIGN_OR_RETURN(out.records,
+                          ParseRecords(bytes, &out.torn_tail, &reason));
+  return out;
 }
 
 }  // namespace sstore

@@ -78,6 +78,14 @@ struct LogStats {
 /// every append flushes immediately (the "no group commit" configuration of
 /// paper §4.4); larger group sizes batch consecutive commits into one fsync.
 ///
+/// Error model: I/O failures are *sticky*. Once a flush fails, the on-disk
+/// suffix is unknown (a short fwrite may have persisted part of a frame), so
+/// re-flushing the buffer would corrupt the file mid-stream; instead every
+/// later Append/Flush returns the original error, Close() does not attempt a
+/// final flush, and the caller must treat the log as dead (the partition
+/// aborts the failing transaction and every one after it — a full disk can
+/// no longer ack a "durable" commit). last_error() exposes the frozen state.
+///
 /// Single-writer: owned and driven by one partition's worker thread.
 class CommandLog {
  public:
@@ -85,6 +93,11 @@ class CommandLog {
     std::string path;
     size_t group_size = 1;  // records per forced flush; 1 = no group commit
     bool sync = true;       // fsync on flush (off only for tests)
+    /// Failpoint site prefix: this log hits `<scope>.append` and
+    /// `<scope>.flush` (see common/failpoint.h). The coordinator's decision
+    /// log uses scope "decision_log" so tests can target it apart from the
+    /// partition logs.
+    std::string failpoint_scope = "command_log";
   };
 
   /// Creates (truncates) a log file for writing.
@@ -122,9 +135,27 @@ class CommandLog {
   }
   size_t pending() const { return pending_; }
 
+  /// The sticky I/O error (OK while the log is healthy). Once non-OK the
+  /// log is frozen: no further bytes reach disk, including at Close().
+  const Status& last_error() const { return error_; }
+
   /// Reads every record of a closed log file, validating framing and
   /// checksums; kCorruption on malformed input.
   static Result<std::vector<LogRecord>> ReadAll(const std::string& path);
+
+  /// What a crash-tolerant read recovered: every whole valid record, plus
+  /// whether the file ended in a torn/invalid tail (a crash mid-flush — the
+  /// normal way a log ends when the process died, per §4.4 group commit:
+  /// anything after the last complete frame was never acked durable).
+  struct TolerantRead {
+    std::vector<LogRecord> records;
+    bool torn_tail = false;
+  };
+
+  /// Like ReadAll, but a malformed suffix ends the log instead of failing
+  /// it: replay after a kill must accept a torn final frame. Reads stop at
+  /// the first invalid byte (standard WAL tail-truncation semantics).
+  static Result<TolerantRead> ReadTolerant(const std::string& path);
 
  private:
   explicit CommandLog(Options options) : options_(std::move(options)) {}
@@ -133,6 +164,9 @@ class CommandLog {
   std::FILE* file_ = nullptr;
   ByteWriter buffer_;
   size_t pending_ = 0;
+  /// Sticky failure (see class comment); also set by failpoint crash/torn
+  /// actions to freeze the on-disk state at the simulated kill instant.
+  Status error_;
   std::atomic<uint64_t> records_appended_{0};
   std::atomic<uint64_t> flush_count_{0};
   std::atomic<uint64_t> bytes_written_{0};

@@ -4,15 +4,24 @@
 
 #include <atomic>
 #include <cstdio>
+#include <set>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/failpoint.h"
 
 namespace sstore {
 
 namespace {
 
+// v1: every table serialized inline, no per-table framing.
 constexpr uint64_t kSnapshotMagic = 0x53534e415053484full;  // "SSNAPSHO"
+// v2: per-table entries are (full | reference-to-earlier-checkpoint), full
+// entries length-prefixed so readers can skip without deserializing.
+constexpr uint64_t kSnapshotMagicV2 = 0x53534e4150533032ull;  // "SSNAPS02"
+
+constexpr uint8_t kEntryFull = 0;
+constexpr uint8_t kEntryRef = 1;
 
 std::atomic<uint64_t> g_snapshot_epoch{1};
 
@@ -33,51 +42,178 @@ Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
   return bytes;
 }
 
-}  // namespace
+/// Durably writes `bytes` to `path` via temp + rename, with the failpoint
+/// sites armed torture tests hit. Every libc return code is checked: a full
+/// disk or failed fsync surfaces as IOError, never as a silently short
+/// (but renamed-into-place) snapshot.
+Status WriteFileDurable(const std::string& path,
+                        const std::vector<uint8_t>& bytes) {
+  std::string tmp = path + ".tmp";
 
-Status SnapshotManager::WriteSnapshot(const std::string& path,
-                                      const Catalog& catalog) {
-  ByteWriter out;
-  out.PutU64(kSnapshotMagic);
-  out.PutU64(g_snapshot_epoch.fetch_add(1));
-  std::vector<std::string> names = catalog.TableNames();
-  out.PutU32(static_cast<uint32_t>(names.size()));
-  for (const std::string& name : names) {
-    Result<Table*> table = catalog.GetTable(name);
-    if (!table.ok()) return table.status();
-    out.PutString(name);
-    out.PutU8(static_cast<uint8_t>((*table)->kind()));
-    (*table)->SerializeTo(&out);
+  if (failpoint::AnyActive()) {
+    failpoint::Action a = failpoint::Evaluate("snapshot.write");
+    if (a == failpoint::Action::kError) {
+      return Status::IOError("failpoint snapshot.write injected error");
+    }
+    if (a == failpoint::Action::kTornWrite || a == failpoint::Action::kCrash) {
+      // Simulated kill mid-write: leave a torn temp file (or none). It is
+      // never renamed, so recovery cannot observe it.
+      if (a == failpoint::Action::kTornWrite) {
+        std::FILE* torn = std::fopen(tmp.c_str(), "wb");
+        if (torn != nullptr) {
+          std::fwrite(bytes.data(), 1, bytes.size() / 2, torn);
+          std::fclose(torn);
+        }
+      }
+      return Status::IOError("failpoint snapshot.write injected crash");
+    }
   }
 
-  std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     return Status::IOError("cannot create snapshot at " + tmp);
   }
-  const std::vector<uint8_t>& bytes = out.data();
   size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
   if (written != bytes.size()) {
     std::fclose(f);
+    std::remove(tmp.c_str());
     return Status::IOError("short write to snapshot");
   }
   if (std::fflush(f) != 0 || fsync(fileno(f)) != 0) {
     std::fclose(f);
+    std::remove(tmp.c_str());
     return Status::IOError("cannot sync snapshot");
   }
-  std::fclose(f);
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot close snapshot");
+  }
+
+  SSTORE_RETURN_NOT_OK(failpoint::Check("snapshot.rename"));
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return Status::IOError("cannot rename snapshot into place");
   }
   return Status::OK();
 }
 
-Status SnapshotManager::RestoreSnapshot(const std::string& path,
-                                        Catalog* catalog) {
+/// Restores the named tables (full entries only) from a v2 base snapshot.
+Status RestoreTablesFromBase(const std::string& path,
+                             const std::set<std::string>& wanted,
+                             Catalog* catalog) {
   SSTORE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
   ByteReader in(bytes);
   SSTORE_ASSIGN_OR_RETURN(uint64_t magic, in.GetU64());
-  if (magic != kSnapshotMagic) {
+  if (magic != kSnapshotMagicV2) {
+    return Status::Corruption("delta base snapshot " + path +
+                              " is not a v2 snapshot");
+  }
+  SSTORE_ASSIGN_OR_RETURN(uint64_t epoch, in.GetU64());
+  (void)epoch;
+  SSTORE_ASSIGN_OR_RETURN(uint32_t n, in.GetU32());
+  size_t found = 0;
+  for (uint32_t i = 0; i < n && found < wanted.size(); ++i) {
+    SSTORE_ASSIGN_OR_RETURN(std::string name, in.GetString());
+    SSTORE_ASSIGN_OR_RETURN(uint8_t kind, in.GetU8());
+    SSTORE_ASSIGN_OR_RETURN(uint8_t entry, in.GetU8());
+    if (entry == kEntryRef) {
+      SSTORE_ASSIGN_OR_RETURN(uint64_t base, in.GetU64());
+      (void)base;
+      if (wanted.count(name) != 0) {
+        // By construction the tracker only refs a checkpoint that wrote the
+        // table full; a ref-of-a-ref means the tracking state is corrupt.
+        return Status::Corruption("delta base snapshot " + path +
+                                  " holds table '" + name +
+                                  "' as a reference, not a full copy");
+      }
+      continue;
+    }
+    SSTORE_ASSIGN_OR_RETURN(uint32_t len, in.GetU32());
+    if (in.remaining() < len) {
+      return Status::Corruption("truncated table entry in snapshot " + path);
+    }
+    if (wanted.count(name) == 0) {
+      SSTORE_RETURN_NOT_OK(in.Skip(len));
+      continue;
+    }
+    SSTORE_ASSIGN_OR_RETURN(Table * table, catalog->GetTable(name));
+    if (static_cast<uint8_t>(table->kind()) != kind) {
+      return Status::Corruption("snapshot table kind mismatch for '" + name +
+                                "'");
+    }
+    SSTORE_RETURN_NOT_OK(table->DeserializeContentsFrom(&in));
+    ++found;
+  }
+  if (found != wanted.size()) {
+    return Status::Corruption("delta base snapshot " + path + " lacks " +
+                              std::to_string(wanted.size() - found) +
+                              " referenced table(s)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SnapshotManager::WriteSnapshot(const std::string& path,
+                                      const Catalog& catalog) {
+  return WriteSnapshot(path, catalog, nullptr, nullptr);
+}
+
+Status SnapshotManager::WriteSnapshot(const std::string& path,
+                                      const Catalog& catalog,
+                                      const SnapshotDeltaSpec* delta,
+                                      SnapshotWriteStats* stats) {
+  ByteWriter out;
+  out.PutU64(kSnapshotMagicV2);
+  out.PutU64(g_snapshot_epoch.fetch_add(1));
+  std::vector<std::string> names = catalog.TableNames();
+  out.PutU32(static_cast<uint32_t>(names.size()));
+  SnapshotWriteStats local;
+  for (const std::string& name : names) {
+    Result<Table*> table = catalog.GetTable(name);
+    if (!table.ok()) return table.status();
+    out.PutString(name);
+    out.PutU8(static_cast<uint8_t>((*table)->kind()));
+    bool as_ref = false;
+    uint64_t base = 0;
+    if (delta != nullptr) {
+      auto ref = delta->unchanged.find(name);
+      if (ref != delta->unchanged.end()) {
+        as_ref = true;
+        base = ref->second;
+      }
+    }
+    if (as_ref) {
+      out.PutU8(kEntryRef);
+      out.PutU64(base);
+      ++local.tables_delta;
+    } else {
+      out.PutU8(kEntryFull);
+      ByteWriter body;
+      (*table)->SerializeTo(&body);
+      out.PutU32(static_cast<uint32_t>(body.data().size()));
+      out.PutBytes(body.data().data(), body.data().size());
+      ++local.tables_full;
+    }
+  }
+  local.bytes = out.data().size();
+  SSTORE_RETURN_NOT_OK(WriteFileDurable(path, out.data()));
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status SnapshotManager::RestoreSnapshot(const std::string& path,
+                                        Catalog* catalog) {
+  return RestoreSnapshot(path, catalog, SnapshotBaseResolver());
+}
+
+Status SnapshotManager::RestoreSnapshot(const std::string& path,
+                                        Catalog* catalog,
+                                        const SnapshotBaseResolver& resolver) {
+  SSTORE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+  ByteReader in(bytes);
+  SSTORE_ASSIGN_OR_RETURN(uint64_t magic, in.GetU64());
+  bool v2 = magic == kSnapshotMagicV2;
+  if (!v2 && magic != kSnapshotMagic) {
     return Status::Corruption("bad snapshot magic");
   }
   SSTORE_ASSIGN_OR_RETURN(uint64_t epoch, in.GetU64());
@@ -85,9 +221,32 @@ Status SnapshotManager::RestoreSnapshot(const std::string& path,
   SSTORE_ASSIGN_OR_RETURN(uint32_t n, in.GetU32());
 
   std::vector<std::string> restored;
+  // checkpoint id -> tables to pull from that base file.
+  std::map<uint64_t, std::set<std::string>> refs;
   for (uint32_t i = 0; i < n; ++i) {
     SSTORE_ASSIGN_OR_RETURN(std::string name, in.GetString());
     SSTORE_ASSIGN_OR_RETURN(uint8_t kind, in.GetU8());
+    uint8_t entry = kEntryFull;
+    if (v2) {
+      SSTORE_ASSIGN_OR_RETURN(entry, in.GetU8());
+    }
+    if (entry == kEntryRef) {
+      SSTORE_ASSIGN_OR_RETURN(uint64_t base, in.GetU64());
+      if (!resolver) {
+        return Status::InvalidArgument(
+            "snapshot holds delta reference for table '" + name +
+            "' but no base resolver was provided");
+      }
+      refs[base].insert(name);
+      restored.push_back(name);
+      continue;
+    }
+    if (v2) {
+      SSTORE_ASSIGN_OR_RETURN(uint32_t len, in.GetU32());
+      if (in.remaining() < len) {
+        return Status::Corruption("truncated table entry in snapshot");
+      }
+    }
     SSTORE_ASSIGN_OR_RETURN(Table * table, catalog->GetTable(name));
     if (static_cast<uint8_t>(table->kind()) != kind) {
       return Status::Corruption("snapshot table kind mismatch for '" + name +
@@ -96,6 +255,12 @@ Status SnapshotManager::RestoreSnapshot(const std::string& path,
     SSTORE_RETURN_NOT_OK(table->DeserializeContentsFrom(&in));
     restored.push_back(name);
   }
+
+  for (const auto& [base, wanted] : refs) {
+    SSTORE_RETURN_NOT_OK(
+        RestoreTablesFromBase(resolver(base), wanted, catalog));
+  }
+
   // Clear tables that existed at snapshot-restore time but were empty /
   // absent in the snapshot.
   for (const std::string& name : catalog->TableNames()) {
@@ -118,7 +283,7 @@ Result<uint64_t> SnapshotManager::ReadEpoch(const std::string& path) {
   SSTORE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
   ByteReader in(bytes);
   SSTORE_ASSIGN_OR_RETURN(uint64_t magic, in.GetU64());
-  if (magic != kSnapshotMagic) {
+  if (magic != kSnapshotMagic && magic != kSnapshotMagicV2) {
     return Status::Corruption("bad snapshot magic");
   }
   return in.GetU64();

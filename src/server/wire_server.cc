@@ -338,6 +338,18 @@ class EventLoop {
     };
     std::unordered_map<size_t, Group> groups;
     size_t admitted = 0;
+    // A checkpoint/rebalance barrier holds every worker parked: nothing
+    // submitted now runs until the barrier releases, so queueing behind it
+    // only grows the backlog (and the pause). Shed the whole batch as
+    // kBusy — the client retries after the barrier, typically a few ms.
+    if (cluster_->CheckpointBarrierClosed()) {
+      for (WireRequest& req : reqs) {
+        Busy(conn, req.request_id);
+        server_->busy_during_checkpoint_.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      }
+      return;
+    }
     {
       Cluster::RoutingView view = cluster_->LockRouting();
       for (WireRequest& req : reqs) {
@@ -676,6 +688,8 @@ WireServer::Stats WireServer::stats() const {
   out.frames_received = frames_received_.load(std::memory_order_relaxed);
   out.responses_sent = responses_sent_.load(std::memory_order_relaxed);
   out.busy_shed = busy_shed_.load(std::memory_order_relaxed);
+  out.busy_during_checkpoint =
+      busy_during_checkpoint_.load(std::memory_order_relaxed);
   out.batches_submitted = batches_submitted_.load(std::memory_order_relaxed);
   out.requests_submitted = requests_submitted_.load(std::memory_order_relaxed);
   out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);

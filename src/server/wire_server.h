@@ -88,7 +88,11 @@ class WireServer {
     uint64_t connections_active = 0;
     uint64_t frames_received = 0;
     uint64_t responses_sent = 0;   // kResult + kBusy + kPong + kError
-    uint64_t busy_shed = 0;        // kBusy responses (both shed causes)
+    uint64_t busy_shed = 0;        // kBusy responses (all shed causes)
+    /// kBusy responses sent because a checkpoint/rebalance barrier held
+    /// every worker parked (Cluster::CheckpointBarrierClosed) — the server
+    /// sheds instead of growing the backlog behind a paused cluster.
+    uint64_t busy_during_checkpoint = 0;
     uint64_t batches_submitted = 0;  // BatchTickets handed to partitions
     uint64_t requests_submitted = 0;  // kSubmit frames that reached a ring
     uint64_t protocol_errors = 0;
@@ -142,6 +146,7 @@ class WireServer {
   std::atomic<uint64_t> frames_received_{0};
   std::atomic<uint64_t> responses_sent_{0};
   std::atomic<uint64_t> busy_shed_{0};
+  std::atomic<uint64_t> busy_during_checkpoint_{0};
   std::atomic<uint64_t> batches_submitted_{0};
   std::atomic<uint64_t> requests_submitted_{0};
   std::atomic<uint64_t> protocol_errors_{0};

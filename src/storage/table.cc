@@ -94,6 +94,7 @@ Result<RowId> Table::Insert(Tuple row, RowMeta meta) {
   slot.meta = meta;
   ++live_count_;
   if (meta.active) ++active_count_;
+  ++version_;
   return rid;
 }
 
@@ -109,6 +110,7 @@ Result<Tuple> Table::Delete(RowId rid) {
   --live_count_;
   if (slot.meta.active) --active_count_;
   free_list_.push_back(rid);
+  ++version_;
   return out;
 }
 
@@ -137,6 +139,7 @@ Result<Tuple> Table::Update(RowId rid, Tuple row) {
     (void)st;
   }
   slot.row = std::move(row);
+  ++version_;
   return before;
 }
 
@@ -161,6 +164,7 @@ Status Table::UndoDeleteAt(RowId rid, Tuple row, RowMeta meta) {
   slot.meta = meta;
   ++live_count_;
   if (meta.active) ++active_count_;
+  ++version_;
   return Status::OK();
 }
 
@@ -189,6 +193,7 @@ Status Table::SetActive(RowId rid, bool active) {
   if (meta.active != active) {
     meta.active = active;
     active_count_ += active ? 1 : -1;
+    ++version_;
   }
   return Status::OK();
 }
@@ -226,6 +231,7 @@ size_t Table::Clear() {
   live_count_ = 0;
   active_count_ = 0;
   for (const auto& idx : indexes_) idx->Clear();
+  if (removed != 0) ++version_;
   return removed;
 }
 

@@ -160,6 +160,15 @@ class Table {
   /// Monotone sequence counter (next value to be assigned).
   uint64_t next_seq() const { return next_seq_; }
 
+  /// Monotone mutation counter: bumped by every state change (insert,
+  /// delete, update, staging flips, clear, undo, snapshot restore). Two
+  /// equal readings bracket a window with no mutation — the delta-snapshot
+  /// machinery (log/snapshot.h) uses this to skip tables unchanged since
+  /// the last checkpoint epoch. Conservative by design: an undone write
+  /// still counts (the table is re-snapshotted even though its net content
+  /// is unchanged).
+  uint64_t version() const { return version_; }
+
  private:
   struct Slot {
     std::optional<Tuple> row;
@@ -176,6 +185,7 @@ class Table {
   size_t live_count_ = 0;
   size_t active_count_ = 0;
   uint64_t next_seq_ = 1;
+  uint64_t version_ = 0;
   std::vector<std::unique_ptr<HashIndex>> indexes_;
 };
 

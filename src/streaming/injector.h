@@ -89,6 +89,15 @@ class StreamInjector {
 
   int64_t batches_injected() const { return next_batch_id_.load() - 1; }
 
+  /// Continues the batch-id sequence at `next`. A source that resumes
+  /// ingestion after a kill-and-recover must NOT restart at 1: batch ids
+  /// are the exactly-once identity across the whole topology, and a placed
+  /// channel whose delivery cursor already passed an id silently drops the
+  /// re-used id as a duplicate. The injection module's contract (§3.2) is
+  /// that the *source* is authoritative for batch identity, so the source
+  /// seeds this from its own durable offset.
+  void ResumeBatchIdsAt(int64_t next) { next_batch_id_.store(next); }
+
   size_t max_queue_depth() const { return options_.max_queue_depth; }
   BackpressureMode backpressure() const { return options_.backpressure; }
 

@@ -20,8 +20,8 @@ Status RecoveryManager::Recover(const std::string& snapshot_path,
     triggers_->SetPeTriggersEnabled(false);
   }
 
-  SSTORE_RETURN_NOT_OK(
-      SnapshotManager::RestoreSnapshot(snapshot_path, &partition_->catalog()));
+  SSTORE_RETURN_NOT_OK(SnapshotManager::RestoreSnapshot(
+      snapshot_path, &partition_->catalog(), replay.snapshot_base_resolver));
 
   if (mode == RecoveryMode::kWeak) {
     // Interior TEs that ran post-snapshot are not logged; batches the
@@ -63,8 +63,15 @@ void RecoveryManager::ReplayRecord(const LogRecord& record) {
 Status RecoveryManager::ReplayLog(const std::string& log_path,
                                   bool include_interior,
                                   const ReplayOptions& replay) {
-  SSTORE_ASSIGN_OR_RETURN(std::vector<LogRecord> records,
-                          CommandLog::ReadAll(log_path));
+  // Tolerant read: a log that ends mid-frame is the normal signature of a
+  // crash during a flush (§4.4 — the torn tail was never acked durable), so
+  // replay stops at the last complete record instead of failing. Mid-file
+  // corruption still fails: ParseRecords stops at the first invalid byte,
+  // and a checkpoint mark expected *after* that point surfaces as the
+  // missing-mark error below.
+  SSTORE_ASSIGN_OR_RETURN(CommandLog::TolerantRead tolerant,
+                          CommandLog::ReadTolerant(log_path));
+  std::vector<LogRecord>& records = tolerant.records;
   // A freshly rotated epoch log can be empty (crash between the rotation
   // and the first record): nothing committed past the cut, nothing to do.
   if (records.empty()) return Status::OK();

@@ -57,6 +57,10 @@ class RecoveryManager {
     /// Global txn ids the coordinator decided to commit; resolves in-doubt
     /// kPrepare tails. Null == presume abort for every in-doubt txn.
     const std::set<int64_t>* committed_gids = nullptr;
+    /// Maps a checkpoint id to that checkpoint's snapshot file for this
+    /// partition, so a delta snapshot's reference entries can be restored
+    /// from their base file. Empty (the default) rejects delta snapshots.
+    SnapshotBaseResolver snapshot_base_resolver;
   };
 
   /// Recovers a freshly re-created partition (DDL, procedures, workflow

@@ -26,6 +26,11 @@ SStore::SStore(const Options& options)
     if (log.ok()) {
       partition_.AttachCommandLog(std::move(log).value(),
                                   options.recovery_mode);
+    } else {
+      // The constructor cannot fail; record the error so callers (and the
+      // cluster) can detect a store that is running without its log
+      // instead of silently losing durability.
+      log_attach_status_ = log.status();
     }
   }
 }

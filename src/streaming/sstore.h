@@ -66,6 +66,11 @@ class SStore {
   TriggerManager& triggers() { return *triggers_; }
   RecoveryManager& recovery() { return *recovery_; }
 
+  /// OK when Options::log_path was empty or the command log opened; the
+  /// open error otherwise. The constructor cannot return a Status, so a
+  /// store that silently lost its durability must be detectable here.
+  const Status& log_attach_status() const { return log_attach_status_; }
+
   /// Validates and wires a workflow onto the partition.
   Status DeployWorkflow(const Workflow& workflow) {
     return triggers_->DeployWorkflow(workflow);
@@ -98,6 +103,7 @@ class SStore {
   std::unique_ptr<WindowManager> windows_;
   std::unique_ptr<TriggerManager> triggers_;
   std::unique_ptr<RecoveryManager> recovery_;
+  Status log_attach_status_;
 };
 
 }  // namespace sstore

@@ -2,6 +2,7 @@
 
 #include <sys/stat.h>
 
+#include <chrono>
 #include <utility>
 
 namespace sstore {
@@ -143,6 +144,7 @@ TxnCoordinator::TxnCoordinator(std::vector<Partition*> partitions,
     log_opts.path = options_.decision_log_path;
     log_opts.group_size = 1;  // a decision is durable or it does not exist
     log_opts.sync = options_.log_sync;
+    log_opts.failpoint_scope = "decision_log";
     Result<std::unique_ptr<CommandLog>> log = CommandLog::Open(log_opts);
     if (log.ok()) {
       decision_log_ = std::move(log).value();
@@ -382,11 +384,22 @@ Status TxnCoordinator::RotateDecisionLog(const std::string& new_path) {
   if (decision_log_ == nullptr && options_.decision_log_path.empty()) {
     return Status::OK();  // decisions were never durable; nothing to rotate
   }
-  decision_log_.reset();  // flush + close the finished epoch
+  return OpenDecisionLogLocked(new_path);
+}
+
+Status TxnCoordinator::AttachDecisionLog(const std::string& path, bool sync) {
+  std::lock_guard<std::mutex> lock(decision_log_mu_);
+  options_.log_sync = sync;
+  return OpenDecisionLogLocked(path);
+}
+
+Status TxnCoordinator::OpenDecisionLogLocked(const std::string& path) {
+  decision_log_.reset();  // flush + close the finished epoch (if any)
   CommandLog::Options log_opts;
-  log_opts.path = new_path;
+  log_opts.path = path;
   log_opts.group_size = 1;  // a decision is durable or it does not exist
   log_opts.sync = options_.log_sync;
+  log_opts.failpoint_scope = "decision_log";
   Result<std::unique_ptr<CommandLog>> log = CommandLog::Open(log_opts);
   if (!log.ok()) {
     // Same fail-loud rule as construction: commit decisions now fail
@@ -396,7 +409,7 @@ Status TxnCoordinator::RotateDecisionLog(const std::string& new_path) {
   }
   decision_log_ = std::move(log).value();
   decision_log_error_ = Status::OK();
-  options_.decision_log_path = new_path;
+  options_.decision_log_path = path;
   return Status::OK();
 }
 
@@ -406,6 +419,29 @@ void TxnCoordinator::QuiesceBegin() {
   gate_cv_.wait(lock, [this] { return !quiescing_; });
   quiescing_ = true;
   gate_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+bool TxnCoordinator::TryQuiesceBegin(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(gate_mu_);
+  // Another quiescer (a rebalance, a manual checkpoint) holds the gate:
+  // yield immediately — the background checkpointer retries with backoff
+  // rather than queueing behind a control-plane operation of unknown length.
+  if (quiescing_) return false;
+  quiescing_ = true;
+  // The gate is closed, so in_flight_ can only fall. Wait a bounded time
+  // for the tail of in-flight multi-partition rounds to drain; rounds are
+  // short (participant execution + one decision flush), so a timeout here
+  // means sustained multi-partition load — back off and let it through.
+  bool drained = gate_cv_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms),
+      [this] { return in_flight_ == 0; });
+  if (!drained) {
+    quiescing_ = false;
+    lock.unlock();
+    gate_cv_.notify_all();
+    return false;
+  }
+  return true;
 }
 
 void TxnCoordinator::QuiesceEnd() {
@@ -426,11 +462,15 @@ Result<std::vector<int64_t>> TxnCoordinator::ReadCommittedGids(
   if (::stat(decision_log_path.c_str(), &st) != 0) {
     return std::vector<int64_t>{};
   }
-  Result<std::vector<LogRecord>> records =
-      CommandLog::ReadAll(decision_log_path);
-  if (!records.ok()) return records.status();
+  // Tolerant of a torn tail: a decision whose record did not fully flush
+  // was never durable, so the transaction is presumed aborted — exactly the
+  // crash-consistency contract. Mid-file garbage still stops the read early,
+  // which is conservative (presumed abort, never a phantom commit).
+  Result<CommandLog::TolerantRead> read =
+      CommandLog::ReadTolerant(decision_log_path);
+  if (!read.ok()) return read.status();
   std::vector<int64_t> gids;
-  for (const LogRecord& r : *records) {
+  for (const LogRecord& r : read->records) {
     if (r.type() == LogRecordType::kCommitMark) gids.push_back(r.global_txn_id);
   }
   return gids;

@@ -204,6 +204,13 @@ class TxnCoordinator {
   /// partition transactions. Pair with QuiesceEnd().
   void QuiesceBegin();
   void QuiesceEnd();
+
+  /// Non-blocking QuiesceBegin for the background checkpointer: fails
+  /// immediately when another quiescer holds the gate, and gives in-flight
+  /// rounds at most `timeout_ms` to drain before releasing the gate and
+  /// failing. True = quiesced (pair with QuiesceEnd()); false = busy, retry
+  /// with backoff.
+  bool TryQuiesceBegin(int timeout_ms);
   void NoteCheckpoint() { checkpoints_.fetch_add(1); }
 
   // ---- Recovery support ----
@@ -220,6 +227,13 @@ class TxnCoordinator {
   /// in-flight transaction spans the rotation — so only post-cut decisions
   /// need the new file. No-op when decisions are not durable.
   Status RotateDecisionLog(const std::string& new_path);
+
+  /// Attaches (or re-attaches) a decision log on a coordinator constructed
+  /// without one — the composable-recovery path: a recovered cluster's
+  /// coordinator starts logless (its options carried no decision_log_path,
+  /// since opening would truncate the file being replayed) and becomes
+  /// durable again by attaching a fresh epoch file here.
+  Status AttachDecisionLog(const std::string& path, bool sync);
 
   /// Restart the sequencer above every gid seen in recovered logs so new
   /// transactions never collide with old decision records.
@@ -239,6 +253,8 @@ class TxnCoordinator {
   /// Force-flushes a commit decision for `gid`; OK when decisions are not
   /// durable. Any-thread safe (the last voter runs on a partition worker).
   Status AppendCommitDecision(int64_t gid);
+  /// Shared open path for construction-time, rotation, and re-attach.
+  Status OpenDecisionLogLocked(const std::string& path);
   /// Ticket-completion callback: stats + in-flight bookkeeping.
   void CompleteTxn(bool commit, int64_t start_us);
   /// Sequential prepare/decide/apply on the calling thread (no workers).

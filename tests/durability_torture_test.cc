@@ -1,0 +1,851 @@
+// Crash-fault-injection torture suite (ISSUE 7): the deterministic failpoint
+// framework, crash/torn-write faults at every durability site (command-log
+// append/flush, 2PC decision log, snapshot write/rename, manifest commit,
+// checkpoint barrier), recovery to a consistent cut after each, composable
+// kill -> recover -> ingest -> kill -> recover chains, delta snapshots, the
+// background checkpointer, and kBusy shedding while the barrier is closed.
+//
+// Each TEST runs as its own ctest entry (own process), so process-global
+// failpoint state never leaks between scenarios; tests still ResetAll() on
+// exit so the whole binary also passes when run directly.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/deployment.h"
+#include "cluster/topology.h"
+#include "common/failpoint.h"
+#include "log/command_log.h"
+#include "log/snapshot.h"
+#include "query/executor.h"
+#include "server/client.h"
+#include "server/wire_server.h"
+#include "streaming/injector.h"
+#include "workloads/voter_cluster.h"
+
+namespace sstore {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  static const std::string pid = std::to_string(::getpid());
+  return ::testing::TempDir() + "/sstore_dur_" + pid + "_" + name;
+}
+
+std::string MakeDir(const std::string& name) {
+  std::string path = TempPath(name);
+  ::mkdir(path.c_str(), 0755);
+  return path;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Schema KeyValSchema() {
+  return Schema({{"key", ValueType::kBigInt}, {"val", ValueType::kBigInt}});
+}
+
+Tuple KeyVal(int64_t key, int64_t val) {
+  return {Value::BigInt(key), Value::BigInt(val)};
+}
+
+std::vector<Tuple> TableRows(SStore& store, const std::string& name) {
+  Table* table = *store.catalog().GetTable(name);
+  Executor exec;
+  ScanSpec spec;
+  spec.table = table;
+  return *exec.Scan(spec);
+}
+
+/// Every scenario must leave the process clean: no armed sites, no sticky
+/// crashed flag (a leaked kCrash would freeze every later component).
+class FailpointGuard : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::ResetAll(); }
+  void TearDown() override { failpoint::ResetAll(); }
+};
+
+// ---- SSTORE_FAILPOINTS environment parsing ----
+//
+// Runs against the lazily-latched env parse, so this test (own process under
+// ctest) sets the variable before the first Evaluate in the binary.
+
+TEST(FailpointEnvTest, ParsesSpecWithSkipAndCount) {
+  ASSERT_EQ(::setenv("SSTORE_FAILPOINTS",
+                     "env.err=error;env.crash=crash@2x3;garbage;x=;y=frob", 1),
+            0);
+  // Two well-formed entries arm; malformed/unknown entries are ignored.
+  EXPECT_EQ(failpoint::InitFromEnv(), 2u);
+  EXPECT_TRUE(failpoint::AnyActive());
+
+  // env.err: fires once, then self-disarms.
+  EXPECT_EQ(failpoint::Evaluate("env.err"), failpoint::Action::kError);
+  EXPECT_EQ(failpoint::Evaluate("env.err"), failpoint::Action::kOff);
+
+  // env.crash: @2 skips two hits, then x3 fires three times.
+  EXPECT_EQ(failpoint::Evaluate("env.crash"), failpoint::Action::kOff);
+  EXPECT_EQ(failpoint::Evaluate("env.crash"), failpoint::Action::kOff);
+  EXPECT_FALSE(failpoint::CrashRequested());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(failpoint::Evaluate("env.crash"), failpoint::Action::kCrash);
+  }
+  EXPECT_TRUE(failpoint::CrashRequested());
+  EXPECT_EQ(failpoint::Evaluate("env.crash"), failpoint::Action::kOff);
+  EXPECT_EQ(failpoint::Hits("env.crash"), 6u);
+
+  // A second parse is a no-op (the env is latched, not re-read).
+  EXPECT_EQ(failpoint::InitFromEnv(), 0u);
+
+  failpoint::ResetAll();
+  ::unsetenv("SSTORE_FAILPOINTS");
+  EXPECT_FALSE(failpoint::CrashRequested());
+  EXPECT_FALSE(failpoint::AnyActive());
+}
+
+TEST_F(FailpointGuard, ActivateCheckAndTriggerSemantics) {
+  // Unarmed sites are free and OK.
+  EXPECT_TRUE(failpoint::Check("never.armed").ok());
+  EXPECT_EQ(failpoint::Evaluate("never.armed"), failpoint::Action::kOff);
+
+  failpoint::Activate("t.err", failpoint::Action::kError, /*skip=*/1,
+                      /*count=*/2);
+  EXPECT_TRUE(failpoint::Check("t.err").ok());  // skipped hit
+  EXPECT_TRUE(failpoint::Check("t.err").code() == StatusCode::kIOError);
+  EXPECT_TRUE(failpoint::Check("t.err").code() == StatusCode::kIOError);
+  EXPECT_TRUE(failpoint::Check("t.err").ok());  // trigger exhausted
+  EXPECT_FALSE(failpoint::CrashRequested());    // kError never sets the flag
+
+  failpoint::Activate("t.crash", failpoint::Action::kCrash);
+  EXPECT_TRUE(failpoint::Check("t.crash").code() == StatusCode::kIOError);
+  EXPECT_TRUE(failpoint::CrashRequested());
+
+  // Deactivate disarms without firing; ResetAll clears the crashed flag.
+  failpoint::Activate("t.off", failpoint::Action::kError, 0, -1);
+  failpoint::Deactivate("t.off");
+  EXPECT_TRUE(failpoint::Check("t.off").ok());
+  failpoint::ResetAll();
+  EXPECT_FALSE(failpoint::CrashRequested());
+  EXPECT_FALSE(failpoint::AnyActive());
+}
+
+// ---- CommandLog under injected faults ----
+
+LogRecord TxnRecord(int64_t id) {
+  LogRecord r;
+  r.txn_id = id;
+  r.proc = "p";
+  r.params = KeyVal(id, id);
+  r.record_type = static_cast<uint8_t>(LogRecordType::kTxn);
+  return r;
+}
+
+TEST_F(FailpointGuard, CommandLogFlushErrorIsStickyAndFreezesTheFile) {
+  std::string path = TempPath("sticky.log");
+  CommandLog::Options opts;
+  opts.path = path;
+  opts.group_size = 100;  // buffer; flush only when told to
+  opts.sync = false;
+  Result<std::unique_ptr<CommandLog>> log = CommandLog::Open(opts);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+
+  ASSERT_TRUE((*log)->Append(TxnRecord(1)).ok());
+  ASSERT_TRUE((*log)->Flush().ok());
+
+  // The next flush dies: the buffered suffix is in an unknown on-disk state,
+  // so the log freezes — later appends, flushes, and Close() all refuse.
+  ASSERT_TRUE((*log)->Append(TxnRecord(2)).ok());
+  failpoint::Activate("command_log.flush", failpoint::Action::kCrash);
+  Status st = (*log)->Flush();
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE((*log)->last_error().ok());
+  EXPECT_FALSE((*log)->Append(TxnRecord(3)).ok());
+  EXPECT_FALSE((*log)->Flush().ok());
+  (void)(*log)->Close();
+  failpoint::ResetAll();
+
+  // Only the acked prefix survives; the file is cleanly readable.
+  Result<std::vector<LogRecord>> records = CommandLog::ReadAll(path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], TxnRecord(1));
+}
+
+TEST_F(FailpointGuard, CommandLogAppendErrorIsNotSticky) {
+  std::string path = TempPath("append_err.log");
+  CommandLog::Options opts;
+  opts.path = path;
+  opts.sync = false;
+  Result<std::unique_ptr<CommandLog>> log = CommandLog::Open(opts);
+  ASSERT_TRUE(log.ok());
+
+  // A failed append never buffered anything, so nothing on disk is in
+  // doubt: the log stays healthy and the next append succeeds.
+  failpoint::Activate("command_log.append", failpoint::Action::kError);
+  EXPECT_FALSE((*log)->Append(TxnRecord(1)).ok());
+  EXPECT_TRUE((*log)->last_error().ok());
+  EXPECT_TRUE((*log)->Append(TxnRecord(2)).ok());
+  ASSERT_TRUE((*log)->Close().ok());
+
+  Result<std::vector<LogRecord>> records = CommandLog::ReadAll(path);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0], TxnRecord(2));
+}
+
+TEST_F(FailpointGuard, TornFlushLeavesTailReadTolerantRecovers) {
+  std::string path = TempPath("torn.log");
+  CommandLog::Options opts;
+  opts.path = path;
+  opts.group_size = 100;
+  opts.sync = false;
+  Result<std::unique_ptr<CommandLog>> log = CommandLog::Open(opts);
+  ASSERT_TRUE(log.ok());
+
+  ASSERT_TRUE((*log)->Append(TxnRecord(1)).ok());
+  ASSERT_TRUE((*log)->Append(TxnRecord(2)).ok());
+  ASSERT_TRUE((*log)->Flush().ok());
+
+  // The crash-mid-flush case §4.4 group commit must survive: half the
+  // pending buffer reaches disk, then the process "dies". Record 3 dwarfs
+  // record 4 so the byte midpoint falls inside record 3's frame — a torn
+  // frame, not a truncation at a frame boundary.
+  LogRecord big = TxnRecord(3);
+  big.proc = std::string(200, 'x');
+  ASSERT_TRUE((*log)->Append(big).ok());
+  ASSERT_TRUE((*log)->Append(TxnRecord(4)).ok());
+  failpoint::Activate("command_log.flush", failpoint::Action::kTornWrite);
+  EXPECT_FALSE((*log)->Flush().ok());
+  EXPECT_FALSE((*log)->last_error().ok());  // frozen after the tear
+  (void)(*log)->Close();
+  failpoint::ResetAll();
+
+  // Strict read refuses the torn file; tolerant read returns the acked
+  // prefix and flags the tail.
+  EXPECT_TRUE(CommandLog::ReadAll(path).status().code() == StatusCode::kCorruption);
+  Result<CommandLog::TolerantRead> tolerant = CommandLog::ReadTolerant(path);
+  ASSERT_TRUE(tolerant.ok()) << tolerant.status().ToString();
+  EXPECT_TRUE(tolerant->torn_tail);
+  ASSERT_EQ(tolerant->records.size(), 2u);
+  EXPECT_EQ(tolerant->records[0], TxnRecord(1));
+  EXPECT_EQ(tolerant->records[1], TxnRecord(2));
+}
+
+// ---- Kill-at-every-site crash matrix over the voter cluster ----
+
+/// How a scenario drives the armed site to fire.
+enum class FireVia {
+  kVotes,       // single-partition traffic (command-log paths)
+  kTransfer,    // cross-partition 2PC (decision-log path)
+  kCheckpoint,  // a Checkpoint() call (snapshot/manifest/barrier paths)
+};
+
+/// One full torture scenario: ingest committed work, checkpoint cleanly,
+/// ingest more, arm `site`, drive it to fire, simulate the kill, then prove
+/// two *composed* recoveries converge to exactly the acked-committed cut:
+///   gen-1 dies at the fault -> gen-2 recovers, ingests, dies (no manual
+///   checkpoint) -> gen-3 recovers and must equal gen-2's acked state.
+void RunCrashScenario(const std::string& tag, const std::string& site,
+                      failpoint::Action action, FireVia fire) {
+  std::string ckpt_dir = MakeDir(tag + "_ckpt");
+  std::string log_dir = MakeDir(tag + "_logs");
+  VoterClusterConfig config;
+  config.num_contestants = 8;
+  config.initial_votes = 100;
+
+  Cluster::Options opts;
+  opts.num_partitions = 2;
+  opts.routing = PartitionMap::Mode::kModulo;
+  opts.log_sync = false;
+
+  int64_t committed = 0;  // votes the client saw acked before each kill
+  {
+    Cluster::Options live_opts = opts;
+    live_opts.log_dir = log_dir;
+    Cluster cluster(live_opts);
+    VoterClusterApp app(&cluster, config);
+    ASSERT_TRUE(cluster.Deploy(BuildVoterClusterDeployment(config)).ok());
+    cluster.Start();
+
+    for (int i = 0; i < 16; ++i) {
+      if (app.Vote(i % config.num_contestants).committed()) ++committed;
+    }
+    ASSERT_TRUE(cluster.Checkpoint(ckpt_dir).ok());
+
+    // Post-checkpoint tail, including a cross-partition transfer, so replay
+    // must compose snapshot + log + decision log.
+    for (int i = 0; i < 16; ++i) {
+      if (app.Vote(i % config.num_contestants).committed()) ++committed;
+    }
+    int64_t from = 0, to = 0;
+    if (app.PickCrossPartitionPair(&from, &to)) {
+      app.Transfer(from, to, 5);
+    }
+    cluster.WaitIdle();
+
+    failpoint::Activate(site, action);
+    switch (fire) {
+      case FireVia::kVotes:
+        // The vote that hits the armed site aborts (not acked, not
+        // counted); votes owned by the unpoisoned partition still commit.
+        for (int i = 0; i < 24; ++i) {
+          if (app.Vote(i % config.num_contestants).committed()) ++committed;
+        }
+        break;
+      case FireVia::kTransfer:
+        // The decision-log fault aborts the multi-partition transfer;
+        // single-partition votes are unaffected.
+        if (app.PickCrossPartitionPair(&from, &to)) {
+          app.Transfer(from, to, 3);
+        }
+        for (int i = 0; i < 8; ++i) {
+          if (app.Vote(i % config.num_contestants).committed()) ++committed;
+        }
+        break;
+      case FireVia::kCheckpoint: {
+        Status st = cluster.Checkpoint(ckpt_dir);
+        EXPECT_FALSE(st.ok()) << site << ": checkpoint should have died";
+        break;
+      }
+    }
+    EXPECT_GE(failpoint::Hits(site), 1u) << site << " never evaluated";
+    cluster.Stop();
+    // The simulated process is dead: only what reached ckpt_dir/log_dir
+    // before the fault instant survives the scope.
+  }
+  failpoint::ResetAll();
+
+  // Generation 2: recover, verify the exact acked cut, ingest more (the
+  // re-armed fresh logs must capture it), die again with NO checkpoint.
+  {
+    Cluster recovered(opts);
+    VoterClusterApp app(&recovered, config);
+    ASSERT_TRUE(recovered.Deploy(BuildVoterClusterDeployment(config)).ok());
+    Status st = recovered.Recover(ckpt_dir, log_dir);
+    ASSERT_TRUE(st.ok()) << site << ": " << st.ToString();
+    ASSERT_TRUE(app.CheckInvariant().ok()) << site;
+    Result<int64_t> txns = app.TotalVoteTxns();
+    ASSERT_TRUE(txns.ok());
+    EXPECT_EQ(*txns, committed) << site << ": recovered cut != acked commits";
+
+    recovered.Start();
+    for (int i = 0; i < 10; ++i) {
+      if (app.Vote(i % config.num_contestants).committed()) ++committed;
+    }
+    recovered.WaitIdle();
+    recovered.Stop();
+  }
+
+  // Generation 3: recovery composes — the second kill recovers too, and
+  // still equals the acked total across both generations.
+  {
+    Cluster recovered(opts);
+    VoterClusterApp app(&recovered, config);
+    ASSERT_TRUE(recovered.Deploy(BuildVoterClusterDeployment(config)).ok());
+    Status st = recovered.Recover(ckpt_dir, log_dir);
+    ASSERT_TRUE(st.ok()) << site << ": " << st.ToString();
+    ASSERT_TRUE(app.CheckInvariant().ok()) << site;
+    Result<int64_t> txns = app.TotalVoteTxns();
+    ASSERT_TRUE(txns.ok());
+    EXPECT_EQ(*txns, committed) << site << ": gen-3 cut != gen-2 acked";
+  }
+}
+
+TEST_F(FailpointGuard, CrashAtCommandLogAppend) {
+  RunCrashScenario("cl_append", "command_log.append",
+                   failpoint::Action::kCrash, FireVia::kVotes);
+}
+
+TEST_F(FailpointGuard, CrashAtCommandLogFlush) {
+  RunCrashScenario("cl_flush", "command_log.flush", failpoint::Action::kCrash,
+                   FireVia::kVotes);
+}
+
+TEST_F(FailpointGuard, TornWriteAtCommandLogFlush) {
+  RunCrashScenario("cl_torn", "command_log.flush",
+                   failpoint::Action::kTornWrite, FireVia::kVotes);
+}
+
+TEST_F(FailpointGuard, CrashAtDecisionLogAppend) {
+  RunCrashScenario("dl_append", "decision_log.append",
+                   failpoint::Action::kCrash, FireVia::kTransfer);
+}
+
+TEST_F(FailpointGuard, CrashAtSnapshotWrite) {
+  RunCrashScenario("snap_write", "snapshot.write", failpoint::Action::kCrash,
+                   FireVia::kCheckpoint);
+}
+
+TEST_F(FailpointGuard, TornWriteAtSnapshotWrite) {
+  RunCrashScenario("snap_torn", "snapshot.write",
+                   failpoint::Action::kTornWrite, FireVia::kCheckpoint);
+}
+
+TEST_F(FailpointGuard, CrashAtSnapshotRename) {
+  RunCrashScenario("snap_ren", "snapshot.rename", failpoint::Action::kCrash,
+                   FireVia::kCheckpoint);
+}
+
+TEST_F(FailpointGuard, CrashAtManifestWrite) {
+  RunCrashScenario("man_write", "manifest.write", failpoint::Action::kCrash,
+                   FireVia::kCheckpoint);
+}
+
+TEST_F(FailpointGuard, CrashAtManifestRename) {
+  RunCrashScenario("man_ren", "manifest.rename", failpoint::Action::kCrash,
+                   FireVia::kCheckpoint);
+}
+
+TEST_F(FailpointGuard, CrashAtCheckpointBarrier) {
+  RunCrashScenario("barrier", "checkpoint.barrier", failpoint::Action::kCrash,
+                   FireVia::kCheckpoint);
+}
+
+TEST_F(FailpointGuard, CrashAfterManifestCommitBeforeRotation) {
+  // The nastiest window: the new manifest is durable but the logs were
+  // never rotated. Replay from the new cut sees an empty tail — which is
+  // correct, because nothing could commit while the barrier held.
+  RunCrashScenario("after_man", "checkpoint.after_manifest",
+                   failpoint::Action::kCrash, FireVia::kCheckpoint);
+}
+
+// ---- Delta snapshots ----
+
+DeploymentPlan HotColdPlan() {
+  DeploymentPlan plan;
+  plan.CreateTable("hot", KeyValSchema())
+      .CreateTable("cold", KeyValSchema())
+      .RegisterProcedure(
+          "bump", SpKind::kBorder,
+          std::make_shared<LambdaProcedure>([](ProcContext& ctx) -> Status {
+            SSTORE_ASSIGN_OR_RETURN(Table * hot, ctx.table("hot"));
+            SSTORE_ASSIGN_OR_RETURN(RowId rid,
+                                    ctx.exec().Insert(hot, ctx.params()));
+            (void)rid;
+            return Status::OK();
+          }));
+  for (int i = 0; i < 4; ++i) plan.InsertRow("cold", KeyVal(i, i * 10));
+  return plan;
+}
+
+TEST_F(FailpointGuard, DeltaSnapshotSkipsUnchangedTablesAndRecovers) {
+  std::string dir = MakeDir("delta");
+  Cluster::Options opts;
+  opts.num_partitions = 1;
+  Cluster cluster(opts);
+  ASSERT_TRUE(cluster.Deploy(HotColdPlan()).ok());
+  cluster.Start();
+
+  // First checkpoint of this directory: everything is written full.
+  CheckpointReport r1;
+  ASSERT_TRUE(cluster.Checkpoint(dir, &r1).ok());
+  EXPECT_EQ(r1.tables_full, 2u);
+  EXPECT_EQ(r1.tables_delta, 0u);
+  EXPECT_GT(r1.snapshot_bytes, 0u);
+
+  // Mutate only "hot": the next cut writes "cold" as a reference to the
+  // base checkpoint instead of copying its rows again.
+  EXPECT_TRUE(
+      cluster.ExecuteSync("bump", KeyVal(100, 1), Value::BigInt(0)).committed());
+  cluster.WaitIdle();
+  CheckpointReport r2;
+  ASSERT_TRUE(cluster.Checkpoint(dir, &r2).ok());
+  EXPECT_EQ(r2.tables_full, 1u);
+  EXPECT_EQ(r2.tables_delta, 1u);
+
+  // Nothing changed since: the third cut is all references.
+  CheckpointReport r3;
+  ASSERT_TRUE(cluster.Checkpoint(dir, &r3).ok());
+  EXPECT_EQ(r3.tables_full, 0u);
+  EXPECT_EQ(r3.tables_delta, 2u);
+  EXPECT_LT(r3.snapshot_bytes, r1.snapshot_bytes);
+  cluster.Stop();
+
+  // Recovery resolves the reference chain back to the base epoch's bytes.
+  Cluster recovered(opts);
+  ASSERT_TRUE(recovered.Deploy(HotColdPlan()).ok());
+  Status st = recovered.Recover(dir, "");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  std::vector<Tuple> cold = TableRows(recovered.store(0), "cold");
+  ASSERT_EQ(cold.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(cold[i], KeyVal(i, i * 10));
+  std::vector<Tuple> hot = TableRows(recovered.store(0), "hot");
+  ASSERT_EQ(hot.size(), 1u);
+  EXPECT_EQ(hot[0], KeyVal(100, 1));
+
+  // A delta snapshot is not self-contained: restoring it without a base
+  // resolver must refuse rather than silently produce empty tables.
+  SStore ref_store;
+  ASSERT_TRUE(HotColdPlan().ApplyTo(ref_store).ok());
+  Status bare = SnapshotManager::RestoreSnapshot(
+      dir + "/ckpt-3-partition-0.snap", &ref_store.catalog());
+  EXPECT_FALSE(bare.ok());
+}
+
+// ---- Composed recovery of a placed topology (exactly-once channels) ----
+
+TopologyBuilder TwoStageBuilder() {
+  TopologyBuilder topo("dur_pipe");
+  topo.DefineStream("sA", KeyValSchema())
+      .CreateTable("sink", KeyValSchema())
+      .RegisterProcedure(
+          "ingest", SpKind::kBorder,
+          std::make_shared<LambdaProcedure>([](ProcContext& ctx) {
+            return ctx.EmitToStream("sA", {ctx.params()});
+          }))
+      .RegisterProcedure(
+          "apply", SpKind::kInterior,
+          [](SStore& store) -> std::shared_ptr<StoredProcedure> {
+            SStore* bound = &store;
+            return std::make_shared<LambdaProcedure>(
+                [bound](ProcContext& ctx) -> Status {
+                  SSTORE_ASSIGN_OR_RETURN(
+                      std::vector<Tuple> rows,
+                      bound->streams().BatchContents("sA", ctx.batch_id()));
+                  SSTORE_ASSIGN_OR_RETURN(Table * sink, ctx.table("sink"));
+                  for (const Tuple& row : rows) {
+                    SSTORE_ASSIGN_OR_RETURN(RowId rid,
+                                            ctx.exec().Insert(sink, row));
+                    (void)rid;
+                  }
+                  return Status::OK();
+                });
+          });
+  WorkflowNode ingest;
+  ingest.proc = "ingest";
+  ingest.kind = SpKind::kBorder;
+  ingest.output_streams = {"sA"};
+  WorkflowNode apply;
+  apply.proc = "apply";
+  apply.kind = SpKind::kInterior;
+  apply.input_streams = {"sA"};
+  topo.AddStage(std::move(ingest), Placement::Pinned(0))
+      .AddStage(std::move(apply), Placement::Pinned(1));
+  return topo;
+}
+
+TEST_F(FailpointGuard, PlacedChannelStaysExactlyOnceAcrossTwoKills) {
+  std::string ckpt_dir = MakeDir("pipe_ckpt");
+  std::string log_dir = MakeDir("pipe_logs");
+  Result<Topology> topo = TwoStageBuilder().Build();
+  ASSERT_TRUE(topo.ok()) << topo.status().ToString();
+
+  Cluster::Options opts;
+  opts.num_partitions = 2;
+  opts.log_sync = false;
+
+  // Generation 1: checkpoint mid-stream, keep ingesting, die.
+  {
+    Cluster::Options live_opts = opts;
+    live_opts.log_dir = log_dir;
+    Cluster cluster(live_opts);
+    ASSERT_TRUE(cluster.Deploy(*topo).ok());
+    cluster.Start();
+    StreamInjector inject(&cluster.partition(0), "ingest");
+    for (int i = 0; i < 20; ++i) inject.InjectAsync(KeyVal(i, i));
+    cluster.WaitIdle();
+    ASSERT_TRUE(cluster.Checkpoint(ckpt_dir).ok());
+    for (int i = 20; i < 40; ++i) inject.InjectAsync(KeyVal(i, i));
+    cluster.WaitIdle();
+    cluster.Stop();
+  }
+
+  // Generation 2: recover (re-arms fresh logs), ingest a third wave across
+  // the placed channel, die again WITHOUT any manual checkpoint.
+  {
+    Cluster cluster(opts);
+    ASSERT_TRUE(cluster.Deploy(*topo).ok());
+    Status st = cluster.Recover(ckpt_dir, log_dir);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    cluster.Start();
+    StreamInjector inject(&cluster.partition(0), "ingest");
+    // The source resumes past its durable offset: re-using ids 1..20 would
+    // be (correctly) dropped by the recovered channel cursor as duplicates.
+    inject.ResumeBatchIdsAt(41);
+    for (int i = 40; i < 60; ++i) inject.InjectAsync(KeyVal(i, i));
+    cluster.WaitIdle();
+    cluster.Stop();
+  }
+
+  // Generation 3: the composed cut must hold every batch exactly once —
+  // no channel delivery lost at either kill, none applied twice.
+  Cluster cluster(opts);
+  ASSERT_TRUE(cluster.Deploy(*topo).ok());
+  Status st = cluster.Recover(ckpt_dir, log_dir);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  cluster.Start();
+  cluster.WaitIdle();
+  cluster.Stop();
+
+  std::vector<Tuple> sink = TableRows(cluster.store(1), "sink");
+  ASSERT_EQ(sink.size(), 60u);
+  std::map<int64_t, int> seen;
+  for (const Tuple& row : sink) ++seen[row[0].as_int64()];
+  for (int64_t i = 0; i < 60; ++i) {
+    EXPECT_EQ(seen[i], 1) << "key " << i << " delivered " << seen[i]
+                          << " times";
+  }
+}
+
+// Checkpointing a *recovered* cluster must rotate the re-armed epoch logs,
+// not the dead generation's names (composability of rotation state).
+TEST_F(FailpointGuard, CheckpointAfterRecoverRotatesFreshEpochLogs) {
+  std::string ckpt_dir = MakeDir("rot_ckpt");
+  std::string log_dir = MakeDir("rot_logs");
+  VoterClusterConfig config;
+  config.num_contestants = 4;
+  Cluster::Options opts;
+  opts.num_partitions = 2;
+  opts.routing = PartitionMap::Mode::kModulo;
+  opts.log_sync = false;
+
+  {
+    Cluster::Options live_opts = opts;
+    live_opts.log_dir = log_dir;
+    Cluster cluster(live_opts);
+    VoterClusterApp app(&cluster, config);
+    ASSERT_TRUE(cluster.Deploy(BuildVoterClusterDeployment(config)).ok());
+    cluster.Start();
+    for (int i = 0; i < 8; ++i) app.Vote(i % 4);
+    ASSERT_TRUE(cluster.Checkpoint(ckpt_dir).ok());  // epoch 1
+    for (int i = 0; i < 8; ++i) app.Vote(i % 4);
+    cluster.WaitIdle();
+    cluster.Stop();
+  }
+
+  Cluster recovered(opts);
+  VoterClusterApp app(&recovered, config);
+  ASSERT_TRUE(recovered.Deploy(BuildVoterClusterDeployment(config)).ok());
+  ASSERT_TRUE(recovered.Recover(ckpt_dir, log_dir).ok());
+  // Recovery re-armed a fresh epoch (id 2) and deleted the replayed files.
+  EXPECT_TRUE(FileExists(log_dir + "/partition-0.e2.log"));
+  EXPECT_TRUE(FileExists(log_dir + "/coord-decisions.e2.log"));
+  EXPECT_FALSE(FileExists(log_dir + "/partition-0.e1.log"));
+  EXPECT_FALSE(FileExists(log_dir + "/coord-decisions.e1.log"));
+
+  recovered.Start();
+  for (int i = 0; i < 8; ++i) app.Vote(i % 4);
+  ASSERT_TRUE(recovered.Checkpoint(ckpt_dir).ok());  // epoch 3
+  EXPECT_TRUE(FileExists(log_dir + "/partition-0.e3.log"));
+  EXPECT_FALSE(FileExists(log_dir + "/partition-0.e2.log"));
+  EXPECT_TRUE(app.CheckInvariant().ok());
+  recovered.Stop();
+}
+
+// ---- TryCheckpoint / background checkpointer ----
+
+TEST_F(FailpointGuard, TryCheckpointIsUnavailableWhileCoordinatorQuiesced) {
+  std::string dir = MakeDir("tryckpt");
+  VoterClusterConfig config;
+  config.num_contestants = 4;
+  Cluster::Options opts;
+  opts.num_partitions = 2;
+  opts.routing = PartitionMap::Mode::kModulo;
+  Cluster cluster(opts);
+  ASSERT_TRUE(cluster.Deploy(BuildVoterClusterDeployment(config)).ok());
+  cluster.Start();
+
+  // Someone else holds the coordinator gate: a background checkpoint must
+  // defer (Unavailable), never block or fail hard.
+  cluster.coordinator().QuiesceBegin();
+  Status busy = cluster.TryCheckpoint(dir, nullptr, /*quiesce_timeout_ms=*/5);
+  EXPECT_TRUE(busy.IsUnavailable()) << busy.ToString();
+  cluster.coordinator().QuiesceEnd();
+
+  CheckpointReport report;
+  Status st = cluster.TryCheckpoint(dir, &report);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_GE(report.checkpoint_id, 1u);
+  cluster.Stop();
+}
+
+TEST_F(FailpointGuard, CheckpointerCadenceKeepsClusterRecoverable) {
+  std::string ckpt_dir = MakeDir("cadence_ckpt");
+  std::string log_dir = MakeDir("cadence_logs");
+  VoterClusterConfig config;
+  config.num_contestants = 8;
+  Cluster::Options opts;
+  opts.num_partitions = 2;
+  opts.routing = PartitionMap::Mode::kModulo;
+  opts.log_sync = false;
+  int64_t committed = 0;
+  {
+    Cluster::Options live_opts = opts;
+    live_opts.log_dir = log_dir;
+    Cluster cluster(live_opts);
+    VoterClusterApp app(&cluster, config);
+    ASSERT_TRUE(cluster.Deploy(BuildVoterClusterDeployment(config)).ok());
+    cluster.Start();
+
+    Checkpointer::Options copts;
+    copts.dir = ckpt_dir;
+    copts.interval_ms = 5;
+    copts.poll_ms = 1;
+    ASSERT_TRUE(cluster.StartCheckpointer(copts).ok());
+    EXPECT_TRUE(cluster.StartCheckpointer(copts).code() == StatusCode::kAlreadyExists);
+
+    // Ingest THROUGH the self-triggered checkpoints: the barrier pauses,
+    // it never rejects — every vote here is acked durable.
+    for (int i = 0; i < 300; ++i) {
+      if (app.Vote(i % config.num_contestants).committed()) ++committed;
+    }
+    ASSERT_TRUE(cluster.checkpointer()->WaitForCompletions(2, 20000));
+    Checkpointer::Stats cs = cluster.checkpointer()->stats();
+    EXPECT_GE(cs.completed, 2u);
+    EXPECT_GE(cs.triggered_cadence, 1u);
+    EXPECT_GT(cs.last_checkpoint_id, 0u);
+    EXPECT_TRUE(cluster.checkpointer()->last_error().ok())
+        << cluster.checkpointer()->last_error().ToString();
+    cluster.Stop();  // stops the checkpointer first, then the workers
+    EXPECT_FALSE(cluster.checkpointer()->running());
+  }
+  ASSERT_GT(committed, 0);
+
+  Cluster recovered(opts);
+  VoterClusterApp app(&recovered, config);
+  ASSERT_TRUE(recovered.Deploy(BuildVoterClusterDeployment(config)).ok());
+  Status st = recovered.Recover(ckpt_dir, log_dir);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_TRUE(app.CheckInvariant().ok());
+  Result<int64_t> txns = app.TotalVoteTxns();
+  ASSERT_TRUE(txns.ok());
+  EXPECT_EQ(*txns, committed);
+}
+
+TEST_F(FailpointGuard, CheckpointerLogBytesThresholdTriggers) {
+  std::string ckpt_dir = MakeDir("bytes_ckpt");
+  std::string log_dir = MakeDir("bytes_logs");
+  VoterClusterConfig config;
+  config.num_contestants = 4;
+  Cluster::Options opts;
+  opts.num_partitions = 2;
+  opts.routing = PartitionMap::Mode::kModulo;
+  opts.log_dir = log_dir;
+  opts.log_sync = false;
+  Cluster cluster(opts);
+  VoterClusterApp app(&cluster, config);
+  ASSERT_TRUE(cluster.Deploy(BuildVoterClusterDeployment(config)).ok());
+  cluster.Start();
+
+  Checkpointer::Options copts;
+  copts.dir = ckpt_dir;
+  copts.interval_ms = 0;  // cadence off: only the bytes trigger may fire
+  copts.log_bytes_threshold = 256;
+  copts.poll_ms = 1;
+  ASSERT_TRUE(cluster.StartCheckpointer(copts).ok());
+
+  for (int i = 0; i < 50; ++i) app.Vote(i % config.num_contestants);
+  ASSERT_TRUE(cluster.checkpointer()->WaitForCompletions(1, 20000));
+  Checkpointer::Stats cs = cluster.checkpointer()->stats();
+  EXPECT_GE(cs.triggered_bytes, 1u);
+  EXPECT_EQ(cs.triggered_cadence, 0u);
+  cluster.Stop();
+}
+
+TEST_F(FailpointGuard, CheckpointerDefersWithBackoffWhileCoordinatorBusy) {
+  std::string ckpt_dir = MakeDir("busy_ckpt");
+  VoterClusterConfig config;
+  config.num_contestants = 4;
+  Cluster::Options opts;
+  opts.num_partitions = 2;
+  opts.routing = PartitionMap::Mode::kModulo;
+  Cluster cluster(opts);
+  ASSERT_TRUE(cluster.Deploy(BuildVoterClusterDeployment(config)).ok());
+  cluster.Start();
+
+  // Hold the coordinator so every attempt defers; the trigger stays
+  // latched (deferred, not forgotten) and retries with backoff.
+  cluster.coordinator().QuiesceBegin();
+  Checkpointer::Options copts;
+  copts.dir = ckpt_dir;
+  copts.interval_ms = 2;
+  copts.poll_ms = 1;
+  copts.quiesce_timeout_ms = 2;
+  copts.initial_backoff_ms = 1;
+  copts.max_backoff_ms = 10;
+  ASSERT_TRUE(cluster.StartCheckpointer(copts).ok());
+
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (cluster.checkpointer()->stats().busy_deferred < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  Checkpointer::Stats held = cluster.checkpointer()->stats();
+  EXPECT_GE(held.busy_deferred, 2u);
+  EXPECT_EQ(held.completed, 0u);
+  EXPECT_EQ(held.failed, 0u);  // Unavailable is deferral, not failure
+
+  // Release the gate: the latched trigger completes without a new cadence
+  // tick being required.
+  cluster.coordinator().QuiesceEnd();
+  EXPECT_TRUE(cluster.checkpointer()->WaitForCompletions(1, 20000));
+  EXPECT_TRUE(cluster.checkpointer()->last_error().ok());
+  cluster.Stop();
+}
+
+TEST_F(FailpointGuard, StartCheckpointerValidatesOptions) {
+  Cluster cluster(1);
+  ASSERT_TRUE(cluster.Deploy(DeploymentPlan()).ok());
+  Checkpointer::Options no_dir;
+  no_dir.interval_ms = 10;
+  EXPECT_TRUE(cluster.StartCheckpointer(no_dir).code() == StatusCode::kInvalidArgument);
+  Checkpointer::Options no_trigger;
+  no_trigger.dir = MakeDir("novalid");
+  EXPECT_TRUE(cluster.StartCheckpointer(no_trigger).code() == StatusCode::kInvalidArgument);
+  EXPECT_EQ(cluster.checkpointer(), nullptr);
+}
+
+// ---- Wire server sheds kBusy while the barrier holds the cluster ----
+
+TEST_F(FailpointGuard, WireServerShedsBusyWhileCheckpointGateClosed) {
+  VoterClusterConfig config;
+  config.num_contestants = 8;
+  Cluster::Options opts;
+  opts.num_partitions = 2;
+  opts.routing = PartitionMap::Mode::kModulo;
+  Cluster cluster(opts);
+  VoterClusterApp app(&cluster, config);
+  ASSERT_TRUE(cluster.Deploy(BuildVoterClusterDeployment(config)).ok());
+  cluster.Start();
+  WireServer server(&cluster, WireServer::Options{});
+  ASSERT_TRUE(server.Start().ok());
+  Result<std::unique_ptr<WireClient>> client =
+      WireClient::Connect({"127.0.0.1", server.port()});
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Gate closed (as during a barrier pause): requests are shed with kBusy
+  // — an explicit retry signal — instead of queueing behind parked workers.
+  cluster.SetCheckpointGateClosedForTest(true);
+  WireResult shed = (*client)->Call("vc_vote", {Value::BigInt(1)},
+                                    Value::BigInt(1));
+  EXPECT_TRUE(shed.transport.ok()) << shed.transport.ToString();
+  EXPECT_TRUE(shed.busy);
+
+  // Gate open again: the same request commits.
+  cluster.SetCheckpointGateClosedForTest(false);
+  WireResult fine = (*client)->Call("vc_vote", {Value::BigInt(1)},
+                                    Value::BigInt(1));
+  EXPECT_TRUE(fine.committed()) << fine.transport.ToString();
+
+  WireServer::Stats stats = server.stats();
+  EXPECT_GE(stats.busy_during_checkpoint, 1u);
+  EXPECT_GE(stats.busy_shed, stats.busy_during_checkpoint);
+  (*client)->Close();
+  server.Stop();
+  cluster.Stop();
+}
+
+}  // namespace
+}  // namespace sstore

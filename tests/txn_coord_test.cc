@@ -400,13 +400,19 @@ TEST(TxnCoordTest, KillAndRecoverRestoresConsistentCut) {
 
 TEST(TxnCoordTest, InDoubtTxnResolvedFromCoordinatorDecisionLog) {
   VoterClusterConfig config = SmallConfig();
-  std::string ckpt_dir = MakeDir("ckpt_indoubt");
-  {
+  // Each crash scenario needs its own cut: Recover() commits a fresh
+  // checkpoint into the directory it recovered from (composable recovery),
+  // so a cut cannot be recovered twice with different crash artifacts.
+  std::string ckpt_commit = MakeDir("ckpt_indoubt_commit");
+  std::string ckpt_abort = MakeDir("ckpt_indoubt_abort");
+  auto write_cut = [&](const std::string& dir) {
     // Stopped-cluster checkpoint: snapshots + manifest for checkpoint id 1.
     Cluster cluster(ClusterOpts(4, CoordinationMode::kTwoPhase));
     ASSERT_TRUE(cluster.Deploy(BuildVoterClusterDeployment(config)).ok());
-    ASSERT_TRUE(cluster.Checkpoint(ckpt_dir).ok());
-  }
+    ASSERT_TRUE(cluster.Checkpoint(dir).ok());
+  };
+  write_cut(ckpt_commit);
+  write_cut(ckpt_abort);
 
   // Handcraft the crash artifacts: partition logs whose tail is a kPrepare
   // with no decision mark (the participant died between vote and apply).
@@ -452,7 +458,7 @@ TEST(TxnCoordTest, InDoubtTxnResolvedFromCoordinatorDecisionLog) {
     craft_logs(log_dir, /*decided_commit=*/true);
     Cluster recovered(ClusterOpts(4, CoordinationMode::kTwoPhase));
     ASSERT_TRUE(recovered.Deploy(BuildVoterClusterDeployment(config)).ok());
-    Status st = recovered.Recover(ckpt_dir, log_dir);
+    Status st = recovered.Recover(ckpt_commit, log_dir);
     ASSERT_TRUE(st.ok()) << st.ToString();
     VoterClusterApp app(&recovered, config);
     EXPECT_EQ(*app.Count(2), config.initial_votes + 5);
@@ -466,7 +472,7 @@ TEST(TxnCoordTest, InDoubtTxnResolvedFromCoordinatorDecisionLog) {
     craft_logs(log_dir, /*decided_commit=*/false);
     Cluster recovered(ClusterOpts(4, CoordinationMode::kTwoPhase));
     ASSERT_TRUE(recovered.Deploy(BuildVoterClusterDeployment(config)).ok());
-    Status st = recovered.Recover(ckpt_dir, log_dir);
+    Status st = recovered.Recover(ckpt_abort, log_dir);
     ASSERT_TRUE(st.ok()) << st.ToString();
     VoterClusterApp app(&recovered, config);
     EXPECT_EQ(*app.Count(2), config.initial_votes);

@@ -6,6 +6,8 @@
 #   bench/run_bench.sh                  # PR 2 hot path -> BENCH_pr2.json
 #   BENCH=bench_multipart_txn bench/run_bench.sh   # PR 3 -> BENCH_pr3.json
 #   bench/run_bench.sh --benchmark_min_time=0.1s   # quick smoke (CI)
+#   OUT=BENCH_pr8.json bench/run_bench.sh          # PR 8: same hot-path
+#     binary re-run with the observability instruments attached
 #
 # Env:
 #   BENCH      benchmark target (default: bench_ingest_hotpath)
@@ -31,6 +33,11 @@
 #     BM_WirePerRequest (the batched wire path vs one request per round
 #     trip), BM_WireMultiConn sustains that under N connections, and
 #     BM_WireGroupCommit/64's log_flushes_per_kvote is far below /1's 1000.
+#   bench_ingest_hotpath (PR 8 re-run, OUT=BENCH_pr8.json):  BM_SubmitBatch
+#     items_per_second with the instruments attached (the default) within
+#     3% of the same binary run under BENCH_NO_OBS=1 — bounds the cost of
+#     always-on latency sampling + trace spans. (Measured at parity; the
+#     gap vs BENCH_pr2.json is PR 3-7 submit-path machinery, not obs.)
 #   bench_checkpoint_jitter:  BM_IngestThroughCheckpoints completes with
 #     checkpoints >= 1 (ingest flowed through self-triggered background
 #     cuts) and its p99_us within a small multiple of BM_IngestNoCheckpoint

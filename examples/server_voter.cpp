@@ -9,8 +9,9 @@
 //   ./server_voter --partitions 4 --connections 8 --requests 20000
 //   ./server_voter --per-request            # the anti-pattern baseline
 //   ./server_voter --log-dir /tmp/sv --group-commit 64   # durable, batched
-//   ./server_voter --serve --port 7app7     # server only (Ctrl-C to stop)
+//   ./server_voter --serve --port 7777      # server only (Ctrl-C to stop)
 //   ./server_voter --connect 127.0.0.1:7777 # clients only
+//   ./server_voter --serve --stats-interval-ms 1000      # live stats lines
 //
 // The combined run prints sustained throughput, p50/p99 latency, the
 // server's coalescing counters (frames vs batches), BUSY sheds, and — when
@@ -32,6 +33,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "obs/metrics.h"
 #include "server/client.h"
 #include "server/wire_server.h"
 #include "workloads/voter_cluster.h"
@@ -40,6 +42,7 @@ namespace {
 
 using sstore::Cluster;
 using sstore::ClusterStats;
+using sstore::LatencyHistogram;
 using sstore::Status;
 using sstore::Value;
 using sstore::VoterClusterApp;
@@ -62,6 +65,9 @@ struct Args {
   bool serve_only = false;
   std::string connect;  // host:port => client-only mode
   int64_t contestants = 64;
+  /// > 0: print a one-line stats dump (throughput, p99, group-commit ratio)
+  /// every this-many ms while the server runs.
+  int stats_interval_ms = 0;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -98,6 +104,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->connect = next("--connect");
     } else if (a == "--contestants") {
       args->contestants = std::atoll(next("--contestants"));
+    } else if (a == "--stats-interval-ms") {
+      args->stats_interval_ms = std::atoi(next("--stats-interval-ms"));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", a.c_str());
       return false;
@@ -117,7 +125,7 @@ struct ClientTotals {
 /// BUSY responses are retried — a shed vote is not a lost vote.
 void RunConnection(const std::string& host, uint16_t port, const Args& args,
                    int seed, ClientTotals* totals,
-                   std::vector<int64_t>* latencies_us) {
+                   LatencyHistogram* latencies) {
   auto client_or = WireClient::Connect({host, port, 256 * 1024});
   if (!client_or.ok()) {
     std::fprintf(stderr, "connect failed: %s\n",
@@ -147,7 +155,7 @@ void RunConnection(const std::string& host, uint16_t port, const Args& args,
         totals->busy.fetch_add(1);
         continue;  // retry
       }
-      latencies_us->push_back(dt);
+      latencies->Record(dt);
       if (r.committed()) totals->committed.fetch_add(1);
       --remaining;
     }
@@ -188,7 +196,7 @@ void RunConnection(const std::string& host, uint16_t port, const Args& args,
         --issued;  // re-issue this vote
         continue;
       }
-      latencies_us->push_back(dt);
+      latencies->Record(dt);
       if (r.committed()) totals->committed.fetch_add(1);
       --remaining;
     }
@@ -196,29 +204,23 @@ void RunConnection(const std::string& host, uint16_t port, const Args& args,
   }
 }
 
-int64_t Percentile(std::vector<int64_t>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
-  return sorted[idx];
-}
-
 int RunClients(const std::string& host, uint16_t port, const Args& args) {
   ClientTotals totals;
-  std::vector<std::vector<int64_t>> lat_per_conn(
-      static_cast<size_t>(args.connections));
+  // One sharded lock-free histogram shared by every client thread — the
+  // obs-layer replacement for collect-vectors-then-sort (quantiles are
+  // bucket-approximate, max is exact).
+  LatencyHistogram lat;
   std::vector<std::thread> threads;
   auto t0 = std::chrono::steady_clock::now();
   for (int c = 0; c < args.connections; ++c) {
     threads.emplace_back(RunConnection, host, port, std::cref(args), 1234 + c,
-                         &totals, &lat_per_conn[static_cast<size_t>(c)]);
+                         &totals, &lat);
   }
   for (auto& t : threads) t.join();
   double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                               t0)
                     .count();
-  std::vector<int64_t> lat;
-  for (auto& v : lat_per_conn) lat.insert(lat.end(), v.begin(), v.end());
-  std::sort(lat.begin(), lat.end());
+  LatencyHistogram::Snapshot ls = lat.snapshot();
 
   int64_t done = totals.committed.load();
   std::printf("clients: %d connections x %lld requests (%s)\n",
@@ -229,9 +231,47 @@ int RunClients(const std::string& host, uint16_t port, const Args& args) {
               static_cast<long long>(totals.busy.load()),
               static_cast<long long>(totals.transport_failed.load()));
   std::printf("  %.0f votes/s  p50 %lld us  p99 %lld us\n", done / secs,
-              static_cast<long long>(Percentile(lat, 0.50)),
-              static_cast<long long>(Percentile(lat, 0.99)));
+              static_cast<long long>(ls.Percentile(50)),
+              static_cast<long long>(ls.Percentile(99)));
   return totals.transport_failed.load() == 0 ? 0 : 1;
+}
+
+/// --stats-interval-ms reporter: one line per tick while the server runs —
+/// interval throughput, sampled p99, realized group-commit ratio, queue
+/// depth, and busy sheds. The same numbers sstore_top shows remotely.
+void StatsReporterLoop(Cluster* cluster, WireServer* server,
+                       std::atomic<bool>* stop, int interval_ms) {
+  uint64_t last_committed = 0;
+  auto last = std::chrono::steady_clock::now();
+  while (!stop->load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    auto now = std::chrono::steady_clock::now();
+    double secs = std::chrono::duration<double>(now - last).count();
+    last = now;
+    ClusterStats cs = cluster->GatherStats();
+    size_t depth = 0;
+    for (size_t p = 0; p < cluster->num_partitions(); ++p) {
+      depth += cluster->partition(p).QueueDepth();
+    }
+    LatencyHistogram::Snapshot ls;
+    if (cluster->txn_latency_histogram() != nullptr) {
+      ls = cluster->txn_latency_histogram()->snapshot();
+    }
+    double gc = cs.log.flush_count == 0
+                    ? 0.0
+                    : static_cast<double>(cs.log.records_appended) /
+                          static_cast<double>(cs.log.flush_count);
+    std::printf(
+        "[stats] %.0f tx/s  p99 %lld us  group-commit x%.1f  qdepth %zu  "
+        "busy-shed %llu\n",
+        secs <= 0 ? 0.0
+                  : static_cast<double>(cs.txn.committed - last_committed) /
+                        secs,
+        static_cast<long long>(ls.Percentile(99)), gc, depth,
+        static_cast<unsigned long long>(server->stats().busy_shed));
+    std::fflush(stdout);
+    last_committed = cs.txn.committed;
+  }
 }
 
 }  // namespace
@@ -278,6 +318,14 @@ int main(int argc, char** argv) {
   }
   std::printf("serving on 127.0.0.1:%u (%d partitions, %d io threads)\n",
               server.port(), args.partitions, args.io_threads);
+  std::fflush(stdout);
+
+  std::atomic<bool> reporter_stop{false};
+  std::thread reporter;
+  if (args.stats_interval_ms > 0) {
+    reporter = std::thread(StatsReporterLoop, &cluster, &server,
+                           &reporter_stop, args.stats_interval_ms);
+  }
 
   if (args.serve_only) {
     // Park until killed; clients come from --connect processes.
@@ -286,6 +334,8 @@ int main(int argc, char** argv) {
 
   int rc = RunClients("127.0.0.1", server.port(), args);
 
+  reporter_stop.store(true, std::memory_order_release);
+  if (reporter.joinable()) reporter.join();
   server.Stop();
   cluster.WaitIdle();
 

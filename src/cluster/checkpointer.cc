@@ -61,6 +61,11 @@ Checkpointer::Stats Checkpointer::stats() const {
   return stats_;
 }
 
+void Checkpointer::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = Stats{};
+}
+
 Status Checkpointer::last_error() const {
   std::lock_guard<std::mutex> lock(mu_);
   return last_error_;

@@ -87,6 +87,11 @@ class Checkpointer {
   bool WaitForCompletions(uint64_t count, uint64_t timeout_ms);
 
   Stats stats() const;
+  /// Zeroes the counters (part of Cluster::ResetStats's one consistent
+  /// reset sweep). The bytes-trigger baseline and the sticky last_error()
+  /// are NOT reset — they are control state, not statistics. Don't call
+  /// concurrently with WaitForCompletions (its completion target would move).
+  void ResetStats();
   /// Last non-Unavailable error a checkpoint attempt returned (sticky until
   /// a later attempt succeeds).
   Status last_error() const;

@@ -131,13 +131,21 @@ Cluster::Cluster(const Options& options)
                                             options.num_partitions),
            options.routing) {
   size_t n = map_.num_partitions();
+  // Observability substrate: one registry-owned sharded histogram serves
+  // every partition, and the trace-ring vector — like stores_ — is reserved
+  // to the ceiling so runtime growth never reallocates under readers.
+  txn_latency_ = metrics_.AddHistogram("sstore_txn_latency_us");
+  trace_rings_.reserve(kMaxClusterPartitions);
   // Reserved to the ceiling so Rebalance's push_back never reallocates the
   // slot array under concurrent partition(p) readers.
   stores_.reserve(kMaxClusterPartitions);
   for (size_t p = 0; p < n; ++p) {
     stores_.push_back(MakeStore(p, /*attach_log=*/true));
+    InstrumentStore(*stores_.back(), p);
   }
   num_partitions_.store(n, std::memory_order_release);
+  metrics_.AddProvider(
+      [this](std::vector<MetricSample>* out) { CollectMetrics(out); });
   TxnCoordinator::Options coord_opts;
   coord_opts.mode = options_.coordination;
   if (!options_.log_dir.empty()) {
@@ -715,6 +723,7 @@ Status Cluster::Rebalance(const RebalancePlan& plan,
                                            std::to_string(target) + ": " +
                                            deployed.message());
       }
+      InstrumentStore(*new_store, target);
     }
   } else {
     if (plan.target >= n || plan.target == plan.source) {
@@ -889,6 +898,7 @@ Status Cluster::Recover(const std::string& dir, const std::string& log_dir) {
                                            std::to_string(p) + ": " +
                                            deployed.message());
       }
+      InstrumentStore(*store, p);
       stores_.push_back(std::move(store));
       coordinator_->AddPartition(&stores_.back()->partition());
       num_partitions_.store(stores_.size(), std::memory_order_release);
@@ -1161,6 +1171,175 @@ void Cluster::ResetStats() {
     stores_[p]->ee().ResetStats();
   }
   coordinator_->ResetStats();
+  // One consistent reset epoch: the channel and checkpointer counters reset
+  // in the same sweep (they used to be skipped, leaving GatherStats mixing
+  // epochs), and the registry reset covers its owned instruments (the
+  // latency histogram) plus externally hooked subsystems (WireServer).
+  // LogStats deliberately stay cumulative — see the header.
+  for (auto& channel : channels_) channel->ResetStats();
+  if (checkpointer_ != nullptr) checkpointer_->ResetStats();
+  metrics_.Reset();
+}
+
+void Cluster::InstrumentStore(SStore& store, size_t p) {
+  PartitionInstruments ins;
+  ins.latency_us = txn_latency_;
+  ins.latency_sample_every = options_.latency_sample_every;
+  if (options_.trace_sample_every != 0 && options_.trace_ring_capacity != 0) {
+    while (trace_rings_.size() <= p) {
+      trace_rings_.push_back(
+          std::make_unique<TraceRing>(options_.trace_ring_capacity));
+    }
+    ins.trace = trace_rings_[p].get();
+    ins.trace_sample_every = options_.trace_sample_every;
+  }
+  store.partition().SetInstruments(ins);
+}
+
+void Cluster::CollectMetrics(std::vector<MetricSample>* out) const {
+  auto add = [out](std::string name, MetricKind kind, double value) {
+    MetricSample s;
+    s.name = std::move(name);
+    s.kind = kind;
+    s.value = value;
+    out->push_back(std::move(s));
+  };
+  const ClusterStats cs = GatherStats();
+  const size_t n = num_partitions();
+
+  add("sstore_partitions", MetricKind::kGauge, static_cast<double>(n));
+
+  // Transaction-engine totals.
+  add("sstore_txn_committed_total", MetricKind::kCounter,
+      static_cast<double>(cs.txn.committed));
+  add("sstore_txn_aborted_total", MetricKind::kCounter,
+      static_cast<double>(cs.txn.aborted));
+  add("sstore_txn_client_requests_total", MetricKind::kCounter,
+      static_cast<double>(cs.txn.client_requests));
+  add("sstore_txn_internal_requests_total", MetricKind::kCounter,
+      static_cast<double>(cs.txn.internal_requests));
+  add("sstore_txn_nested_groups_total", MetricKind::kCounter,
+      static_cast<double>(cs.txn.nested_groups));
+  add("sstore_producer_blocks_total", MetricKind::kCounter,
+      static_cast<double>(cs.txn.producer_blocks));
+  add("sstore_queue_high_watermark", MetricKind::kGauge,
+      static_cast<double>(cs.txn.queue_high_watermark));
+  size_t depth = 0;
+  for (size_t p = 0; p < n; ++p) {
+    depth += const_cast<SStore&>(*stores_[p]).partition().QueueDepth();
+  }
+  add("sstore_queue_depth", MetricKind::kGauge, static_cast<double>(depth));
+
+  // Execution-engine totals.
+  add("sstore_engine_fragments_executed_total", MetricKind::kCounter,
+      static_cast<double>(cs.engine.fragments_executed));
+  add("sstore_engine_ee_trigger_firings_total", MetricKind::kCounter,
+      static_cast<double>(cs.engine.ee_trigger_firings));
+  add("sstore_engine_boundary_crossings_total", MetricKind::kCounter,
+      static_cast<double>(cs.engine.boundary_crossings));
+  add("sstore_engine_boundary_bytes_total", MetricKind::kCounter,
+      static_cast<double>(cs.engine.boundary_bytes));
+  add("sstore_engine_gc_deleted_rows_total", MetricKind::kCounter,
+      static_cast<double>(cs.engine.gc_deleted_rows));
+
+  // Cross-partition coordinator.
+  add("sstore_coord_multi_txns_total", MetricKind::kCounter,
+      static_cast<double>(cs.coord.multi_txns));
+  add("sstore_coord_prepares_total", MetricKind::kCounter,
+      static_cast<double>(cs.coord.prepares));
+  add("sstore_coord_commits_total", MetricKind::kCounter,
+      static_cast<double>(cs.coord.commits));
+  add("sstore_coord_aborts_total", MetricKind::kCounter,
+      static_cast<double>(cs.coord.aborts));
+  add("sstore_coord_round_latency_us_avg", MetricKind::kGauge,
+      cs.coord.rounds == 0
+          ? 0.0
+          : static_cast<double>(cs.coord.round_latency_us_total) /
+                static_cast<double>(cs.coord.rounds));
+
+  // Durability (lifetime-cumulative; survives ResetStats by design).
+  add("sstore_log_records_appended_total", MetricKind::kCounter,
+      static_cast<double>(cs.log.records_appended));
+  add("sstore_log_flushes_total", MetricKind::kCounter,
+      static_cast<double>(cs.log.flush_count));
+  add("sstore_log_bytes_written_total", MetricKind::kCounter,
+      static_cast<double>(cs.log.bytes_written));
+  // Realized group-commit amortization (§4.4): records per durable flush.
+  add("sstore_log_group_commit_ratio", MetricKind::kGauge,
+      cs.log.flush_count == 0
+          ? 0.0
+          : static_cast<double>(cs.log.records_appended) /
+                static_cast<double>(cs.log.flush_count));
+
+  // Stream channels (zeros when the deploy has none).
+  StreamChannel::Stats ch;
+  for (const auto& channel : channels_) {
+    StreamChannel::Stats one = channel->stats();
+    ch.deliveries += one.deliveries;
+    ch.rows_forwarded += one.rows_forwarded;
+    ch.redeliveries_suppressed += one.redeliveries_suppressed;
+    ch.delivery_failures += one.delivery_failures;
+  }
+  add("sstore_channel_deliveries_total", MetricKind::kCounter,
+      static_cast<double>(ch.deliveries));
+  add("sstore_channel_rows_forwarded_total", MetricKind::kCounter,
+      static_cast<double>(ch.rows_forwarded));
+  add("sstore_channel_redeliveries_suppressed_total", MetricKind::kCounter,
+      static_cast<double>(ch.redeliveries_suppressed));
+  add("sstore_channel_delivery_failures_total", MetricKind::kCounter,
+      static_cast<double>(ch.delivery_failures));
+
+  // Background checkpointer (zeros until StartCheckpointer).
+  Checkpointer::Stats cp;
+  if (checkpointer_ != nullptr) cp = checkpointer_->stats();
+  add("sstore_checkpoint_completed_total", MetricKind::kCounter,
+      static_cast<double>(cp.completed));
+  add("sstore_checkpoint_failed_total", MetricKind::kCounter,
+      static_cast<double>(cp.failed));
+  add("sstore_checkpoint_busy_deferred_total", MetricKind::kCounter,
+      static_cast<double>(cp.busy_deferred));
+  add("sstore_checkpoint_last_barrier_pause_us", MetricKind::kGauge,
+      static_cast<double>(cp.last_barrier_pause_us));
+  add("sstore_checkpoint_max_barrier_pause_us", MetricKind::kGauge,
+      static_cast<double>(cp.max_barrier_pause_us));
+  add("sstore_checkpoint_tables_delta_total", MetricKind::kCounter,
+      static_cast<double>(cp.tables_delta_total));
+
+  // Per-partition samples for skew analysis (sstore_top's table).
+  for (size_t p = 0; p < n; ++p) {
+    const std::string label = std::to_string(p);
+    const Partition::Stats& ps = cs.per_partition[p];
+    const LogStats& ls = cs.per_partition_log[p];
+    add(LabeledMetric("sstore_partition_committed_total", "partition", label),
+        MetricKind::kCounter, static_cast<double>(ps.committed));
+    add(LabeledMetric("sstore_partition_aborted_total", "partition", label),
+        MetricKind::kCounter, static_cast<double>(ps.aborted));
+    add(LabeledMetric("sstore_partition_queue_depth", "partition", label),
+        MetricKind::kGauge,
+        static_cast<double>(
+            const_cast<SStore&>(*stores_[p]).partition().QueueDepth()));
+    add(LabeledMetric("sstore_partition_queue_high_watermark", "partition",
+                      label),
+        MetricKind::kGauge, static_cast<double>(ps.queue_high_watermark));
+    add(LabeledMetric("sstore_partition_log_records_total", "partition",
+                      label),
+        MetricKind::kCounter, static_cast<double>(ls.records_appended));
+    add(LabeledMetric("sstore_partition_log_flushes_total", "partition",
+                      label),
+        MetricKind::kCounter, static_cast<double>(ls.flush_count));
+    add(LabeledMetric("sstore_partition_log_bytes_total", "partition", label),
+        MetricKind::kCounter, static_cast<double>(ls.bytes_written));
+  }
+}
+
+std::string Cluster::DumpTraceJson() const {
+  std::vector<TraceEvent> all;
+  for (const auto& ring : trace_rings_) {
+    if (ring == nullptr) continue;
+    std::vector<TraceEvent> events = ring->Events();
+    all.insert(all.end(), events.begin(), events.end());
+  }
+  return TraceEventsToJson(all);
 }
 
 }  // namespace sstore

@@ -17,6 +17,8 @@
 #include "cluster/topology.h"
 #include "common/status.h"
 #include "engine/partition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "streaming/sstore.h"
 #include "txn_coord/txn_coordinator.h"
 
@@ -149,6 +151,24 @@ class Cluster {
     /// txn_coord/txn_coordinator.h): classic blocking 2PC, or deterministic
     /// global order for pipelined multi-partition throughput.
     CoordinationMode coordination = CoordinationMode::kTwoPhase;
+
+    // ---- Observability (src/obs/) ----
+    //
+    // Always-on by default: sampling keeps the instrumented hot path within
+    // the ≤3% envelope the bench gate enforces, so there is no "observability
+    // build" — a production cluster can always answer "where did the time
+    // go".
+
+    /// Sample 1 in N submitted invocations into the submit→complete latency
+    /// histogram (`sstore_txn_latency_us`); a batch counts as one tick and
+    /// stamps its last invocation. 0 disables latency sampling entirely.
+    uint32_t latency_sample_every = 64;
+    /// Of the latency-sampled invocations, capture full per-stage pipeline
+    /// spans for 1 in M into the per-partition trace rings (DumpTraceJson).
+    /// 0 disables span capture.
+    uint32_t trace_sample_every = 32;
+    /// Recent spans retained per partition (newest wins).
+    size_t trace_ring_capacity = 4096;
   };
 
   explicit Cluster(const Options& options);
@@ -435,10 +455,42 @@ class Cluster {
   /// Aggregates Partition::Stats and EngineStats across partitions.
   ClusterStats GatherStats() const;
 
-  /// Resets both the partition-engine and execution-engine counters on
-  /// every partition, so a GatherStats() after a quiesced ResetStats()
-  /// reflects only work submitted in between.
+  /// Resets *every* stats epoch the cluster knows about in one sweep: the
+  /// partition-engine, execution-engine, and coordinator counters (as
+  /// before), plus the stream-channel and checkpointer counters and — via
+  /// the registry's reset hooks — externally registered subsystems such as
+  /// an attached WireServer. Registry-owned histograms reset too. The one
+  /// deliberate exception: LogStats stay lifetime-cumulative (the
+  /// checkpointer's log-bytes trigger and rotation-epoch accounting depend
+  /// on monotonic totals), so a GatherStats() after a quiesced ResetStats()
+  /// reflects only work submitted in between for everything *except* `log`.
   void ResetStats();
+
+  // ---- Observability ----
+
+  /// The cluster's metrics registry: owns the hot-path latency histogram,
+  /// pulls every subsystem's counters at Snapshot()/RenderText() time, and
+  /// is what the wire server's kStats endpoint serves. External components
+  /// (WireServer) register providers/reset hooks here.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The shared submit→complete latency histogram every partition records
+  /// into (sampled per Options::latency_sample_every).
+  const LatencyHistogram* txn_latency_histogram() const {
+    return txn_latency_;
+  }
+
+  /// Partition p's ring of recent pipeline spans; nullptr when tracing is
+  /// disabled or p has no ring yet. Stable once returned.
+  TraceRing* trace_ring(size_t p) {
+    return p < trace_rings_.size() ? trace_rings_[p].get() : nullptr;
+  }
+
+  /// All retained pipeline spans across partitions as chrome://tracing JSON
+  /// (load via chrome://tracing or ui.perfetto.dev). Spans keep flowing
+  /// while this runs; the dump is the rings' live contents.
+  std::string DumpTraceJson() const;
 
  private:
   std::string SnapshotPath(const std::string& dir, uint64_t checkpoint_id,
@@ -471,7 +523,26 @@ class Cluster {
   /// or stopped.
   Status MigrateKeyedRows(const RebalancePlan& plan, uint64_t* rows_moved);
 
+  /// Attaches the registry's histogram and partition p's trace ring to a
+  /// store's partition (growing trace_rings_ on demand). Called wherever a
+  /// store is created: construction, Rebalance split, Recover regrow.
+  void InstrumentStore(SStore& store, size_t p);
+  /// The registry provider: emits cluster totals, per-partition samples,
+  /// channel/checkpointer/coordinator counters.
+  void CollectMetrics(std::vector<MetricSample>* out) const;
+
   Options options_;
+
+  /// Observability substrate. Declared before stores_ so partitions (whose
+  /// workers record into the histogram/rings until Stop()) are destroyed
+  /// first.
+  MetricsRegistry metrics_;
+  /// Registry-owned; cache-line-sharded, so one histogram serves every
+  /// partition without contention.
+  LatencyHistogram* txn_latency_ = nullptr;
+  /// Per-partition span rings; reserved to kMaxClusterPartitions so runtime
+  /// growth never reallocates under concurrent trace_ring() readers.
+  std::vector<std::unique_ptr<TraceRing>> trace_rings_;
   /// Serializes the control plane: Checkpoint and Rebalance compute
   /// successor state (maps, epochs) outside the routing lock, so two of
   /// them must not interleave.

@@ -162,6 +162,22 @@ void StreamChannel::ForwardBatch(size_t lane, int64_t producer_batch,
                                  std::vector<Tuple> rows,
                                  const std::map<size_t, int64_t>* cursors) {
   int64_t encoded = EncodeBatchId(producer_batch, lane);
+  // The downstream hop of the pipeline trace: 1-in-32 forwards record a
+  // channel_forward span (route + submit time) into the producer lane's
+  // ring, completing submit → … → commit → channel forward.
+  TraceRing* trace = cluster_->trace_ring(lane);
+  if (trace != nullptr &&
+      trace_tick_.fetch_add(1, std::memory_order_relaxed) % 32 != 0) {
+    trace = nullptr;
+  }
+  const int64_t trace_start_us = trace != nullptr ? TraceNowMicros() : 0;
+  auto push_trace = [&] {
+    if (trace != nullptr) {
+      trace->Push({"channel_forward", trace_start_us,
+                   TraceNowMicros() - trace_start_us,
+                   static_cast<int32_t>(lane), producer_batch});
+    }
+  };
   // The view pins the routing table across route + enqueue, so a
   // concurrent Rebalance cannot flip ownership between the two — a
   // delivery either targets the pre-flip owner (and lands ahead of the
@@ -198,12 +214,16 @@ void StreamChannel::ForwardBatch(size_t lane, int64_t producer_batch,
   if (delivery.tickets.empty()) {
     // Every target already covered (reconciliation): release the claim now.
     streams.OnBatchConsumed(spec_.stream, producer_batch).ok();
+    push_trace();
     return;
   }
-  std::lock_guard<std::mutex> hold(lanes_[lane]->mu);
-  lanes_[lane]->inflight.push_back(std::move(delivery));
-  lanes_[lane]->inflight_count.store(lanes_[lane]->inflight.size(),
-                                     std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> hold(lanes_[lane]->mu);
+    lanes_[lane]->inflight.push_back(std::move(delivery));
+    lanes_[lane]->inflight_count.store(lanes_[lane]->inflight.size(),
+                                       std::memory_order_release);
+  }
+  push_trace();
 }
 
 void StreamChannel::DrainLane(size_t lane) {
@@ -329,6 +349,13 @@ StreamChannel::Stats StreamChannel::stats() const {
       redeliveries_suppressed_.load(std::memory_order_relaxed);
   out.delivery_failures = delivery_failures_.load(std::memory_order_relaxed);
   return out;
+}
+
+void StreamChannel::ResetStats() {
+  deliveries_.store(0, std::memory_order_relaxed);
+  rows_forwarded_.store(0, std::memory_order_relaxed);
+  redeliveries_suppressed_.store(0, std::memory_order_relaxed);
+  delivery_failures_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace sstore

@@ -126,6 +126,9 @@ class StreamChannel {
   const ChannelSpec& spec() const { return spec_; }
   int64_t EncodeBatchId(int64_t producer_batch, size_t lane) const;
   Stats stats() const;
+  /// Zeroes the delivery counters (part of Cluster::ResetStats's one
+  /// consistent reset sweep). Does not touch in-flight delivery state.
+  void ResetStats();
 
  private:
   struct Delivery {
@@ -169,6 +172,8 @@ class StreamChannel {
   std::atomic<uint64_t> rows_forwarded_{0};
   std::atomic<uint64_t> redeliveries_suppressed_{0};
   std::atomic<uint64_t> delivery_failures_{0};
+  /// 1-in-N countdown for channel_forward trace spans (obs/trace.h).
+  std::atomic<uint64_t> trace_tick_{0};
 };
 
 }  // namespace sstore

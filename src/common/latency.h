@@ -13,19 +13,28 @@ namespace sstore {
 /// thresholds. Not thread-safe; use one per partition/client and merge.
 class LatencyRecorder {
  public:
-  void Record(int64_t micros) { samples_.push_back(micros); }
+  void Record(int64_t micros) {
+    samples_.push_back(micros);
+    sorted_ = false;
+  }
 
   void Merge(const LatencyRecorder& other) {
     samples_.insert(samples_.end(), other.samples_.begin(),
                     other.samples_.end());
+    sorted_ = false;
   }
 
   size_t count() const { return samples_.size(); }
 
-  /// p in [0,100]. Returns 0 for an empty recorder.
+  /// p in [0,100]. Returns 0 for an empty recorder. The sort is memoized:
+  /// consecutive Percentile calls (the common p50/p95/p99 report pattern)
+  /// sort once; any Record/Merge invalidates.
   int64_t Percentile(double p) {
     if (samples_.empty()) return 0;
-    std::sort(samples_.begin(), samples_.end());
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
     double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
     size_t idx = static_cast<size_t>(rank);
     return samples_[std::min(idx, samples_.size() - 1)];
@@ -33,6 +42,7 @@ class LatencyRecorder {
 
   int64_t Max() const {
     if (samples_.empty()) return 0;
+    if (sorted_) return samples_.back();
     return *std::max_element(samples_.begin(), samples_.end());
   }
 
@@ -43,10 +53,14 @@ class LatencyRecorder {
     return sum / static_cast<double>(samples_.size());
   }
 
-  void Clear() { samples_.clear(); }
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
 
  private:
   std::vector<int64_t> samples_;
+  bool sorted_ = false;
 };
 
 }  // namespace sstore

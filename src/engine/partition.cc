@@ -267,11 +267,34 @@ void Partition::WaitIdle() {
 
 // ---- Client API ------------------------------------------------------------
 
+int64_t Partition::SampleStamp() {
+  if (instruments_.latency_us == nullptr ||
+      instruments_.latency_sample_every == 0) {
+    return 0;
+  }
+  // Thread-local countdowns (shared across partitions a producer feeds):
+  // the unsampled path is one decrement + branch, no clock read.
+  static thread_local uint32_t latency_left = 1;
+  if (--latency_left != 0) return 0;
+  latency_left = instruments_.latency_sample_every;
+  int64_t now = TraceNowMicros();
+  if (now <= 0) now = 1;  // keep the "0 == unsampled" encoding unambiguous
+  if (instruments_.trace != nullptr && instruments_.trace_sample_every != 0) {
+    static thread_local uint32_t trace_left = 1;
+    if (--trace_left == 0) {
+      trace_left = instruments_.trace_sample_every;
+      return -now;
+    }
+  }
+  return now;
+}
+
 TicketPtr Partition::SubmitAsync(Invocation inv, EnqueuePolicy policy) {
   auto ticket = std::make_shared<TxnTicket>();
   Task task;
   task.inv = std::move(inv);
   task.ticket = ticket;
+  task.sample_ts = SampleStamp();
   client_requests_.fetch_add(1, std::memory_order_relaxed);
   PushTaskBack(std::move(task), policy);
   return ticket;
@@ -282,12 +305,17 @@ BatchTicketPtr Partition::SubmitBatchAsync(std::vector<Invocation> batch,
   auto ticket = std::make_shared<BatchTicket>(batch.size());
   if (batch.empty()) return ticket;
   client_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+  // One countdown tick per batch; the stamp rides the *last* invocation so
+  // a sample measures submit→batch-complete (FIFO makes the last task the
+  // one that resolves the ticket).
+  const int64_t stamp = SampleStamp();
   uint32_t index = 0;
   for (Invocation& inv : batch) {
     Task task;
     task.inv = std::move(inv);
     task.batch = ticket;
     task.batch_index = index++;
+    if (index == batch.size()) task.sample_ts = stamp;
     PushTaskBack(std::move(task), policy);
   }
   return ticket;
@@ -605,8 +633,23 @@ void Partition::RunTask(Task& task) {
   TxnOutcome outcome;
   if (task.children.empty()) {
     TransactionExecution* te = nullptr;
-    outcome = ExecuteInvocation(std::move(task.inv), &te,
-                                /*defer_commit_side_effects=*/false);
+    if (task.sample_ts == 0) {
+      outcome = ExecuteInvocation(std::move(task.inv), &te,
+                                  /*defer_commit_side_effects=*/false);
+    } else {
+      // Sampled invocation: time the stages. The scratch lives on this
+      // frame; active_span_ exposes it to ExecuteInvocation's stamps.
+      const int64_t dequeue_us = TraceNowMicros();
+      TraceScratch scratch;
+      if (task.sample_ts < 0 && instruments_.trace != nullptr) {
+        active_span_ = &scratch;
+      }
+      outcome = ExecuteInvocation(std::move(task.inv), &te,
+                                  /*defer_commit_side_effects=*/false);
+      active_span_ = nullptr;
+      scratch.txn_id = outcome.txn_id;
+      FinishSampledTask(task.sample_ts, dequeue_us, scratch);
+    }
   } else {
     // Nested transaction (paper §2.3): children run back-to-back; commit is
     // all-or-nothing. Undo logs are retained until the group outcome is
@@ -690,6 +733,7 @@ TxnOutcome Partition::ExecuteInvocation(Invocation&& inv,
   ProcContext ctx(this, &ee_, &te);
   Status st = it->second.proc->Run(ctx);
   outcome.txn_id = te.txn_id();
+  if (active_span_ != nullptr) active_span_->exec_done_us = TraceNowMicros();
   if (!st.ok()) {
     Status undo_st = te.undo().Rollback();
     aborted_.fetch_add(1, std::memory_order_relaxed);
@@ -698,6 +742,9 @@ TxnOutcome Partition::ExecuteInvocation(Invocation&& inv,
   }
   if (!defer_commit_side_effects) {
     Status log_st = LogCommit(te, it->second.kind);
+    if (active_span_ != nullptr && log_ != nullptr) {
+      active_span_->log_done_us = TraceNowMicros();
+    }
     if (!log_st.ok()) {
       te.undo().Rollback().ok();
       aborted_.fetch_add(1, std::memory_order_relaxed);
@@ -708,6 +755,9 @@ TxnOutcome Partition::ExecuteInvocation(Invocation&& inv,
     committed_.fetch_add(1, std::memory_order_relaxed);
     outcome.output = std::move(te.output());
     FireCommitHooks(te);
+    if (active_span_ != nullptr) {
+      active_span_->hooks_done_us = TraceNowMicros();
+    }
   }
   return outcome;
 }
@@ -731,6 +781,36 @@ Status Partition::LogCommit(const TransactionExecution& te, SpKind kind) {
 
 void Partition::FireCommitHooks(const TransactionExecution& te) {
   for (const CommitHook& hook : commit_hooks_) hook(*this, te);
+}
+
+void Partition::FinishSampledTask(int64_t sample_ts, int64_t dequeue_us,
+                                  const TraceScratch& scratch) {
+  const bool traced = sample_ts < 0;
+  const int64_t submit_us = traced ? -sample_ts : sample_ts;
+  const int64_t done_us = TraceNowMicros();
+  if (instruments_.latency_us != nullptr) {
+    instruments_.latency_us->Record(done_us - submit_us);
+  }
+  if (!traced || instruments_.trace == nullptr) return;
+  // Stage chain: missing stamps (abort paths, no log attached) drop their
+  // stage rather than emit a zero-width lie.
+  TraceRing& ring = *instruments_.trace;
+  const int32_t tid = partition_id_;
+  const int64_t id = scratch.txn_id;
+  ring.Push({"queue_wait", submit_us, dequeue_us - submit_us, tid, id});
+  const int64_t exec_end =
+      scratch.exec_done_us != 0 ? scratch.exec_done_us : done_us;
+  ring.Push({"execute", dequeue_us, exec_end - dequeue_us, tid, id});
+  if (scratch.log_done_us != 0) {
+    ring.Push(
+        {"log_append", exec_end, scratch.log_done_us - exec_end, tid, id});
+  }
+  if (scratch.hooks_done_us != 0) {
+    const int64_t hooks_start =
+        scratch.log_done_us != 0 ? scratch.log_done_us : exec_end;
+    ring.Push({"commit_hooks", hooks_start,
+               scratch.hooks_done_us - hooks_start, tid, id});
+  }
 }
 
 TxnOutcome Partition::RunInline(Invocation inv) {

@@ -18,6 +18,8 @@
 #include "engine/procedure.h"
 #include "engine/txn.h"
 #include "log/command_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/catalog.h"
 
 namespace sstore {
@@ -34,6 +36,26 @@ struct Invocation {
   std::string proc;
   Tuple params;
   int64_t batch_id = 0;
+};
+
+/// Hot-path observability hooks a partition records into (src/obs/). All
+/// pointers are borrowed and must outlive the partition's running worker;
+/// Cluster wires its registry-owned histogram and per-partition trace rings
+/// here. Sampling is 1-in-N at submit time: an unsampled invocation pays one
+/// thread-local countdown, a sampled one adds two clock reads and a
+/// histogram Record, and 1-in-(N*M) additionally captures per-stage trace
+/// spans (queue_wait / execute / log_append / commit_hooks).
+struct PartitionInstruments {
+  /// Submit→complete latency sink (microseconds). nullptr disables all
+  /// sampling.
+  LatencyHistogram* latency_us = nullptr;
+  /// Sample 1 in N submitted invocations (batches stamp their last
+  /// invocation, so one sample ≈ one whole-batch latency). 0 disables.
+  uint32_t latency_sample_every = 0;
+  /// Span sink for the traced subset. nullptr disables span capture.
+  TraceRing* trace = nullptr;
+  /// Of the latency-sampled invocations, trace 1 in M. 0 disables.
+  uint32_t trace_sample_every = 0;
 };
 
 /// What an enqueue does when the request ring is full while the worker runs.
@@ -357,6 +379,14 @@ class Partition {
   Stats stats() const;
   void ResetStats();
 
+  /// Installs the observability hooks (histogram + trace ring). Call before
+  /// Start() or while the worker is stopped — the struct is read without
+  /// synchronization on the submit and worker paths.
+  void SetInstruments(const PartitionInstruments& instruments) {
+    instruments_ = instruments;
+  }
+  const PartitionInstruments& instruments() const { return instruments_; }
+
   /// Pending work: queued requests plus the task currently executing on the
   /// worker (if any), so depth 0 means the partition is truly idle — what
   /// Cluster::WaitIdle and client backpressure rely on.
@@ -373,10 +403,28 @@ class Partition {
     BatchTicketPtr batch;              // shared by every task of one batch
     uint32_t batch_index = 0;
     bool stop = false;
+    /// Observability stamp set at submit: 0 = unsampled; >0 = submit time
+    /// (µs, trace timebase) of a latency-sampled invocation; <0 = negated
+    /// submit time of an invocation that also captures trace spans.
+    int64_t sample_ts = 0;
+  };
+
+  /// Per-stage scratch for the currently traced task; worker-thread only.
+  struct TraceScratch {
+    int64_t txn_id = 0;
+    int64_t exec_done_us = 0;   // stored-procedure Run finished
+    int64_t log_done_us = 0;    // LogCommit appended (0 when not logging)
+    int64_t hooks_done_us = 0;  // commit hooks fired (0 on abort)
   };
 
   void WorkerLoop();
   void RunTask(Task& task);
+  /// Submit-side 1-in-N countdown; returns the Task::sample_ts encoding.
+  int64_t SampleStamp();
+  /// Consumes a sampled task's stamp after RunTask: records the end-to-end
+  /// latency and, for traced tasks, pushes the per-stage span events.
+  void FinishSampledTask(int64_t sample_ts, int64_t dequeue_us,
+                         const TraceScratch& scratch);
   /// Executes one invocation, consuming it (params move into the TE — no
   /// copy on the hot path); on commit appends to the command log (by policy)
   /// and fires commit hooks. `defer_commit_side_effects` is used by nested
@@ -463,6 +511,13 @@ class Partition {
 
   int64_t next_txn_id_ = 1;
   int64_t client_rtt_micros_ = 0;
+
+  /// Observability hooks; set while stopped, read lock-free on hot paths.
+  PartitionInstruments instruments_;
+  /// Points at the stack scratch of the currently traced task so
+  /// ExecuteInvocation/LogCommit can stamp stage boundaries. Worker thread
+  /// only; null when the running task is untraced.
+  TraceScratch* active_span_ = nullptr;
 
   // Written only by the worker thread (inline mode mutates them from the
   // caller thread, which is the de-facto worker then), but read by stats()

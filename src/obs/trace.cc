@@ -1,0 +1,75 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace sstore {
+
+int64_t TraceNowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch)
+      .count();
+}
+
+TraceRing::TraceRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRing::Push(const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[next_] = ev;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceRing::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once the ring has wrapped, next_ points at the oldest retained event.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+uint64_t TraceRing::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::string TraceEventsToJson(const std::vector<TraceEvent>& events) {
+  std::string out = "[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    out += ev.name;  // stage names are static identifiers, no escaping needed
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(ev.tid);
+    out += ",\"ts\":";
+    out += std::to_string(ev.ts_us);
+    out += ",\"dur\":";
+    out += std::to_string(ev.dur_us);
+    out += ",\"args\":{\"txn\":";
+    out += std::to_string(ev.id);
+    out += "}}";
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace sstore

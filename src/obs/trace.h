@@ -1,0 +1,59 @@
+#ifndef SSTORE_OBS_TRACE_H_
+#define SSTORE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sstore {
+
+/// Pipeline trace spans: sampled batches carry a submit-time stamp through
+/// the ring, and the partition worker emits one event per stage it actually
+/// crossed — queue_wait, execute, log_append, commit_hooks — while the
+/// stream channels add channel_forward on the downstream hop. Events land in
+/// small per-partition rings (newest wins) so a long-running cluster always
+/// holds the most recent spans; Cluster::DumpTraceJson renders them as
+/// chrome://tracing "X" (complete) events with the partition as the tid.
+
+struct TraceEvent {
+  const char* name = "";  // static string: stage name
+  int64_t ts_us = 0;      // start, microseconds on the shared trace timebase
+  int64_t dur_us = 0;
+  int32_t tid = 0;        // partition id
+  int64_t id = 0;         // txn id (or producer batch id for forwards)
+};
+
+/// Microseconds since a process-wide steady epoch (first use). All trace
+/// stamps share this timebase so spans from different threads line up.
+int64_t TraceNowMicros();
+
+/// Fixed-capacity ring of recent trace events. Push is mutex-guarded — it
+/// only runs on the sampled path (1 in latency_N * trace_N batches), never
+/// per-invocation — and Snapshot can run concurrently from any thread.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 4096);
+
+  void Push(const TraceEvent& ev);
+  /// Oldest-first copy of the retained events.
+  std::vector<TraceEvent> Events() const;
+  void Clear();
+  /// Lifetime count of pushes (events overwritten by the ring included).
+  uint64_t total_pushed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t capacity_;
+  size_t next_ = 0;
+  uint64_t total_ = 0;
+};
+
+/// chrome://tracing JSON array of complete ("X") events; load via
+/// chrome://tracing or https://ui.perfetto.dev.
+std::string TraceEventsToJson(const std::vector<TraceEvent>& events);
+
+}  // namespace sstore
+
+#endif  // SSTORE_OBS_TRACE_H_

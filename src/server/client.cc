@@ -120,7 +120,7 @@ WireFuturePtr WireClient::SubmitInternal(const std::string& proc,
     std::lock_guard<std::mutex> lock(pending_mu_);
     if (closed_.load(std::memory_order_acquire)) {
       future->Fulfill(
-          WireResult{Status::IOError("client is closed"), false, {}});
+          WireResult{Status::IOError("client is closed"), false, {}, {}});
       return future;
     }
     pending_.emplace(id, future);
@@ -207,6 +207,30 @@ Status WireClient::Ping() {
   return future->Wait().transport;
 }
 
+Result<std::string> WireClient::FetchStats() {
+  uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto future = std::make_shared<WireFuture>();
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::IOError("client is closed");
+    }
+    pending_.emplace(id, future);
+  }
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    EncodeStatsRequest(&send_buf_, id);
+    Status st = FlushLocked();
+    if (!st.ok()) {
+      FailAllPending(st);
+      return st;
+    }
+  }
+  const WireResult& result = future->Wait();
+  if (!result.transport.ok()) return result.transport;
+  return result.stats_text;
+}
+
 size_t WireClient::pending() const {
   std::lock_guard<std::mutex> lock(pending_mu_);
   return pending_.size();
@@ -260,6 +284,9 @@ void WireClient::ReaderLoop() {
           break;
         case WireResponseType::kPong:
           break;  // transport OK is the whole payload
+        case WireResponseType::kStats:
+          result.stats_text = std::move(resp.stats_text);
+          break;
         case WireResponseType::kResult:
           result.outcome.status = resp.status;
           result.outcome.txn_id = resp.txn_id;
@@ -286,7 +313,7 @@ void WireClient::FailAllPending(const Status& error) {
     orphaned.swap(pending_);
   }
   for (auto& [id, future] : orphaned) {
-    future->Fulfill(WireResult{error, false, {}});
+    future->Fulfill(WireResult{error, false, {}, {}});
   }
 }
 

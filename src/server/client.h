@@ -27,6 +27,8 @@ struct WireResult {
   Status transport;
   bool busy = false;
   TxnOutcome outcome;
+  /// kStats responses only: the metrics text exposition.
+  std::string stats_text;
 
   bool committed() const {
     return transport.ok() && !busy && outcome.committed();
@@ -107,6 +109,11 @@ class WireClient {
 
   /// Liveness probe round trip.
   Status Ping();
+
+  /// Fetches the server's live metrics exposition (one kStats round trip).
+  /// Parse with ParseMetricsText (obs/metrics.h); this is what sstore_top
+  /// polls.
+  Result<std::string> FetchStats();
 
   /// Closes the socket; every unresolved future fails with a transport
   /// error. Idempotent; also run by the destructor.

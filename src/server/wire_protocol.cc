@@ -44,6 +44,13 @@ void EncodePing(ByteWriter* out, uint64_t request_id) {
   EndFrame(out, start);
 }
 
+void EncodeStatsRequest(ByteWriter* out, uint64_t request_id) {
+  size_t start = BeginFrame(out);
+  out->PutU8(static_cast<uint8_t>(WireRequestType::kStats));
+  out->PutU64(request_id);
+  EndFrame(out, start);
+}
+
 void EncodeResult(ByteWriter* out, uint64_t request_id,
                   const TxnOutcome& outcome) {
   size_t start = BeginFrame(out);
@@ -79,6 +86,15 @@ void EncodePong(ByteWriter* out, uint64_t request_id) {
   EndFrame(out, start);
 }
 
+void EncodeStatsText(ByteWriter* out, uint64_t request_id,
+                     const std::string& text) {
+  size_t start = BeginFrame(out);
+  out->PutU8(static_cast<uint8_t>(WireResponseType::kStats));
+  out->PutU64(request_id);
+  out->PutString(text);
+  EndFrame(out, start);
+}
+
 void WireFrameBuffer::Feed(const uint8_t* data, size_t len) {
   // Reclaim consumed prefix before appending so the buffer stays bounded by
   // the backlog, not the connection's lifetime traffic.
@@ -106,22 +122,23 @@ Result<bool> WireFrameBuffer::Next(const uint8_t** payload, size_t* len) {
 }
 
 Status DecodeRequest(const uint8_t* payload, size_t len, WireRequest* out,
-                     bool* is_ping) {
+                     WireRequestType* type_out) {
   ByteReader r(payload, len);
   auto type = r.GetU8();
   if (!type.ok()) return type.status();
   auto id = r.GetU64();
   if (!id.ok()) return id.status();
   out->request_id = *id;
-  if (*type == static_cast<uint8_t>(WireRequestType::kPing)) {
-    *is_ping = true;
+  if (*type == static_cast<uint8_t>(WireRequestType::kPing) ||
+      *type == static_cast<uint8_t>(WireRequestType::kStats)) {
+    *type_out = static_cast<WireRequestType>(*type);
     return Status::OK();
   }
   if (*type != static_cast<uint8_t>(WireRequestType::kSubmit)) {
     return Status::Corruption("unknown wire request type " +
                               std::to_string(*type));
   }
-  *is_ping = false;
+  *type_out = WireRequestType::kSubmit;
   auto flags = r.GetU8();
   if (!flags.ok()) return flags.status();
   auto proc = r.GetString();
@@ -153,6 +170,7 @@ Status DecodeResponse(const uint8_t* payload, size_t len, WireResponse* out) {
   out->status = Status::OK();
   out->txn_id = 0;
   out->output.clear();
+  out->stats_text.clear();
   switch (*type) {
     case static_cast<uint8_t>(WireResponseType::kBusy):
       out->type = WireResponseType::kBusy;
@@ -160,6 +178,13 @@ Status DecodeResponse(const uint8_t* payload, size_t len, WireResponse* out) {
     case static_cast<uint8_t>(WireResponseType::kPong):
       out->type = WireResponseType::kPong;
       return Status::OK();
+    case static_cast<uint8_t>(WireResponseType::kStats): {
+      out->type = WireResponseType::kStats;
+      auto text = r.GetString();
+      if (!text.ok()) return text.status();
+      out->stats_text = std::move(*text);
+      return Status::OK();
+    }
     case static_cast<uint8_t>(WireResponseType::kResult):
     case static_cast<uint8_t>(WireResponseType::kError): {
       out->type = static_cast<WireResponseType>(*type);

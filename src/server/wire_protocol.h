@@ -48,6 +48,11 @@ namespace sstore {
 /// kBusy / kPong carry no body. kError carries u8 code + str message and the
 /// server closes the connection after writing it (protocol-level failure,
 /// not a transaction abort).
+///
+/// kStats (request) carries no body; the kStats *response* carries one
+/// `str` — the cluster's full Prometheus-style metrics exposition
+/// (obs/metrics.h) — answered in-line on the server's loop thread like
+/// kPong. This is the live stats endpoint sstore_top polls.
 struct WireFrame;
 
 /// Hard ceiling on a single frame's payload. A peer announcing more is
@@ -58,6 +63,7 @@ constexpr uint32_t kWireMaxFrameBytes = 16u << 20;
 enum class WireRequestType : uint8_t {
   kSubmit = 1,  // execute one stored procedure, respond when decided
   kPing = 2,    // liveness/ordering probe, answered in-line with kPong
+  kStats = 3,   // metrics snapshot, answered in-line with a kStats response
 };
 
 enum class WireResponseType : uint8_t {
@@ -65,6 +71,7 @@ enum class WireResponseType : uint8_t {
   kBusy = 2,    // shed by admission control before execution; safe to retry
   kError = 3,   // protocol failure; the server closes after sending
   kPong = 4,
+  kStats = 5,   // metrics text exposition
 };
 
 /// One decoded kSubmit request.
@@ -86,6 +93,9 @@ struct WireResponse {
   Status status;
   int64_t txn_id = 0;
   std::vector<Tuple> output;
+  /// kStats: the Prometheus-style text exposition (ParseMetricsText in
+  /// obs/metrics.h turns it back into name→value pairs).
+  std::string stats_text;
 };
 
 // ---- Encoding (appends one complete length-prefixed frame) ----
@@ -93,11 +103,14 @@ struct WireResponse {
 void EncodeSubmit(ByteWriter* out, uint64_t request_id, const std::string& proc,
                   const Tuple& params, const Value* key, int64_t batch_id);
 void EncodePing(ByteWriter* out, uint64_t request_id);
+void EncodeStatsRequest(ByteWriter* out, uint64_t request_id);
 void EncodeResult(ByteWriter* out, uint64_t request_id,
                   const TxnOutcome& outcome);
 void EncodeBusy(ByteWriter* out, uint64_t request_id);
 void EncodeError(ByteWriter* out, uint64_t request_id, const Status& error);
 void EncodePong(ByteWriter* out, uint64_t request_id);
+void EncodeStatsText(ByteWriter* out, uint64_t request_id,
+                     const std::string& text);
 
 /// Incremental frame splitter over a connection's receive buffer. Feed()
 /// appends raw bytes; Next() yields complete payloads (without the length
@@ -119,10 +132,11 @@ class WireFrameBuffer {
   size_t consumed_ = 0;
 };
 
-/// Decodes one request payload (either kSubmit or kPing). For kPing,
-/// `*is_ping` is set and only request_id of `*out` is meaningful.
+/// Decodes one request payload; `*type` reports which kind it was. Only
+/// kSubmit fills anything of `*out` beyond request_id — kPing and kStats
+/// carry no body.
 Status DecodeRequest(const uint8_t* payload, size_t len, WireRequest* out,
-                     bool* is_ping);
+                     WireRequestType* type);
 
 /// Decodes one response payload.
 Status DecodeResponse(const uint8_t* payload, size_t len, WireResponse* out);

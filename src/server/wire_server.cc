@@ -296,17 +296,31 @@ class EventLoop {
       if (!*has) break;
       server_->frames_received_.fetch_add(1, std::memory_order_relaxed);
       WireRequest req;
-      bool is_ping = false;
-      Status st = DecodeRequest(payload, len, &req, &is_ping);
+      WireRequestType type = WireRequestType::kSubmit;
+      Status st = DecodeRequest(payload, len, &req, &type);
       if (!st.ok()) {
         ProtocolError(conn, req.request_id, st);
         return;
       }
-      if (is_ping) {
-        EncodePong(&conn->wrbuf, req.request_id);
-        server_->responses_sent_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        submits.push_back(std::move(req));
+      switch (type) {
+        case WireRequestType::kPing:
+          EncodePong(&conn->wrbuf, req.request_id);
+          server_->responses_sent_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case WireRequestType::kStats:
+          // Answered in-line like kPong: RenderText snapshots the registry
+          // (legacy Stats structs are pulled by providers at this moment),
+          // so the reply is a consistent live view without touching any
+          // partition ring. Counted before rendering so the snapshot
+          // includes the request it is answering.
+          server_->stats_requests_.fetch_add(1, std::memory_order_relaxed);
+          EncodeStatsText(&conn->wrbuf, req.request_id,
+                          server_->cluster_->metrics().RenderText());
+          server_->responses_sent_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case WireRequestType::kSubmit:
+          submits.push_back(std::move(req));
+          break;
       }
     }
     if (!submits.empty()) SubmitRequests(conn, std::move(submits));
@@ -633,6 +647,11 @@ Status WireServer::Start() {
   running_.store(true, std::memory_order_release);
   for (auto& loop : loops_) loop->StartThread();
   acceptor_ = std::thread([this] { AcceptLoop(); });
+  // Publish sstore_wire_* through the cluster's registry and join the
+  // one-sweep reset semantics of Cluster::ResetStats while serving.
+  metrics_provider_handle_ = cluster_->metrics().AddProvider(
+      [this](std::vector<MetricSample>* out) { CollectMetrics(out); });
+  reset_hook_handle_ = cluster_->metrics().AddResetHook([this] { ResetStats(); });
   return Status::OK();
 }
 
@@ -656,6 +675,10 @@ void WireServer::AcceptLoop() {
 
 void WireServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Unregister before tearing anything down: the registry must never call
+  // into a stopping server's provider/hook once Stop returns.
+  cluster_->metrics().RemoveProvider(metrics_provider_handle_);
+  cluster_->metrics().RemoveResetHook(reset_hook_handle_);
   if (acceptor_.joinable()) acceptor_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -693,9 +716,54 @@ WireServer::Stats WireServer::stats() const {
   out.batches_submitted = batches_submitted_.load(std::memory_order_relaxed);
   out.requests_submitted = requests_submitted_.load(std::memory_order_relaxed);
   out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  out.stats_requests = stats_requests_.load(std::memory_order_relaxed);
   out.overload_closed = overload_closed_.load(std::memory_order_relaxed);
   out.max_conn_inflight = max_conn_inflight_.load(std::memory_order_relaxed);
   return out;
+}
+
+void WireServer::ResetStats() {
+  connections_accepted_.store(0, std::memory_order_relaxed);
+  // connections_active_ is live occupancy, not a cumulative counter — a
+  // reset would corrupt the accept/close bookkeeping.
+  frames_received_.store(0, std::memory_order_relaxed);
+  responses_sent_.store(0, std::memory_order_relaxed);
+  busy_shed_.store(0, std::memory_order_relaxed);
+  busy_during_checkpoint_.store(0, std::memory_order_relaxed);
+  batches_submitted_.store(0, std::memory_order_relaxed);
+  requests_submitted_.store(0, std::memory_order_relaxed);
+  protocol_errors_.store(0, std::memory_order_relaxed);
+  stats_requests_.store(0, std::memory_order_relaxed);
+  overload_closed_.store(0, std::memory_order_relaxed);
+  max_conn_inflight_.store(0, std::memory_order_relaxed);
+}
+
+void WireServer::CollectMetrics(std::vector<MetricSample>* out) const {
+  auto add = [out](const char* name, MetricKind kind, uint64_t value) {
+    MetricSample s;
+    s.name = name;
+    s.kind = kind;
+    s.value = static_cast<double>(value);
+    out->push_back(std::move(s));
+  };
+  add("sstore_wire_connections_active", MetricKind::kGauge,
+      connections_active_.load(std::memory_order_relaxed));
+  add("sstore_wire_connections_accepted_total", MetricKind::kCounter,
+      connections_accepted_.load(std::memory_order_relaxed));
+  add("sstore_wire_frames_received_total", MetricKind::kCounter,
+      frames_received_.load(std::memory_order_relaxed));
+  add("sstore_wire_responses_sent_total", MetricKind::kCounter,
+      responses_sent_.load(std::memory_order_relaxed));
+  add("sstore_wire_requests_submitted_total", MetricKind::kCounter,
+      requests_submitted_.load(std::memory_order_relaxed));
+  add("sstore_wire_batches_submitted_total", MetricKind::kCounter,
+      batches_submitted_.load(std::memory_order_relaxed));
+  add("sstore_wire_busy_shed_total", MetricKind::kCounter,
+      busy_shed_.load(std::memory_order_relaxed));
+  add("sstore_wire_protocol_errors_total", MetricKind::kCounter,
+      protocol_errors_.load(std::memory_order_relaxed));
+  add("sstore_wire_stats_requests_total", MetricKind::kCounter,
+      stats_requests_.load(std::memory_order_relaxed));
 }
 
 }  // namespace sstore

@@ -96,6 +96,8 @@ class WireServer {
     uint64_t batches_submitted = 0;  // BatchTickets handed to partitions
     uint64_t requests_submitted = 0;  // kSubmit frames that reached a ring
     uint64_t protocol_errors = 0;
+    /// kStats frames answered (the live metrics endpoint, e.g. sstore_top).
+    uint64_t stats_requests = 0;
     /// Connections closed because their unflushed write buffer exceeded
     /// Options::max_unflushed_bytes (peer stopped reading responses).
     uint64_t overload_closed = 0;
@@ -125,10 +127,17 @@ class WireServer {
 
   Stats stats() const;
 
+  /// Zeroes every counter. Registered as a reset hook with the cluster's
+  /// MetricsRegistry while running, so Cluster::ResetStats() (and
+  /// registry.Reset()) sweep these too.
+  void ResetStats();
+
  private:
   friend class server_internal::EventLoop;
 
   void AcceptLoop();
+  /// Metrics provider: appends sstore_wire_* samples to a registry snapshot.
+  void CollectMetrics(std::vector<MetricSample>* out) const;
 
   Cluster* cluster_;
   Options options_;
@@ -150,8 +159,15 @@ class WireServer {
   std::atomic<uint64_t> batches_submitted_{0};
   std::atomic<uint64_t> requests_submitted_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> stats_requests_{0};
   std::atomic<uint64_t> overload_closed_{0};
   std::atomic<uint64_t> max_conn_inflight_{0};
+
+  /// Registry registration handles, valid only while running (Start
+  /// registers, Stop removes — the registry must not call into a dead
+  /// server).
+  uint64_t metrics_provider_handle_ = 0;
+  uint64_t reset_hook_handle_ = 0;
 };
 
 }  // namespace sstore

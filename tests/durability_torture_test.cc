@@ -644,6 +644,97 @@ TEST_F(FailpointGuard, CheckpointAfterRecoverRotatesFreshEpochLogs) {
   recovered.Stop();
 }
 
+// Obs-layer accounting across the durability machinery: LogStats totals are
+// lifetime-cumulative — command-log epoch rotation must neither reset nor
+// double-count them (identical ingest waves before and after a rotation, and
+// after a Recover, must account identically) — and replayed channel
+// deliveries land in redeliveries_suppressed, never as double applications.
+TEST_F(FailpointGuard, ObsCountersSurviveRotationAndRecoverNoDoubleCount) {
+  std::string ckpt_dir = MakeDir("obs_ckpt");
+  std::string log_dir = MakeDir("obs_logs");
+  Result<Topology> topo = TwoStageBuilder().Build();
+  ASSERT_TRUE(topo.ok()) << topo.status().ToString();
+
+  Cluster::Options opts;
+  opts.num_partitions = 2;
+  opts.log_sync = false;
+
+  uint64_t wave_records = 0;  // log records one 20-inject wave accounts for
+
+  // Generation 1: wave 1, rotate the log epoch, wave 2, die.
+  {
+    Cluster::Options live_opts = opts;
+    live_opts.log_dir = log_dir;
+    Cluster cluster(live_opts);
+    ASSERT_TRUE(cluster.Deploy(*topo).ok());
+    cluster.Start();
+    StreamInjector inject(&cluster.partition(0), "ingest");
+    for (int i = 0; i < 20; ++i) inject.InjectAsync(KeyVal(i, i));
+    cluster.WaitIdle();
+    ClusterStats wave1 = cluster.GatherStats();
+    ASSERT_GT(wave1.log.records_appended, 0u);
+    wave_records = wave1.log.records_appended;
+
+    ASSERT_TRUE(cluster.Checkpoint(ckpt_dir).ok());  // rotates the epoch
+    ClusterStats rotated = cluster.GatherStats();
+    EXPECT_GE(rotated.log.records_appended, wave1.log.records_appended)
+        << "epoch rotation reset the retired-record totals";
+
+    for (int i = 20; i < 40; ++i) inject.InjectAsync(KeyVal(i, i));
+    cluster.WaitIdle();
+    ClusterStats wave2 = cluster.GatherStats();
+    // The same 20-inject wave must account the same on both sides of the
+    // rotation — more would mean carried-over records were counted twice.
+    EXPECT_EQ(wave2.log.records_appended - rotated.log.records_appended,
+              wave_records);
+
+    // ResetStats sweeps txn/channel/registry counters but deliberately NOT
+    // LogStats (lifetime-cumulative: the checkpointer's bytes trigger and
+    // epoch accounting depend on monotonic totals — see cluster.h).
+    cluster.ResetStats();
+    ClusterStats reset = cluster.GatherStats();
+    EXPECT_EQ(reset.log.records_appended, wave2.log.records_appended);
+    EXPECT_EQ(reset.txn.committed, 0u);
+
+    cluster.Stop();
+  }
+
+  // Generation 2: recover. The replay re-fires wave-2 channel forwards; the
+  // recovered cursor must suppress every one (already applied downstream),
+  // and a fresh wave must account exactly like wave 1 did.
+  Cluster cluster(opts);
+  ASSERT_TRUE(cluster.Deploy(*topo).ok());
+  Status st = cluster.Recover(ckpt_dir, log_dir);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  cluster.Start();
+  cluster.WaitIdle();
+
+  MetricsSnapshot replayed = cluster.metrics().Snapshot();
+  EXPECT_GE(replayed.Value("sstore_channel_redeliveries_suppressed_total"),
+            1.0)
+      << "replay should have re-offered already-applied batches";
+
+  ClusterStats recovered_base = cluster.GatherStats();
+  StreamInjector inject(&cluster.partition(0), "ingest");
+  inject.ResumeBatchIdsAt(41);
+  for (int i = 40; i < 60; ++i) inject.InjectAsync(KeyVal(i, i));
+  cluster.WaitIdle();
+  ClusterStats wave3 = cluster.GatherStats();
+  EXPECT_EQ(wave3.log.records_appended - recovered_base.log.records_appended,
+            wave_records)
+      << "a recovered cluster double-counts (or drops) log records";
+  cluster.Stop();
+
+  // The ground truth for "no double-counting": every key exactly once.
+  std::vector<Tuple> sink = TableRows(cluster.store(1), "sink");
+  ASSERT_EQ(sink.size(), 60u);
+  std::map<int64_t, int> seen;
+  for (const Tuple& row : sink) ++seen[row[0].as_int64()];
+  for (int64_t i = 0; i < 60; ++i) {
+    EXPECT_EQ(seen[i], 1) << "key " << i << " applied " << seen[i] << " times";
+  }
+}
+
 // ---- TryCheckpoint / background checkpointer ----
 
 TEST_F(FailpointGuard, TryCheckpointIsUnavailableWhileCoordinatorQuiesced) {

@@ -1,0 +1,398 @@
+// Observability layer (src/obs/ + its cluster/server integration): histogram
+// correctness under concurrency, registry snapshot/exposition round trips,
+// provider/reset-hook lifecycles, the golden metric-name contract, the kStats
+// wire round trip (live counters must match client-observed commits), trace
+// span dumps, LatencyRecorder sort memoization, and the one-sweep
+// Cluster::ResetStats semantics. Run in isolation with `ctest -L obs`.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/latency.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "server/client.h"
+#include "server/wire_server.h"
+#include "workloads/voter_cluster.h"
+
+namespace sstore {
+namespace {
+
+// ---- LatencyHistogram ----
+
+TEST(LatencyHistogramTest, CountSumMaxExactPercentilesBucketed) {
+  LatencyHistogram h;
+  LatencyHistogram::Snapshot empty = h.snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.Percentile(50), 0);
+  EXPECT_EQ(empty.Mean(), 0.0);
+
+  for (int i = 0; i < 1000; ++i) h.Record(8);
+  h.Record(100000);
+  LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1001u);
+  EXPECT_EQ(s.sum, 1000u * 8 + 100000u);
+  EXPECT_EQ(s.max, 100000);
+  // p50 lands in the [8,16) bucket; p100 is the exact max.
+  int64_t p50 = s.Percentile(50);
+  EXPECT_GE(p50, 8);
+  EXPECT_LT(p50, 16);
+  EXPECT_EQ(s.Percentile(100), 100000);
+
+  // Bimodal split: quantiles on either side of the gap land in the right
+  // bucket.
+  LatencyHistogram h2;
+  for (int i = 0; i < 100; ++i) h2.Record(4);
+  for (int i = 0; i < 100; ++i) h2.Record(1024);
+  LatencyHistogram::Snapshot s2 = h2.snapshot();
+  EXPECT_LT(s2.Percentile(25), 8);
+  EXPECT_GE(s2.Percentile(75), 1024);
+  EXPECT_LT(s2.Percentile(75), 2048);
+}
+
+TEST(LatencyHistogramTest, NegativeValuesClampAndResetZeroes) {
+  LatencyHistogram h;
+  h.Record(-5);
+  h.Record(0);
+  EXPECT_EQ(h.snapshot().count, 2u);
+  EXPECT_EQ(h.snapshot().sum, 0u);
+  h.Reset();
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(h.snapshot().max, 0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordersLoseNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(1 + (t * kPerThread + i) % 512);
+    });
+  }
+  for (auto& th : threads) th.join();
+  LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_LE(s.max, 512);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+// ---- Registry, exposition, parsing ----
+
+TEST(MetricsRegistryTest, SnapshotRenderParseRoundTrip) {
+  MetricsRegistry reg;
+  Counter* c = reg.AddCounter("demo_ops_total");
+  Gauge* g = reg.AddGauge("demo_depth");
+  LatencyHistogram* h = reg.AddHistogram("demo_latency_us");
+  c->Add(41);
+  c->Add();
+  g->Set(-7);
+  for (int i = 0; i < 100; ++i) h->Record(32);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.Value("demo_ops_total"), 42.0);
+  EXPECT_EQ(snap.Value("demo_depth"), -7.0);
+  EXPECT_EQ(snap.Value("absent_metric", 123.0), 123.0);
+  const MetricSample* hist = snap.Find("demo_latency_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->hist.count, 100u);
+
+  std::string text = reg.RenderText();
+  EXPECT_NE(text.find("# TYPE demo_ops_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE demo_latency_us summary"), std::string::npos);
+
+  std::map<std::string, double> parsed;
+  for (auto& [name, value] : ParseMetricsText(text)) parsed[name] = value;
+  EXPECT_EQ(parsed.at("demo_ops_total"), 42.0);
+  EXPECT_EQ(parsed.at("demo_depth"), -7.0);
+  EXPECT_EQ(parsed.at("demo_latency_us_count"), 100.0);
+  double p50 = parsed.at("demo_latency_us{quantile=\"0.5\"}");
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LT(p50, 64.0);
+  EXPECT_EQ(parsed.at("demo_latency_us{quantile=\"1\"}"), 32.0);
+}
+
+TEST(MetricsRegistryTest, ProvidersAppendAndRemoveCleanly) {
+  MetricsRegistry reg;
+  reg.AddCounter("owned_total")->Add(5);
+  uint64_t handle = reg.AddProvider([](std::vector<MetricSample>* out) {
+    MetricSample s;
+    s.name = "pulled_total";
+    s.kind = MetricKind::kCounter;
+    s.value = 9;
+    out->push_back(std::move(s));
+  });
+  EXPECT_EQ(reg.Snapshot().Value("pulled_total"), 9.0);
+  reg.RemoveProvider(handle);
+  EXPECT_EQ(reg.Snapshot().Find("pulled_total"), nullptr);
+  EXPECT_EQ(reg.Snapshot().Value("owned_total"), 5.0);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesInstrumentsAndRunsHooks) {
+  MetricsRegistry reg;
+  Counter* c = reg.AddCounter("reset_me_total");
+  LatencyHistogram* h = reg.AddHistogram("reset_me_us");
+  c->Add(10);
+  h->Record(10);
+  int hook_runs = 0;
+  uint64_t handle = reg.AddResetHook([&hook_runs] { ++hook_runs; });
+  reg.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->snapshot().count, 0u);
+  EXPECT_EQ(hook_runs, 1);
+  reg.RemoveResetHook(handle);
+  reg.Reset();
+  EXPECT_EQ(hook_runs, 1);
+}
+
+// ---- LatencyRecorder memoized sort (satellite) ----
+
+TEST(LatencyRecorderTest, PercentileMemoizesSortUntilNextSample) {
+  LatencyRecorder r;
+  for (int64_t v : {50, 10, 40, 30, 20}) r.Record(v);
+  EXPECT_EQ(r.Percentile(0), 10);
+  EXPECT_EQ(r.Percentile(100), 50);
+  EXPECT_EQ(r.Max(), 50);
+
+  // New samples must invalidate the memoized order.
+  r.Record(5);
+  EXPECT_EQ(r.Percentile(0), 5);
+  EXPECT_EQ(r.Max(), 50);
+
+  LatencyRecorder other;
+  other.Record(99);
+  r.Percentile(50);  // memoize again...
+  r.Merge(other);    // ...then invalidate via Merge
+  EXPECT_EQ(r.Percentile(100), 99);
+  EXPECT_EQ(r.Max(), 99);
+
+  r.Clear();
+  EXPECT_EQ(r.Percentile(50), 0);
+  EXPECT_EQ(r.count(), 0u);
+}
+
+// ---- Trace ring & JSON ----
+
+TEST(TraceRingTest, KeepsNewestEventsOldestFirst) {
+  TraceRing ring(4);
+  for (int i = 0; i < 6; ++i) {
+    ring.Push(TraceEvent{"execute", i * 100, 10, 0, i});
+  }
+  EXPECT_EQ(ring.total_pushed(), 6u);
+  std::vector<TraceEvent> events = ring.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().id, 2);
+  EXPECT_EQ(events.back().id, 5);
+
+  std::string json = TraceEventsToJson(events);
+  while (!json.empty() && json.back() == '\n') json.pop_back();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"execute\""), std::string::npos);
+
+  ring.Clear();
+  EXPECT_TRUE(ring.Events().empty());
+}
+
+// ---- Cluster + wire integration ----
+
+Cluster::Options ObsClusterOpts(int partitions) {
+  Cluster::Options opts;
+  opts.num_partitions = partitions;
+  opts.routing = PartitionMap::Mode::kModulo;
+  // Sample everything so small test loads land in the histogram and rings.
+  opts.latency_sample_every = 1;
+  opts.trace_sample_every = 1;
+  return opts;
+}
+
+struct ObsHarness {
+  explicit ObsHarness(int partitions)
+      : cluster(ObsClusterOpts(partitions)),
+        config{16, 1000},
+        app(&cluster, config),
+        server(&cluster, {}) {
+    EXPECT_TRUE(cluster.Deploy(BuildVoterClusterDeployment(config)).ok());
+    cluster.Start();
+    EXPECT_TRUE(server.Start().ok());
+  }
+
+  ~ObsHarness() {
+    server.Stop();
+    cluster.Stop();
+  }
+
+  std::unique_ptr<WireClient> Connect() {
+    auto client = WireClient::Connect({"127.0.0.1", server.port()});
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+  /// `n` keyed votes over the wire; returns the client-observed commit count
+  /// (every vote should commit at this load — no sheds, ample votes left).
+  int64_t Vote(WireClient* client, int n) {
+    int64_t committed = 0;
+    std::vector<WireFuturePtr> futures;
+    futures.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      int64_t c = i % config.num_contestants;
+      futures.push_back(client->SubmitAsync("vc_vote", {Value::BigInt(c)},
+                                            Value::BigInt(c)));
+    }
+    EXPECT_TRUE(client->Flush().ok());
+    for (auto& f : futures) {
+      const WireResult& r = f->Wait();
+      EXPECT_TRUE(r.transport.ok()) << r.transport.ToString();
+      EXPECT_FALSE(r.busy);
+      if (r.committed()) ++committed;
+    }
+    return committed;
+  }
+
+  Cluster cluster;
+  VoterClusterConfig config;
+  VoterClusterApp app;
+  WireServer server;
+};
+
+std::map<std::string, double> FetchParsed(WireClient* client) {
+  auto text = client->FetchStats();
+  EXPECT_TRUE(text.ok()) << text.status().ToString();
+  std::map<std::string, double> parsed;
+  if (text.ok()) {
+    for (auto& [name, value] : ParseMetricsText(*text)) parsed[name] = value;
+  }
+  return parsed;
+}
+
+// The PR's acceptance check: a kStats round trip against a live loaded
+// server returns a parseable snapshot whose submitted/committed counters
+// match what the client observed.
+TEST(ClusterObsTest, StatsRoundTripMatchesClientObservedCommits) {
+  ObsHarness h(2);
+  auto client = h.Connect();
+  constexpr int kVotes = 400;
+  int64_t committed = h.Vote(client.get(), kVotes);
+  EXPECT_EQ(committed, kVotes);
+  h.cluster.WaitIdle();
+
+  std::map<std::string, double> m = FetchParsed(client.get());
+  ASSERT_FALSE(m.empty());
+  EXPECT_EQ(m.at("sstore_wire_requests_submitted_total"),
+            static_cast<double>(kVotes));
+  EXPECT_EQ(m.at("sstore_txn_client_requests_total"),
+            static_cast<double>(kVotes));
+  // Triggers may commit additional internal txns; never fewer than the
+  // client saw commit.
+  EXPECT_GE(m.at("sstore_txn_committed_total"), static_cast<double>(committed));
+  EXPECT_EQ(m.at("sstore_partitions"), 2.0);
+  EXPECT_GE(m.at("sstore_wire_stats_requests_total"), 1.0);
+  // Per-partition committed must sum to the cluster total.
+  double per_part = 0;
+  for (int p = 0; p < 2; ++p) {
+    per_part += m.at(LabeledMetric("sstore_partition_committed_total",
+                                   "partition", std::to_string(p)));
+  }
+  EXPECT_EQ(per_part, m.at("sstore_txn_committed_total"));
+  // With sample_every=1, the latency histogram saw at least one batch.
+  EXPECT_GE(m.at("sstore_txn_latency_us_count"), 1.0);
+}
+
+TEST(ClusterObsTest, GoldenMetricNamesAllPresent) {
+  ObsHarness h(2);
+  auto client = h.Connect();
+  h.Vote(client.get(), 50);
+  h.cluster.WaitIdle();
+  auto text = client->FetchStats();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  std::vector<std::pair<std::string, double>> parsed =
+      ParseMetricsText(*text);
+  ASSERT_FALSE(parsed.empty());
+
+  std::ifstream golden(std::string(SSTORE_SOURCE_DIR) +
+                       "/tools/golden_metrics.txt");
+  ASSERT_TRUE(golden.is_open()) << "tools/golden_metrics.txt missing";
+  std::string name;
+  int checked = 0;
+  while (std::getline(golden, name)) {
+    if (name.empty() || name[0] == '#') continue;
+    bool found = false;
+    for (auto& [parsed_name, value] : parsed) {
+      if (parsed_name.compare(0, name.size(), name) == 0) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "golden metric missing from exposition: " << name;
+    ++checked;
+  }
+  EXPECT_GT(checked, 30);
+}
+
+TEST(ClusterObsTest, TraceDumpIsChromeTracingJson) {
+  ObsHarness h(2);
+  auto client = h.Connect();
+  h.Vote(client.get(), 200);
+  h.cluster.WaitIdle();
+
+  std::string json = h.cluster.DumpTraceJson();
+  while (!json.empty() && json.back() == '\n') json.pop_back();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  // Batch spans: the sampled last-invocation-of-batch records queue_wait and
+  // execute phases (log/commit-hook spans only when those stages ran).
+  EXPECT_NE(json.find("\"name\":\"queue_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"execute\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+
+  ASSERT_NE(h.cluster.trace_ring(0), nullptr);
+  ASSERT_NE(h.cluster.trace_ring(1), nullptr);
+  EXPECT_EQ(h.cluster.trace_ring(99), nullptr);
+  EXPECT_GT(h.cluster.trace_ring(0)->total_pushed() +
+                h.cluster.trace_ring(1)->total_pushed(),
+            0u);
+}
+
+// Satellite: ResetStats must sweep the registry, wire-server counters, and
+// the latency histogram in one pass (LogStats deliberately excluded — they
+// are lifetime-cumulative, see cluster.h).
+TEST(ClusterObsTest, ResetStatsSweepsRegistryWireAndHistogram) {
+  ObsHarness h(2);
+  auto client = h.Connect();
+  h.Vote(client.get(), 100);
+  h.cluster.WaitIdle();
+
+  EXPECT_GT(h.server.stats().frames_received, 0u);
+  ASSERT_NE(h.cluster.txn_latency_histogram(), nullptr);
+  EXPECT_GT(h.cluster.txn_latency_histogram()->snapshot().count, 0u);
+
+  h.cluster.ResetStats();
+
+  EXPECT_EQ(h.server.stats().frames_received, 0u);
+  EXPECT_EQ(h.server.stats().requests_submitted, 0u);
+  EXPECT_EQ(h.cluster.txn_latency_histogram()->snapshot().count, 0u);
+  ClusterStats cs = h.cluster.GatherStats();
+  EXPECT_EQ(cs.txn.committed, 0u);
+
+  // The wire endpoint reflects the sweep immediately.
+  std::map<std::string, double> m = FetchParsed(client.get());
+  EXPECT_EQ(m.at("sstore_txn_committed_total"), 0.0);
+  EXPECT_EQ(m.at("sstore_wire_requests_submitted_total"), 0.0);
+}
+
+}  // namespace
+}  // namespace sstore

@@ -96,6 +96,7 @@ TEST(WireProtocolTest, SubmitRoundTripsThroughFrameBuffer) {
   EncodeSubmit(&w, 42, "vc_vote", {Value::BigInt(7), Value::String("x")}, &key,
                9);
   EncodePing(&w, 43);
+  EncodeStatsRequest(&w, 44);
 
   WireFrameBuffer frames;
   // Feed byte-by-byte: framing must reassemble across arbitrary splits.
@@ -106,9 +107,9 @@ TEST(WireProtocolTest, SubmitRoundTripsThroughFrameBuffer) {
   auto has = frames.Next(&payload, &len);
   ASSERT_TRUE(has.ok() && *has);
   WireRequest req;
-  bool is_ping = true;
-  ASSERT_TRUE(DecodeRequest(payload, len, &req, &is_ping).ok());
-  EXPECT_FALSE(is_ping);
+  WireRequestType type = WireRequestType::kPing;
+  ASSERT_TRUE(DecodeRequest(payload, len, &req, &type).ok());
+  EXPECT_EQ(type, WireRequestType::kSubmit);
   EXPECT_EQ(req.request_id, 42u);
   EXPECT_EQ(req.proc, "vc_vote");
   EXPECT_EQ(req.batch_id, 9);
@@ -119,13 +120,35 @@ TEST(WireProtocolTest, SubmitRoundTripsThroughFrameBuffer) {
 
   has = frames.Next(&payload, &len);
   ASSERT_TRUE(has.ok() && *has);
-  ASSERT_TRUE(DecodeRequest(payload, len, &req, &is_ping).ok());
-  EXPECT_TRUE(is_ping);
+  ASSERT_TRUE(DecodeRequest(payload, len, &req, &type).ok());
+  EXPECT_EQ(type, WireRequestType::kPing);
   EXPECT_EQ(req.request_id, 43u);
+
+  has = frames.Next(&payload, &len);
+  ASSERT_TRUE(has.ok() && *has);
+  ASSERT_TRUE(DecodeRequest(payload, len, &req, &type).ok());
+  EXPECT_EQ(type, WireRequestType::kStats);
+  EXPECT_EQ(req.request_id, 44u);
 
   has = frames.Next(&payload, &len);
   ASSERT_TRUE(has.ok());
   EXPECT_FALSE(*has);
+}
+
+TEST(WireProtocolTest, StatsResponseRoundTrip) {
+  ByteWriter w;
+  EncodeStatsText(&w, 9, "sstore_txn_committed_total 12\n");
+  WireFrameBuffer frames;
+  frames.Feed(w.data().data(), w.size());
+  const uint8_t* payload;
+  size_t len;
+  auto has = frames.Next(&payload, &len);
+  ASSERT_TRUE(has.ok() && *has);
+  WireResponse resp;
+  ASSERT_TRUE(DecodeResponse(payload, len, &resp).ok());
+  EXPECT_EQ(resp.type, WireResponseType::kStats);
+  EXPECT_EQ(resp.request_id, 9u);
+  EXPECT_EQ(resp.stats_text, "sstore_txn_committed_total 12\n");
 }
 
 TEST(WireProtocolTest, ResponseRoundTrip) {

@@ -735,6 +735,10 @@ Status Cluster::Rebalance(const RebalancePlan& plan,
   }
   uint64_t new_version = new_map.version();
 
+  // Crash here leaves the cluster entirely on the old map: no routing flip,
+  // no migrated rows, no manifest. Recovery must land on the old side.
+  SSTORE_RETURN_NOT_OK(failpoint::Check("rebalance.before_flip"));
+
   // ---- Quiesce: no multi-partition transaction spans the flip. ----
   coordinator_->QuiesceBegin();
   WallClock clock;
@@ -779,9 +783,18 @@ Status Cluster::Rebalance(const RebalancePlan& plan,
   if (grew) {
     for (auto& channel : channels_) channel->OnPartitionAdded(target);
   }
+  // Failure sites around each cutover step. All flow through `st` so the
+  // barrier is always released and the gate reopened below — a fired site
+  // aborts the rebalance, never deadlocks the workers. The in-memory map is
+  // flipped but nothing is durable until the manifest rename inside
+  // CheckpointAtBarrier; a crash anywhere before that recovers to the old
+  // map, a crash after it recovers to the new one.
   uint64_t rows_moved = 0;
-  Status st = MigrateKeyedRows(plan, &rows_moved);
+  Status st = failpoint::Check("rebalance.after_flip");
+  if (st.ok()) st = MigrateKeyedRows(plan, &rows_moved);
+  if (st.ok()) st = failpoint::Check("rebalance.before_manifest");
   if (st.ok()) st = CheckpointAtBarrier(plan.checkpoint_dir, nullptr);
+  if (st.ok()) st = failpoint::Check("rebalance.after_manifest");
 
   if (barrier != nullptr) barrier->Release();
   checkpoint_gate_closed_.store(false, std::memory_order_release);
@@ -850,6 +863,10 @@ Status Cluster::MigrateKeyedRows(const RebalancePlan& plan,
       Result<RowId> inserted = (*dst)->Insert(std::move(row), row_meta);
       if (!inserted.ok()) return inserted.status();
       ++*rows_moved;
+      // Mid-migration crash: some rows already landed on the new owner,
+      // the rest still on the source, and no manifest committed. Recovery
+      // must roll the whole move back to the old map.
+      SSTORE_RETURN_NOT_OK(failpoint::Check("rebalance.mid_migration"));
     }
   }
   return Status::OK();

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "cluster/cluster.h"
+#include "common/failpoint.h"
 #include "query/expr.h"
 
 namespace sstore {
@@ -161,6 +162,14 @@ std::map<size_t, std::vector<Tuple>> StreamChannel::RouteRows(
 void StreamChannel::ForwardBatch(size_t lane, int64_t producer_batch,
                                  std::vector<Tuple> rows,
                                  const std::map<size_t, int64_t>* cursors) {
+  // Drop site: the forward vanishes before any delivery is enqueued. The
+  // raw batch stays pending in the producer's stream manager, so recovery
+  // (ReconcileAfterRecovery) re-forwards it — the lost-message case of the
+  // exactly-once contract. WaitIdle does not hang: no tickets were created.
+  if (failpoint::EvaluateFast("channel.forward.drop") !=
+      failpoint::Action::kOff) {
+    return;
+  }
   int64_t encoded = EncodeBatchId(producer_batch, lane);
   // The downstream hop of the pipeline trace: 1-in-32 forwards record a
   // channel_forward span (route + submit time) into the producer lane's
@@ -204,11 +213,25 @@ void StreamChannel::ForwardBatch(size_t lane, int64_t producer_batch,
     }
     rows_forwarded_.fetch_add(target_rows.size(), std::memory_order_relaxed);
     deliveries_.fetch_add(1, std::memory_order_relaxed);
+    // Duplicate site: submit the same delivery twice under the same encoded
+    // batch id — a retransmit race. The consumer's cursor check must commit
+    // the second copy as a no-effect txn (exactly-once despite at-least-once
+    // transport).
+    bool duplicate = failpoint::EvaluateFast("channel.forward.duplicate") !=
+                     failpoint::Action::kOff;
+    Tuple dup_params;
+    if (duplicate) dup_params = params;
     // kSpillWhenFull: a full consumer ring must not block this producer's
     // worker (or, on a self-delivery, deadlock it against itself).
     delivery.tickets.push_back(cluster_->partition(target).SubmitAsync(
         Invocation{ingest_proc_, std::move(params), encoded},
         EnqueuePolicy::kSpillWhenFull));
+    if (duplicate) {
+      deliveries_.fetch_add(1, std::memory_order_relaxed);
+      delivery.tickets.push_back(cluster_->partition(target).SubmitAsync(
+          Invocation{ingest_proc_, std::move(dup_params), encoded},
+          EnqueuePolicy::kSpillWhenFull));
+    }
   }
   StreamManager& streams = cluster_->store(lane).streams();
   if (delivery.tickets.empty()) {
@@ -228,6 +251,14 @@ void StreamChannel::ForwardBatch(size_t lane, int64_t producer_batch,
 
 void StreamChannel::DrainLane(size_t lane) {
   if (lanes_[lane]->inflight_count.load(std::memory_order_acquire) == 0) {
+    return;
+  }
+  // Stall site: acknowledged deliveries stay un-GC'd this pass, as if the
+  // ack window froze. Raw batches accumulate pending; once the site disarms
+  // the next drain catches everything up (tickets complete independently,
+  // so WaitIdle never hangs on a stall).
+  if (failpoint::EvaluateFast("channel.ack.stall") !=
+      failpoint::Action::kOff) {
     return;
   }
   std::vector<int64_t> consumed;
@@ -260,6 +291,16 @@ void StreamChannel::DrainLane(size_t lane) {
     }
     lanes_[lane]->inflight_count.store(inflight.size(),
                                        std::memory_order_release);
+  }
+  // Crash site between the delivery transactions committing (tickets acked
+  // above) and the raw-batch GC below: on recovery the batches re-forward,
+  // and the consumer cursor — advanced inside the committed delivery txn —
+  // must suppress them. Exercises the exactly-once window most likely to
+  // double-deliver.
+  if (!consumed.empty() &&
+      failpoint::EvaluateFast("channel.crash.before_gc") !=
+          failpoint::Action::kOff) {
+    return;
   }
   StreamManager& streams = cluster_->store(lane).streams();
   for (int64_t batch : consumed) {

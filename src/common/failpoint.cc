@@ -1,9 +1,11 @@
 #include "common/failpoint.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <vector>
 
 namespace sstore {
 namespace failpoint {
@@ -36,60 +38,136 @@ std::atomic<bool> g_crashed{false};
 // the registry lock without skipping env-armed sites forever.
 std::atomic<bool> g_env_checked{false};
 
+struct ParsedEntry {
+  std::string site;
+  Action action = Action::kOff;
+  int skip = 0;
+  int count = 1;
+};
+
+/// Strict decimal integer: the whole string, nothing else, no empty input.
+bool ParseIntStrict(const std::string& s, long* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  long v = std::strtol(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Parses the full spec into entries without touching the registry, so a
+/// malformed token arms nothing. Non-OK names the offending token.
+Status ParseEntries(const std::string& spec,
+                    std::vector<ParsedEntry>* entries) {
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) {
+      if (pos > spec.size()) break;
+      continue;  // tolerate a trailing or doubled ';'
+    }
+    auto bad = [&entry](const std::string& why) {
+      return Status::InvalidArgument("failpoint spec entry '" + entry +
+                                     "': " + why);
+    };
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) return bad("missing '='");
+    if (eq == 0) return bad("empty site name");
+    ParsedEntry parsed;
+    parsed.site = entry.substr(0, eq);
+    std::string rhs = entry.substr(eq + 1);
+    // rhs = action[@skip][xcount]
+    size_t at = rhs.find('@');
+    size_t x = rhs.find('x', at == std::string::npos ? 0 : at);
+    std::string name = rhs.substr(
+        0, at != std::string::npos ? at
+                                   : (x != std::string::npos ? x : rhs.size()));
+    if (name == "error") {
+      parsed.action = Action::kError;
+    } else if (name == "torn") {
+      parsed.action = Action::kTornWrite;
+    } else if (name == "crash") {
+      parsed.action = Action::kCrash;
+    } else if (name.empty()) {
+      return bad("empty action");
+    } else {
+      return bad("unknown action '" + name + "'");
+    }
+    if (at != std::string::npos) {
+      size_t skip_end = x != std::string::npos ? x : rhs.size();
+      long skip = 0;
+      if (!ParseIntStrict(rhs.substr(at + 1, skip_end - at - 1), &skip) ||
+          skip < 0) {
+        return bad("skip '@N' needs a non-negative integer");
+      }
+      parsed.skip = static_cast<int>(skip);
+    }
+    if (x != std::string::npos) {
+      long count = 0;
+      if (!ParseIntStrict(rhs.substr(x + 1), &count) ||
+          (count < 1 && count != -1)) {
+        return bad("count 'xM' needs a positive integer or -1 (unlimited)");
+      }
+      parsed.count = static_cast<int>(count);
+    }
+    entries->push_back(std::move(parsed));
+  }
+  return Status::OK();
+}
+
+void ArmLocked(Registry& reg, const ParsedEntry& entry) {
+  SiteState& s = reg.sites[entry.site];
+  if (s.action == Action::kOff) g_armed.fetch_add(1);
+  s.action = entry.action;
+  s.skip = entry.skip;
+  s.remaining = entry.count;
+}
+
 size_t InitFromEnvLocked(Registry& reg) {
   if (reg.env_loaded) return 0;
   reg.env_loaded = true;
   g_env_checked.store(true, std::memory_order_release);
   const char* env = std::getenv("SSTORE_FAILPOINTS");
   if (env == nullptr || *env == '\0') return 0;
-  size_t armed = 0;
-  std::string spec(env);
-  size_t pos = 0;
-  while (pos < spec.size()) {
-    size_t end = spec.find(';', pos);
-    if (end == std::string::npos) end = spec.size();
-    std::string entry = spec.substr(pos, end - pos);
-    pos = end + 1;
-    size_t eq = entry.find('=');
-    if (eq == std::string::npos || eq == 0) continue;
-    std::string site = entry.substr(0, eq);
-    std::string rhs = entry.substr(eq + 1);
-    // rhs = action[@skip][xcount]
-    int skip = 0;
-    int count = 1;
-    size_t at = rhs.find('@');
-    size_t x = rhs.find('x', at == std::string::npos ? 0 : at);
-    if (x != std::string::npos) {
-      count = std::atoi(rhs.c_str() + x + 1);
-      if (count == 0) count = 1;
-    }
-    if (at != std::string::npos) skip = std::atoi(rhs.c_str() + at + 1);
-    std::string name = rhs.substr(0, at != std::string::npos
-                                         ? at
-                                         : (x != std::string::npos
-                                                ? x
-                                                : rhs.size()));
-    Action action;
-    if (name == "error") {
-      action = Action::kError;
-    } else if (name == "torn") {
-      action = Action::kTornWrite;
-    } else if (name == "crash") {
-      action = Action::kCrash;
-    } else {
-      continue;  // unknown action: ignore the entry
-    }
-    SiteState& s = reg.sites[site];
-    if (s.action == Action::kOff) g_armed.fetch_add(1);
-    s.action = action;
-    s.skip = skip;
-    s.remaining = count;
-    ++armed;
+  std::vector<ParsedEntry> entries;
+  Status st = ParseEntries(env, &entries);
+  if (!st.ok()) {
+    // An operator armed faults and typo'd the spec: running on as if
+    // nothing were armed would silently test nothing. Die with the token.
+    std::fprintf(stderr, "fatal: SSTORE_FAILPOINTS: %s\n",
+                 st.message().c_str());
+    std::abort();
   }
-  return armed;
+  for (const ParsedEntry& entry : entries) ArmLocked(reg, entry);
+  return entries.size();
 }
 
 }  // namespace
+
+Status ParseSpec(const std::string& spec, size_t* armed) {
+  *armed = 0;
+  std::vector<ParsedEntry> entries;
+  SSTORE_RETURN_NOT_OK(ParseEntries(spec, &entries));
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const ParsedEntry& entry : entries) ArmLocked(reg, entry);
+  *armed = entries.size();
+  return Status::OK();
+}
+
+size_t ParseSpecOrDie(const std::string& spec) {
+  size_t armed = 0;
+  Status st = ParseSpec(spec, &armed);
+  if (!st.ok()) {
+    std::fprintf(stderr, "fatal: SSTORE_FAILPOINTS: %s\n",
+                 st.message().c_str());
+    std::abort();
+  }
+  return armed;
+}
 
 void Activate(const std::string& site, Action action, int skip, int count) {
   if (action == Action::kOff) {
@@ -151,12 +229,16 @@ Action Evaluate(const std::string& site) {
   return fired;
 }
 
-Status Check(const std::string& site) {
+Action EvaluateFast(const std::string& site) {
   if (g_env_checked.load(std::memory_order_acquire) &&
       g_armed.load(std::memory_order_relaxed) == 0) {
-    return Status::OK();
+    return Action::kOff;
   }
-  Action a = Evaluate(site);
+  return Evaluate(site);
+}
+
+Status Check(const std::string& site) {
+  Action a = EvaluateFast(site);
   switch (a) {
     case Action::kOff:
       return Status::OK();

@@ -9,13 +9,14 @@
 namespace sstore {
 namespace failpoint {
 
-/// Deterministic fault injection for the durability paths (log append/fsync,
-/// snapshot write/rename, manifest commit, decision-log append, checkpoint
-/// barrier). A *site* is a stable string name compiled into the code and
-/// passed to failpoint::Check / failpoint::Evaluate at the instrumented
-/// operation; tests (or the SSTORE_FAILPOINTS environment variable) arm a
-/// site with an action and a trigger, and the site fires deterministically
-/// on the chosen hit.
+/// Deterministic fault injection for the durability, serving, channel, and
+/// rebalance paths (log append/fsync, snapshot write/rename, manifest
+/// commit, decision-log append, checkpoint barrier, socket reads/writes,
+/// channel forwards/acks, rebalance migration steps). A *site* is a stable
+/// string name compiled into the code and passed to failpoint::Check /
+/// failpoint::Evaluate at the instrumented operation; tests (or the
+/// SSTORE_FAILPOINTS environment variable) arm a site with an action and a
+/// trigger, and the site fires deterministically on the chosen hit.
 ///
 /// Actions:
 ///  - kError: the instrumented operation returns Status::IOError. The
@@ -51,15 +52,34 @@ void Deactivate(const std::string& site);
 /// Disarms every site, clears hit counters and the crashed flag.
 void ResetAll();
 
-/// Parses SSTORE_FAILPOINTS ("site=error;other=crash@3;third=torn@0x2":
-/// `@N` skips N hits first, `xM` fires M times, default once) and arms each
-/// entry. Returns the number of sites armed. Called lazily on the first site
-/// hit, so binaries need no explicit init.
+/// Parses a failpoint spec ("site=error;other=crash@3;third=torn@0x2":
+/// `@N` skips N hits first, `xM` fires M times — default once, -1 means
+/// every hit) and arms each entry; `*armed` receives the count. Empty
+/// entries (a trailing or doubled ';') are tolerated; anything else
+/// malformed — a missing '=', an empty site, an unknown action, a
+/// non-numeric or negative skip, a zero or non-numeric count — is
+/// InvalidArgument naming the offending token, and NOTHING from the spec is
+/// armed (parsing is all-or-nothing, so a typo cannot half-arm a schedule).
+Status ParseSpec(const std::string& spec, size_t* armed);
+
+/// ParseSpec, but a malformed spec aborts the process with the offending
+/// token on stderr. This is the SSTORE_FAILPOINTS funnel: an operator's
+/// typo'd spec must kill the run loudly, never silently test nothing.
+size_t ParseSpecOrDie(const std::string& spec);
+
+/// Parses SSTORE_FAILPOINTS through ParseSpecOrDie and arms each entry.
+/// Returns the number of sites armed. Called lazily on the first site hit,
+/// so binaries need no explicit init; the env is latched, not re-read.
 size_t InitFromEnv();
 
 /// The action `site` should perform *now* (advances the trigger state).
 /// kOff when the site is unarmed or its trigger has not come up.
 Action Evaluate(const std::string& site);
+
+/// Evaluate with the same disarmed fast path as Check: one relaxed atomic
+/// load when nothing is armed (and the env spec has been loaded). The I/O
+/// hot paths (socket reads/writes, channel forwards) gate on this.
+Action EvaluateFast(const std::string& site);
 
 /// Convenience for error/crash sites: non-OK when the site fires. kCrash
 /// additionally sets the global crashed flag. Callers that can tear a write

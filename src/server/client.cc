@@ -8,8 +8,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "common/failpoint.h"
 
 namespace sstore {
 
@@ -64,6 +68,7 @@ Result<std::unique_ptr<WireClient>> WireClient::Connect(
 
   std::unique_ptr<WireClient> client(new WireClient(fd));
   client->auto_flush_bytes_ = options.auto_flush_bytes;
+  client->close_grace_ms_ = options.close_grace_ms;
   client->reader_ = std::thread([raw = client.get()] { raw->ReaderLoop(); });
   return client;
 }
@@ -88,6 +93,18 @@ void WireClient::Close() {
     send_open_ = false;
     closed_.store(true, std::memory_order_release);
     ::shutdown(fd_, SHUT_WR);
+  }
+  // Graceful path: the server reads our EOF, answers what it drained, and
+  // closes; the reader sees EOF and exits. A server that stopped reading
+  // this connection never does any of that, so the wait is bounded — after
+  // the grace window, shutting down the read side wakes the reader's
+  // blocked recv() and every unresolved future fails, exactly as
+  // documented.
+  {
+    std::unique_lock<std::mutex> lock(reader_mu_);
+    reader_cv_.wait_for(lock, std::chrono::milliseconds(close_grace_ms_),
+                        [this] { return reader_done_; });
+    if (!reader_done_) ::shutdown(fd_, SHUT_RDWR);
   }
   if (reader_.joinable()) reader_.join();
   {
@@ -158,8 +175,14 @@ Status WireClient::FlushLocked() {
   const std::vector<uint8_t>& buf = send_buf_.data();
   size_t off = 0;
   while (off < buf.size()) {
-    ssize_t n =
-        ::send(fd_, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
+    // Short-write site: dribbles the pipelined batch out one byte per
+    // send(), so the server sees frames straddle arbitrarily many reads.
+    size_t len = buf.size() - off;
+    if (failpoint::EvaluateFast("wire.client.flush.short") !=
+        failpoint::Action::kOff) {
+      len = 1;
+    }
+    ssize_t n = ::send(fd_, buf.data() + off, len, MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<size_t>(n);
       continue;
@@ -208,27 +231,40 @@ Status WireClient::Ping() {
 }
 
 Result<std::string> WireClient::FetchStats() {
-  uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  auto future = std::make_shared<WireFuture>();
-  {
-    std::lock_guard<std::mutex> lock(pending_mu_);
-    if (closed_.load(std::memory_order_acquire)) {
-      return Status::IOError("client is closed");
+  // A kBusy answer to a stats poll is transient — a checkpoint/rebalance
+  // barrier pause is microseconds-to-milliseconds wide — so retry with
+  // exponential backoff instead of handing the caller an empty exposition.
+  // Six attempts back off 1+2+4+8+16 = 31ms total before giving up.
+  constexpr int kMaxAttempts = 6;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(1 << (attempt - 1)));
     }
-    pending_.emplace(id, future);
-  }
-  {
-    std::lock_guard<std::mutex> lock(send_mu_);
-    EncodeStatsRequest(&send_buf_, id);
-    Status st = FlushLocked();
-    if (!st.ok()) {
-      FailAllPending(st);
-      return st;
+    uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    auto future = std::make_shared<WireFuture>();
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      if (closed_.load(std::memory_order_acquire)) {
+        return Status::IOError("client is closed");
+      }
+      pending_.emplace(id, future);
     }
+    {
+      std::lock_guard<std::mutex> lock(send_mu_);
+      EncodeStatsRequest(&send_buf_, id);
+      Status st = FlushLocked();
+      if (!st.ok()) {
+        FailAllPending(st);
+        return st;
+      }
+    }
+    const WireResult& result = future->Wait();
+    if (!result.transport.ok()) return result.transport;
+    if (!result.busy) return result.stats_text;
   }
-  const WireResult& result = future->Wait();
-  if (!result.transport.ok()) return result.transport;
-  return result.stats_text;
+  return Status::Unavailable("server shed " + std::to_string(kMaxAttempts) +
+                             " stats polls with kBusy");
 }
 
 size_t WireClient::pending() const {
@@ -237,6 +273,15 @@ size_t WireClient::pending() const {
 }
 
 void WireClient::ReaderLoop() {
+  ReaderLoopBody();
+  {
+    std::lock_guard<std::mutex> lock(reader_mu_);
+    reader_done_ = true;
+  }
+  reader_cv_.notify_all();
+}
+
+void WireClient::ReaderLoopBody() {
   WireFrameBuffer frames;
   uint8_t chunk[64 * 1024];
   for (;;) {

@@ -81,6 +81,11 @@ class WireClient {
     /// (0 = only explicit Flush). Bounds client-side buffering when a
     /// producer pipelines without pause.
     size_t auto_flush_bytes = 256 * 1024;
+    /// How long Close() waits for the graceful half-close handshake (the
+    /// server drains, answers, and closes its side) before force-closing
+    /// the read side. Bounds Close() against a stalled server that never
+    /// reads our EOF. 0 = force-close immediately.
+    int close_grace_ms = 1000;
   };
 
   static Result<std::unique_ptr<WireClient>> Connect(const Options& options);
@@ -116,7 +121,9 @@ class WireClient {
   Result<std::string> FetchStats();
 
   /// Closes the socket; every unresolved future fails with a transport
-  /// error. Idempotent; also run by the destructor.
+  /// error. Half-closes first so a healthy server can answer what it
+  /// already read, but never blocks longer than `close_grace_ms` on a
+  /// server that stopped reading. Idempotent; also run by the destructor.
   void Close();
 
   bool connected() const { return !closed_.load(std::memory_order_acquire); }
@@ -144,6 +151,7 @@ class WireClient {
                                const Value* key, int64_t batch_id);
   Status FlushLocked();
   void ReaderLoop();
+  void ReaderLoopBody();
   /// Fails every pending future with `error` and marks the client closed.
   void FailAllPending(const Status& error);
 
@@ -157,6 +165,7 @@ class WireClient {
   std::mutex send_mu_;
   ByteWriter send_buf_;
   size_t auto_flush_bytes_ = 0;
+  int close_grace_ms_ = 1000;
   /// Guarded by send_mu_. Cleared by Close() before it shuts down / closes
   /// fd_, so no concurrent FlushLocked can send() on a closed (or
   /// kernel-reused) descriptor.
@@ -166,6 +175,11 @@ class WireClient {
   std::unordered_map<uint64_t, WireFuturePtr> pending_;
 
   std::thread reader_;
+  /// Set by ReaderLoop on exit; Close() waits on it (bounded) before
+  /// deciding whether the graceful handshake needs a forced shutdown.
+  std::mutex reader_mu_;
+  std::condition_variable reader_cv_;
+  bool reader_done_ = false;
 
   std::atomic<uint64_t> responses_received_{0};
   std::atomic<uint64_t> busy_received_{0};

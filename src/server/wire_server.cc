@@ -16,6 +16,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace sstore {
 namespace server_internal {
 
@@ -265,7 +267,27 @@ class EventLoop {
     bool eof = false;
     size_t consumed = 0;
     while (consumed < kMaxReadPerPass) {
-      ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+      // Socket-fault sites: a fired `reset` behaves like ECONNRESET
+      // mid-frame, `eagain` like a kernel buffer that reports readable but
+      // yields nothing (level-triggered epoll re-reports, so this is a
+      // storm, not a loss), `short` like a 1-byte trickle that forces frame
+      // reassembly across reads. EvaluateFast is one relaxed load when
+      // nothing is armed.
+      size_t want = sizeof(chunk);
+      if (failpoint::EvaluateFast("wire.read.reset") !=
+          failpoint::Action::kOff) {
+        CloseConn(conn);
+        return;
+      }
+      if (failpoint::EvaluateFast("wire.read.eagain") !=
+          failpoint::Action::kOff) {
+        break;
+      }
+      if (failpoint::EvaluateFast("wire.read.short") !=
+          failpoint::Action::kOff) {
+        want = 1;
+      }
+      ssize_t n = ::read(conn->fd, chunk, want);
       if (n > 0) {
         conn->rdbuf.Feed(chunk, static_cast<size_t>(n));
         consumed += static_cast<size_t>(n);
@@ -308,6 +330,14 @@ class EventLoop {
           server_->responses_sent_.fetch_add(1, std::memory_order_relaxed);
           break;
         case WireRequestType::kStats:
+          // Shed site: lets tests force a kBusy answer to a stats poll —
+          // the retry-with-backoff path FetchStats must survive when a
+          // barrier pause or admission control sheds a monitoring client.
+          if (failpoint::EvaluateFast("wire.shed.stats") !=
+              failpoint::Action::kOff) {
+            Busy(conn, req.request_id);
+            break;
+          }
           // Answered in-line like kPong: RenderText snapshots the registry
           // (legacy Stats structs are pulled by providers at this moment),
           // so the reply is a consistent live view without touching any
@@ -455,10 +485,18 @@ class EventLoop {
     if (conn->closed) return;
     const std::vector<uint8_t>& buf = conn->wrbuf.data();
     while (conn->wr_off < buf.size()) {
-      ssize_t n = ::send(conn->fd, buf.data() + conn->wr_off,
-                         buf.size() - conn->wr_off, MSG_NOSIGNAL);
+      // Short-write site: the kernel accepted 1 byte then "filled up" —
+      // the remainder stays buffered and EPOLLOUT finishes it, exactly the
+      // partial-send bookkeeping a slow peer exercises.
+      size_t len = buf.size() - conn->wr_off;
+      bool tear = failpoint::EvaluateFast("wire.write.short") !=
+                  failpoint::Action::kOff;
+      if (tear) len = 1;
+      ssize_t n =
+          ::send(conn->fd, buf.data() + conn->wr_off, len, MSG_NOSIGNAL);
       if (n > 0) {
         conn->wr_off += static_cast<size_t>(n);
+        if (tear) break;
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -662,6 +700,13 @@ void WireServer::AcceptLoop() {
     if (r <= 0) continue;
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    // Accept-failure site: the connection dies before adoption, as if
+    // accept() returned EMFILE or the socket RSTed in the backlog. The
+    // peer's connect() already succeeded, so it learns only from the EOF.
+    if (failpoint::EvaluateFast("wire.accept") != failpoint::Action::kOff) {
+      ::close(fd);
+      continue;
+    }
     if (!server_internal::SetNonBlocking(fd).ok()) {
       ::close(fd);
       continue;

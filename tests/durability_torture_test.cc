@@ -84,10 +84,11 @@ class FailpointGuard : public ::testing::Test {
 // ctest) sets the variable before the first Evaluate in the binary.
 
 TEST(FailpointEnvTest, ParsesSpecWithSkipAndCount) {
+  // Trailing ';' is tolerated; anything malformed would abort (see the
+  // ParseSpec tests below for each rejected shape).
   ASSERT_EQ(::setenv("SSTORE_FAILPOINTS",
-                     "env.err=error;env.crash=crash@2x3;garbage;x=;y=frob", 1),
+                     "env.err=error;env.crash=crash@2x3;", 1),
             0);
-  // Two well-formed entries arm; malformed/unknown entries are ignored.
   EXPECT_EQ(failpoint::InitFromEnv(), 2u);
   EXPECT_TRUE(failpoint::AnyActive());
 
@@ -113,6 +114,85 @@ TEST(FailpointEnvTest, ParsesSpecWithSkipAndCount) {
   ::unsetenv("SSTORE_FAILPOINTS");
   EXPECT_FALSE(failpoint::CrashRequested());
   EXPECT_FALSE(failpoint::AnyActive());
+}
+
+// ---- Strict spec parsing: every malformed shape is rejected loudly ----
+//
+// ParseSpec is the same parser the SSTORE_FAILPOINTS funnel uses; the env
+// path differs only in that it aborts instead of returning the Status.
+
+TEST_F(FailpointGuard, ParseSpecRejectsEachMalformedShape) {
+  struct BadCase {
+    const char* spec;
+    const char* why;  // substring the error message must carry
+  };
+  const BadCase cases[] = {
+      {"no_equals_sign", "missing '='"},
+      {"=error", "empty site name"},
+      {"site=", "empty action"},
+      {"site=frob", "unknown action 'frob'"},
+      {"site=fsync_error", "unknown action"},  // near-miss of a real name
+      {"site=error@", "skip '@N'"},
+      {"site=error@z", "skip '@N'"},
+      {"site=error@-1", "skip '@N'"},          // negative skip
+      {"site=error@2q", "skip '@N'"},          // trailing garbage
+      {"site=errorx", "count 'xM'"},           // empty count
+      {"site=errorxq", "count 'xM'"},
+      {"site=errorx0", "count 'xM'"},          // zero fires is nonsense
+      {"site=errorx-2", "count 'xM'"},         // only -1 means unlimited
+      {"site=error@1x2x3", "count 'xM'"},      // doubled count suffix
+  };
+  for (const BadCase& c : cases) {
+    size_t armed = 999;
+    Status st = failpoint::ParseSpec(c.spec, &armed);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << c.spec;
+    EXPECT_NE(st.message().find(c.why), std::string::npos)
+        << c.spec << " -> " << st.message();
+    EXPECT_EQ(armed, 0u) << c.spec;
+    EXPECT_FALSE(failpoint::AnyActive()) << c.spec;
+  }
+}
+
+TEST_F(FailpointGuard, ParseSpecIsAllOrNothing) {
+  // A bad token anywhere arms NOTHING, including the valid entries before
+  // it — a typo'd schedule must not half-arm.
+  size_t armed = 999;
+  Status st = failpoint::ParseSpec("good.a=error;good.b=crash@1;oops", &armed);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("'oops'"), std::string::npos) << st.message();
+  EXPECT_EQ(armed, 0u);
+  EXPECT_FALSE(failpoint::AnyActive());
+  EXPECT_EQ(failpoint::Evaluate("good.a"), failpoint::Action::kOff);
+}
+
+TEST_F(FailpointGuard, ParseSpecAcceptsValidShapes) {
+  // Empty entries (trailing/doubled ';') are tolerated; x-1 = unlimited.
+  size_t armed = 0;
+  ASSERT_TRUE(failpoint::ParseSpec(
+                  "a=error;;b=torn@3;c=crash@0x-1;", &armed)
+                  .ok());
+  EXPECT_EQ(armed, 3u);
+  EXPECT_EQ(failpoint::Evaluate("a"), failpoint::Action::kError);
+  EXPECT_EQ(failpoint::Evaluate("a"), failpoint::Action::kOff);  // x1 default
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(failpoint::Evaluate("b"), failpoint::Action::kOff);  // skipped
+  }
+  EXPECT_EQ(failpoint::Evaluate("b"), failpoint::Action::kTornWrite);
+  for (int i = 0; i < 8; ++i) {  // -1 never exhausts
+    EXPECT_EQ(failpoint::Evaluate("c"), failpoint::Action::kCrash);
+  }
+  // An empty spec is valid and arms nothing.
+  ASSERT_TRUE(failpoint::ParseSpec("", &armed).ok());
+  EXPECT_EQ(armed, 0u);
+}
+
+TEST_F(FailpointGuard, ParseSpecOrDieAbortsOnMalformedSpec) {
+  // The env funnel's behavior, death-tested deterministically (InitFromEnv
+  // itself is latched per process, so it cannot be re-fired here).
+  EXPECT_DEATH(failpoint::ParseSpecOrDie("wire.accept=erorr"),
+               "SSTORE_FAILPOINTS.*unknown action 'erorr'");
+  EXPECT_DEATH(failpoint::ParseSpecOrDie("garbage"),
+               "SSTORE_FAILPOINTS.*missing '='");
 }
 
 TEST_F(FailpointGuard, ActivateCheckAndTriggerSemantics) {

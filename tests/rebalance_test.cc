@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <map>
@@ -26,7 +27,10 @@
 #include "cluster/partition_map.h"
 #include "cluster/stream_channel.h"
 #include "cluster/topology.h"
+#include "common/failpoint.h"
 #include "query/expr.h"
+#include "server/client.h"
+#include "server/wire_server.h"
 #include "streaming/injector.h"
 #include "workloads/voter_cluster.h"
 
@@ -493,6 +497,132 @@ TEST(RebalanceTest, KillAroundCutoverRecoversToExactlyOneSideOfTheManifest) {
     EXPECT_EQ(AllRows(recovered, "kv").size(), live_rows.size() + kKeys);
     ExpectOwnershipConsistent(recovered, "kv");
   }
+}
+
+// ---- Crash at every rebalance failpoint site (ISSUE 10 kill matrix) ----
+
+/// Keyed wire load for the chaos kill matrix: pipelined "put"s routed by
+/// key, resolved with a deadline poll instead of a blocking Wait — a crash
+/// mid-cutover leaves a never-started partition holding routed work, so
+/// some responses never come.
+int64_t RunKeyedWirePuts(uint16_t port, int requests, int64_t key_space,
+                         int64_t val_base) {
+  Result<std::unique_ptr<WireClient>> client =
+      WireClient::Connect({"127.0.0.1", port});
+  if (!client.ok()) return 0;
+  int64_t acked = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(2000);
+  for (int i = 0; i < requests; ++i) {
+    int64_t k = i % key_space;
+    WireFuturePtr future = (*client)->SubmitAsync(
+        "put", KeyVal(k, val_base + i), Value::BigInt(k));
+    if (!(*client)->Flush().ok()) break;
+    const WireResult* result = nullptr;
+    while (!future->TryGet(&result)) {
+      if (std::chrono::steady_clock::now() > deadline) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    if (result == nullptr || !result->transport.ok()) break;
+    if (result->committed()) ++acked;
+  }
+  (*client)->Close();
+  return acked;
+}
+
+TEST(RebalanceTest, CrashAtEverySiteRecoversToExactlyOneSideOfTheCutover) {
+  // One entry per rebalance failpoint site: only a crash after the manifest
+  // rename may recover onto the new map; everywhere else the cutover never
+  // committed and recovery must land on the old one.
+  const struct {
+    const char* site;
+    bool cutover_committed;
+  } kMatrix[] = {
+      {"rebalance.before_flip", false},
+      {"rebalance.after_flip", false},
+      {"rebalance.mid_migration", false},
+      {"rebalance.before_manifest", false},
+      {"rebalance.after_manifest", true},
+  };
+  constexpr int64_t kKeys = 48;
+  constexpr int kWirePuts = 64;
+
+  int idx = 0;
+  for (const auto& step : kMatrix) {
+    SCOPED_TRACE(step.site);
+    failpoint::ResetAll();
+    std::string tag = "killmatrix_" + std::to_string(idx++);
+    std::string ckpt_dir = MakeDir(tag + "_ckpt");
+    std::string log_dir = MakeDir(tag + "_logs");
+
+    int64_t acked_wire = 0;
+    {
+      Cluster::Options opts;
+      opts.num_partitions = 2;
+      opts.log_dir = log_dir;
+      opts.log_sync = false;
+      Cluster cluster(opts);
+      ASSERT_TRUE(cluster.Deploy(KvPlan()).ok());
+      cluster.Start();
+
+      // Acked first wave: these rows must survive whichever side of the
+      // cutover recovery lands on.
+      ClusterInjector injector(&cluster, "put");
+      std::vector<Tuple> batch;
+      for (int64_t k = 0; k < kKeys; ++k) batch.push_back(KeyVal(k, k));
+      injector.InjectBatchAsync(std::move(batch)).Wait();
+      cluster.WaitIdle();
+      ASSERT_TRUE(cluster.Checkpoint(ckpt_dir).ok());
+
+      WireServer::Options sopts;
+      sopts.drain_timeout_ms = 300;
+      WireServer server(&cluster, sopts);
+      ASSERT_TRUE(server.Start().ok());
+      std::thread load([&] {
+        acked_wire = RunKeyedWirePuts(server.port(), kWirePuts, kKeys, 1000);
+      });
+
+      failpoint::Activate(step.site, failpoint::Action::kCrash);
+      Status st = cluster.Rebalance(SplitPlan(0, ckpt_dir));
+      EXPECT_FALSE(st.ok()) << step.site << " should have aborted the cutover";
+      EXPECT_GE(failpoint::Hits(step.site), 1u);
+
+      load.join();
+      server.Stop();
+      failpoint::ResetAll();
+      // No WaitIdle: a crash after the flip leaves routed work parked on a
+      // partition that never started.
+      cluster.Stop();
+    }
+
+    Cluster::Options opts;
+    opts.num_partitions = 2;
+    Cluster recovered(opts);
+    ASSERT_TRUE(recovered.Deploy(KvPlan()).ok());
+    Status st = recovered.Recover(ckpt_dir, log_dir);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    if (step.cutover_committed) {
+      EXPECT_EQ(recovered.num_partitions(), 3u);
+      EXPECT_EQ(recovered.partition_map().version(), 2u);
+    } else {
+      EXPECT_EQ(recovered.num_partitions(), 2u);
+      EXPECT_EQ(recovered.partition_map().version(), 1u);
+    }
+    ExpectOwnershipConsistent(recovered, "kv");
+
+    // Exactly one side: every first-wave row exactly once, and at least
+    // every acked wire put durable (an ack can be lost, never a commit).
+    std::vector<std::pair<int64_t, int64_t>> rows = AllRows(recovered, "kv");
+    int64_t first_wave = 0;
+    int64_t wire_rows = 0;
+    for (const auto& [key, val] : rows) {
+      if (val < kKeys) ++first_wave;
+      if (val >= 1000) ++wire_rows;
+    }
+    EXPECT_EQ(first_wave, kKeys) << "a pre-rebalance acked row went missing";
+    EXPECT_GE(wire_rows, acked_wire);
+  }
+  failpoint::ResetAll();
 }
 
 // ---- Placed topologies: channels across a split ----

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
@@ -190,6 +191,112 @@ TEST(WireProtocolTest, OversizedFrameIsCorruption) {
   size_t len;
   auto has = frames.Next(&payload, &len);
   EXPECT_FALSE(has.ok());
+}
+
+// ---- Adversarial framing input ----
+
+TEST(WireProtocolTest, OneByteFeedsNeverYieldPartialFrame) {
+  // Next after EVERY byte: incomplete must always be a clean false (never an
+  // error, never a short frame), and the frame must pop exactly once — on
+  // the byte that completes it, not before.
+  ByteWriter w;
+  EncodeBusy(&w, 1234);
+  WireFrameBuffer frames;
+  const uint8_t* payload;
+  size_t len;
+  const std::vector<uint8_t>& bytes = w.data();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    frames.Feed(&bytes[i], 1);
+    auto has = frames.Next(&payload, &len);
+    ASSERT_TRUE(has.ok()) << "byte " << i;
+    if (i + 1 < bytes.size()) {
+      EXPECT_FALSE(*has) << "frame popped early at byte " << i;
+    } else {
+      ASSERT_TRUE(*has);
+      WireResponse resp;
+      ASSERT_TRUE(DecodeResponse(payload, len, &resp).ok());
+      EXPECT_EQ(resp.type, WireResponseType::kBusy);
+      EXPECT_EQ(resp.request_id, 1234u);
+    }
+  }
+}
+
+TEST(WireProtocolTest, TruncatedHeaderStraddlingFeedsReassembles) {
+  // The 4-byte length prefix itself arrives split across reads; each
+  // fragment alone must report "incomplete", not garbage.
+  uint32_t frame_len = 5;
+  uint8_t header[sizeof(uint32_t)];
+  std::memcpy(header, &frame_len, sizeof(frame_len));
+  const uint8_t body[5] = {0xde, 0xad, 0xbe, 0xef, 0x42};
+
+  WireFrameBuffer frames;
+  const uint8_t* payload;
+  size_t len;
+  frames.Feed(header, 2);  // half a header
+  auto has = frames.Next(&payload, &len);
+  ASSERT_TRUE(has.ok());
+  EXPECT_FALSE(*has);
+  frames.Feed(header + 2, 2);  // header complete, no payload yet
+  has = frames.Next(&payload, &len);
+  ASSERT_TRUE(has.ok());
+  EXPECT_FALSE(*has);
+  frames.Feed(body, 3);  // partial payload
+  has = frames.Next(&payload, &len);
+  ASSERT_TRUE(has.ok());
+  EXPECT_FALSE(*has);
+  frames.Feed(body + 3, 2);  // done
+  has = frames.Next(&payload, &len);
+  ASSERT_TRUE(has.ok());
+  ASSERT_TRUE(*has);
+  ASSERT_EQ(len, 5u);
+  EXPECT_EQ(std::memcmp(payload, body, 5), 0);
+}
+
+TEST(WireProtocolTest, MaxLengthBoundaryFrameIsAccepted) {
+  // Exactly at the 16MiB cap: accepted whole. One past it is Corruption
+  // (covered above) — the boundary itself must not be off by one.
+  WireFrameBuffer frames;
+  uint32_t frame_len = kWireMaxFrameBytes;
+  frames.Feed(reinterpret_cast<const uint8_t*>(&frame_len),
+              sizeof(frame_len));
+  std::vector<uint8_t> body(kWireMaxFrameBytes, 0xab);
+  // Feed in two halves so completion straddles a read boundary too.
+  frames.Feed(body.data(), body.size() / 2);
+  const uint8_t* payload;
+  size_t len;
+  auto has = frames.Next(&payload, &len);
+  ASSERT_TRUE(has.ok());
+  EXPECT_FALSE(*has);
+  frames.Feed(body.data() + body.size() / 2, body.size() - body.size() / 2);
+  has = frames.Next(&payload, &len);
+  ASSERT_TRUE(has.ok());
+  ASSERT_TRUE(*has);
+  EXPECT_EQ(len, static_cast<size_t>(kWireMaxFrameBytes));
+  EXPECT_EQ(payload[0], 0xab);
+  EXPECT_EQ(payload[len - 1], 0xab);
+}
+
+TEST(WireProtocolTest, GarbageAfterValidFrameDoesNotPoisonTheValidOne) {
+  // A well-formed frame followed by a hostile header: the good frame must
+  // still decode; only the NEXT pop reports corruption.
+  ByteWriter w;
+  EncodeBusy(&w, 7);
+  WireFrameBuffer frames;
+  frames.Feed(w.data().data(), w.size());
+  uint32_t huge = kWireMaxFrameBytes + 99;
+  frames.Feed(reinterpret_cast<const uint8_t*>(&huge), sizeof(huge));
+
+  const uint8_t* payload;
+  size_t len;
+  auto has = frames.Next(&payload, &len);
+  ASSERT_TRUE(has.ok());
+  ASSERT_TRUE(*has);
+  WireResponse resp;
+  ASSERT_TRUE(DecodeResponse(payload, len, &resp).ok());
+  EXPECT_EQ(resp.request_id, 7u);
+
+  has = frames.Next(&payload, &len);
+  EXPECT_FALSE(has.ok());  // the garbage, isolated to its own frame slot
 }
 
 // ---- Basic serving ----

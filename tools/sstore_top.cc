@@ -171,14 +171,31 @@ int main(int argc, char** argv) {
 
   MetricMap prev;
   bool have_prev = false;
+  int consecutive_shed = 0;
+  constexpr int kMaxConsecutiveShed = 5;
   auto last_poll = std::chrono::steady_clock::now();
   for (;;) {
     auto text_or = client->FetchStats();
     if (!text_or.ok()) {
+      // Unavailable = the server shed the poll with kBusy (checkpoint or
+      // rebalance barrier) even after the client's own retries. That is a
+      // healthy server under a long pause, not a dead one — keep the screen
+      // up and poll again, unless it persists long enough to look wedged.
+      // --once stays strict so it remains a usable health probe.
+      if (text_or.status().IsUnavailable() && !args.once &&
+          ++consecutive_shed < kMaxConsecutiveShed) {
+        std::fprintf(stderr, "sstore_top: stats poll shed busy (%d/%d): %s\n",
+                     consecutive_shed, kMaxConsecutiveShed,
+                     text_or.status().ToString().c_str());
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(args.interval_ms));
+        continue;
+      }
       std::fprintf(stderr, "sstore_top: stats fetch failed: %s\n",
                    text_or.status().ToString().c_str());
       return 1;
     }
+    consecutive_shed = 0;
     auto now = std::chrono::steady_clock::now();
     double secs = std::chrono::duration<double>(now - last_poll).count();
     last_poll = now;
